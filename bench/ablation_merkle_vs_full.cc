@@ -1,0 +1,111 @@
+/// Ablation (paper Section 3.2): when saving a derived model, the PUA must
+/// find the layers that changed relative to the base model. This compares
+/// the paper's design — load only the base's persisted Merkle tree and diff
+/// — against the naive alternative of recursively recovering the base model
+/// and comparing parameters layer by layer, across chain depths.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/model_code.h"
+#include "core/param_update.h"
+#include "core/recover.h"
+#include "env/environment.h"
+#include "util/clock.h"
+
+using namespace mmlib;
+using namespace mmlib::bench;
+
+int main() {
+  PrintHeader(
+      "Ablation", "Merkle diff vs full base recovery when saving (PUA)",
+      "Chain of partially updated MobileNetV2 versions; at each depth the\n"
+      "changed-layer set is computed both ways.");
+
+  const models::ModelConfig model_config =
+      StorageScaleModel(models::Architecture::kMobileNetV2);
+  auto model = models::BuildModel(model_config).value();
+  models::ApplyPartialUpdateFreeze(&model);
+  const env::EnvironmentInfo environment = env::CollectEnvironment();
+
+  Backing backing;
+  core::ParamUpdateSaveService service(backing.backends);
+  core::ModelRecoverer recoverer(backing.backends);
+
+  core::SaveRequest request;
+  request.model = &model;
+  request.code = core::CodeDescriptorFor(model_config);
+  request.environment = &environment;
+  std::string base_id = service.SaveModel(request).value().model_id;
+
+  TablePrinter table({"chain depth", "merkle diff", "full recovery + compare",
+                      "speedup", "hash comparisons", "naive comparisons"});
+  Rng rng(1);
+  for (int depth = 1; depth <= 6; ++depth) {
+    // Perturb the classifier (simulated partial update).
+    for (size_t i = 0; i < model.node_count(); ++i) {
+      for (nn::Param& param : model.layer(i)->params()) {
+        if (param.trainable && !param.is_buffer) {
+          for (int64_t k = 0; k < param.value.numel(); ++k) {
+            param.value.at(k) += rng.NextGaussian() * 0.01f;
+          }
+        }
+      }
+    }
+
+    // (a) Paper design: base Merkle tree + diff.
+    Stopwatch merkle_watch;
+    auto base_doc =
+        backing.docs.Get(core::kModelsCollection, base_id).value();
+    auto merkle_bytes =
+        backing.files.LoadFile(base_doc.GetString("merkle_file").value())
+            .value();
+    auto base_tree = MerkleTree::Deserialize(merkle_bytes).value();
+    auto tree = model.BuildMerkleTree().value();
+    auto diff = MerkleTree::Diff(base_tree, tree).value();
+    const double merkle_seconds = merkle_watch.ElapsedSeconds();
+
+    // (b) Naive: recover the base model recursively, compare layer-wise.
+    Stopwatch full_watch;
+    core::RecoverOptions options;
+    options.verify_checksum = false;
+    options.check_environment = false;
+    auto recovered = recoverer.Recover(base_id, options).value();
+    std::vector<size_t> naive_changed;
+    for (size_t i = 0; i < model.node_count(); ++i) {
+      if (model.layer(i)->ParamHash() !=
+          recovered.model.layer(i)->ParamHash()) {
+        naive_changed.push_back(i);
+      }
+    }
+    const double full_seconds = full_watch.ElapsedSeconds();
+
+    if (naive_changed != diff.changed_leaves) {
+      std::fprintf(stderr, "changed-layer sets disagree at depth %d\n",
+                   depth);
+      return 1;
+    }
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  full_seconds / merkle_seconds);
+    table.AddRow({std::to_string(depth), Millis(merkle_seconds),
+                  Millis(full_seconds), speedup,
+                  std::to_string(diff.comparisons),
+                  std::to_string(model.node_count())});
+
+    // Save this version to extend the chain.
+    base_id = service.SaveModel([&] {
+                core::SaveRequest r = request;
+                r.base_model_id = base_id;
+                return r;
+              }())
+                  .value()
+                  .model_id;
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nThe Merkle design keeps save-time change detection flat while the\n"
+      "naive alternative grows with chain depth (recursive recovery) —\n"
+      "this is why the PUA persists layer hashes (paper Section 3.2).\n");
+  return 0;
+}

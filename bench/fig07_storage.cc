@@ -1,0 +1,85 @@
+/// Reproduces paper Figure 7: per-model storage consumption across use
+/// cases and approaches, for (a) fully and (b) partially updated
+/// MobileNetV2 versions and (c) fully / (d) partially updated ResNet-152
+/// versions, trained on CF-512. U2 is excluded from the panels, as in the
+/// paper (the MPA's U2 peak is dataset-driven; see Figure 9).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mmlib;
+using namespace mmlib::bench;
+using namespace mmlib::dist;
+
+namespace {
+
+void Panel(const char* panel_id, models::Architecture arch,
+           ModelRelation relation) {
+  std::printf("--- Figure 7(%s): %s, %s versions, CF-512 ---\n", panel_id,
+              std::string(models::ArchitectureName(arch)).c_str(),
+              std::string(RelationName(relation)).c_str());
+
+  std::vector<std::string> headers = {"use case"};
+  std::vector<FlowResult> results;
+  for (ApproachKind approach : {ApproachKind::kBaseline,
+                                ApproachKind::kParamUpdate,
+                                ApproachKind::kProvenance}) {
+    headers.push_back(std::string(ApproachName(approach)));
+    FlowConfig config;
+    config.approach = approach;
+    config.model = StorageScaleModel(arch);
+    config.relation = relation;
+    config.u3_dataset = data::PaperDatasetId::kCocoFood512;
+    config.dataset_divisor = MatchedDatasetDivisor(config.model);
+    config.training_mode = TrainingMode::kSimulated;
+    config.recover_models = false;
+    results.push_back(RunFlow(config));
+  }
+
+  TablePrinter table(headers);
+  for (const std::string& label : results[0].Labels()) {
+    if (label == "U2") {
+      continue;  // excluded from the comparison plot, as in the paper
+    }
+    std::vector<std::string> row = {label};
+    for (const FlowResult& result : results) {
+      row.push_back(Mb(result.MedianStorage(label)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  // Headline deltas vs the baseline over the U3 use cases.
+  double ba_total = 0;
+  double pua_total = 0;
+  double mpa_total = 0;
+  for (const std::string& label : results[0].Labels()) {
+    if (label == "U1" || label == "U2") {
+      continue;
+    }
+    ba_total += static_cast<double>(results[0].MedianStorage(label));
+    pua_total += static_cast<double>(results[1].MedianStorage(label));
+    mpa_total += static_cast<double>(results[2].MedianStorage(label));
+  }
+  std::printf("U3 storage vs BA:  PUA %s   MPA %s\n\n",
+              Pct(pua_total / ba_total - 1.0).c_str(),
+              Pct(mpa_total / ba_total - 1.0).c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7", "Storage consumption across approaches",
+              "Simulated model updates (paper: pre-trained snapshots); "
+              "storage excludes the base model.\nPaper headline numbers: "
+              "partially updated PUA -63.7% (MobileNetV2) / -95.6% "
+              "(ResNet-152); MPA -70% for fully updated ResNet-152.");
+  Panel("a", models::Architecture::kMobileNetV2,
+        ModelRelation::kFullyUpdated);
+  Panel("b", models::Architecture::kMobileNetV2,
+        ModelRelation::kPartiallyUpdated);
+  Panel("c", models::Architecture::kResNet152, ModelRelation::kFullyUpdated);
+  Panel("d", models::Architecture::kResNet152,
+        ModelRelation::kPartiallyUpdated);
+  return 0;
+}

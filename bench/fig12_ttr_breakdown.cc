@@ -1,0 +1,48 @@
+/// Reproduces paper Figure 12: baseline time-to-recover broken down into
+/// the recovery steps — loading the model data, recovering the model from
+/// it, and verifying the recovered parameters — for model U3-1-3 across all
+/// architectures. The environment-check time is excluded from the table, as
+/// in the paper (it is constant across architectures).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mmlib;
+using namespace mmlib::bench;
+using namespace mmlib::dist;
+
+int main() {
+  PrintHeader(
+      "Figure 12", "Baseline TTR breakdown for U3-1-3 per architecture",
+      "Expected shape: every step grows with the parameter count; GoogLeNet\n"
+      "shows a disproportionate 'recover' time (expensive model\n"
+      "initialization routine, paper Section 4.4).");
+
+  TablePrinter table({"model", "#params", "load", "recover", "verify",
+                      "total (excl. env check)"});
+  for (models::Architecture arch : models::AllArchitectures()) {
+    FlowConfig config;
+    config.approach = ApproachKind::kBaseline;
+    config.model = StorageScaleModel(arch);
+    config.training_mode = TrainingMode::kSimulated;
+    config.recover_models = true;
+    const FlowResult result = RunFlowRemote(config);
+
+    core::RecoverBreakdown breakdown;
+    for (const UseCaseRecord& record : result.records) {
+      if (record.label == "U3-1-3") {
+        breakdown = record.ttr_breakdown;
+      }
+    }
+    auto model = models::BuildModel(config.model).value();
+    const double total = breakdown.load_seconds + breakdown.recover_seconds +
+                         breakdown.verify_seconds;
+    table.AddRow({std::string(models::ArchitectureName(arch)),
+                  std::to_string(model.TrainableParamCount()),
+                  Millis(breakdown.load_seconds),
+                  Millis(breakdown.recover_seconds),
+                  Millis(breakdown.verify_seconds), Millis(total)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

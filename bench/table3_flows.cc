@@ -1,0 +1,40 @@
+/// Reproduces paper Table 3: the evaluation flows with their node and model
+/// counts, and verifies each flow actually saves that many models.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mmlib;
+using namespace mmlib::bench;
+using namespace mmlib::dist;
+
+int main() {
+  PrintHeader("Table 3", "Evaluation flows",
+              "STANDARD has 4 U3 iterations per phase; DIST flows have 10.");
+
+  struct FlowSpec {
+    const char* name;
+    int nodes;
+    int iterations;
+    int paper_models;
+  };
+  TablePrinter table({"name", "#nodes", "#models (run)", "#models (paper)"});
+  for (const FlowSpec spec :
+       {FlowSpec{"STANDARD", 1, 4, 10}, FlowSpec{"DIST-5", 5, 10, 102},
+        FlowSpec{"DIST-10", 10, 10, 202}, FlowSpec{"DIST-20", 20, 10, 402}}) {
+    FlowConfig config;
+    config.approach = ApproachKind::kBaseline;
+    config.model = TrainScaleModel(models::Architecture::kMobileNetV2);
+    config.num_nodes = spec.nodes;
+    config.u3_iterations = spec.iterations;
+    config.dataset_divisor = 4096;
+    config.training_mode = TrainingMode::kSimulated;
+    config.recover_models = false;
+    const FlowResult result = RunFlow(config);
+    table.AddRow({spec.name, std::to_string(spec.nodes),
+                  std::to_string(result.records.size()),
+                  std::to_string(spec.paper_models)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

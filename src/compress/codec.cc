@@ -1,0 +1,312 @@
+#include "compress/codec.h"
+
+#include <cstring>
+
+#include "compress/huffman.h"
+#include "hash/sha256.h"
+
+namespace mmlib {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x4d4d4c46;  // "MMLF"
+
+void WriteVarint(Bytes* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+Result<uint64_t> ReadVarint(const Bytes& in, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < in.size()) {
+    const uint8_t byte = in[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+    if (shift > 63) {
+      break;
+    }
+  }
+  return Status::Corruption("truncated varint");
+}
+
+}  // namespace
+
+Result<Bytes> Codec::Frame(const Bytes& input) const {
+  MMLIB_ASSIGN_OR_RETURN(Bytes compressed, Compress(input));
+  BytesWriter writer;
+  writer.WriteU32(kFrameMagic);
+  writer.WriteU8(static_cast<uint8_t>(kind()));
+  writer.WriteU64(input.size());
+  writer.WriteU32(Crc32(input));
+  writer.WriteBlob(compressed);
+  return writer.TakeBytes();
+}
+
+Result<Bytes> Codec::Unframe(const Bytes& frame) {
+  BytesReader reader(frame);
+  MMLIB_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  MMLIB_ASSIGN_OR_RETURN(uint8_t kind_byte, reader.ReadU8());
+  if (kind_byte > static_cast<uint8_t>(CodecKind::kLz77Huffman)) {
+    return Status::Corruption("unknown codec id " + std::to_string(kind_byte));
+  }
+  MMLIB_ASSIGN_OR_RETURN(uint64_t original_size, reader.ReadU64());
+  MMLIB_ASSIGN_OR_RETURN(uint32_t expected_crc, reader.ReadU32());
+  MMLIB_ASSIGN_OR_RETURN(Bytes compressed, reader.ReadBlob());
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after frame");
+  }
+  if (original_size > kDefaultMaxOutput) {
+    return Status::Corruption("frame original size out of range");
+  }
+  const Codec* codec = ForKind(static_cast<CodecKind>(kind_byte));
+  // The header's size field bounds decompression, so a corrupted stream
+  // cannot expand past the expected payload.
+  MMLIB_ASSIGN_OR_RETURN(
+      Bytes payload,
+      codec->Decompress(compressed, static_cast<size_t>(original_size)));
+  if (payload.size() != original_size) {
+    return Status::Corruption("decompressed size mismatch");
+  }
+  if (Crc32(payload) != expected_crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return payload;
+}
+
+const Codec* Codec::ForKind(CodecKind kind) {
+  static const IdentityCodec* identity = new IdentityCodec();
+  static const RleCodec* rle = new RleCodec();
+  static const Lz77Codec* lz77 = new Lz77Codec();
+  static const Lz77HuffmanCodec* lz77_huffman = new Lz77HuffmanCodec();
+  switch (kind) {
+    case CodecKind::kIdentity:
+      return identity;
+    case CodecKind::kRle:
+      return rle;
+    case CodecKind::kLz77:
+      return lz77;
+    case CodecKind::kLz77Huffman:
+      return lz77_huffman;
+  }
+  return identity;
+}
+
+Result<const Codec*> Codec::ForName(std::string_view name) {
+  for (CodecKind kind :
+       {CodecKind::kIdentity, CodecKind::kRle, CodecKind::kLz77,
+        CodecKind::kLz77Huffman}) {
+    const Codec* codec = ForKind(kind);
+    if (codec->name() == name) {
+      return codec;
+    }
+  }
+  return Status::NotFound("unknown codec: " + std::string(name));
+}
+
+Result<Bytes> IdentityCodec::Compress(const Bytes& input) const {
+  return input;
+}
+
+Result<Bytes> IdentityCodec::Decompress(const Bytes& input,
+                                        size_t max_output) const {
+  if (input.size() > max_output) {
+    return Status::Corruption("identity payload exceeds output limit");
+  }
+  return input;
+}
+
+Result<Bytes> RleCodec::Compress(const Bytes& input) const {
+  // Format: sequence of (varint count, byte) pairs.
+  Bytes out;
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t value = input[i];
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == value) {
+      ++run;
+    }
+    WriteVarint(&out, run);
+    out.push_back(value);
+    i += run;
+  }
+  return out;
+}
+
+Result<Bytes> RleCodec::Decompress(const Bytes& input,
+                                   size_t max_output) const {
+  Bytes out;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    MMLIB_ASSIGN_OR_RETURN(uint64_t run, ReadVarint(input, &pos));
+    if (pos >= input.size()) {
+      return Status::Corruption("RLE stream truncated");
+    }
+    if (run == 0 || run > max_output - out.size()) {
+      return Status::Corruption("invalid RLE run length");
+    }
+    out.insert(out.end(), run, input[pos++]);
+  }
+  return out;
+}
+
+Result<Bytes> Lz77HuffmanCodec::Compress(const Bytes& input) const {
+  MMLIB_ASSIGN_OR_RETURN(Bytes tokens,
+                         Codec::ForKind(CodecKind::kLz77)->Compress(input));
+  return huffman::Encode(tokens);
+}
+
+Result<Bytes> Lz77HuffmanCodec::Decompress(const Bytes& input,
+                                           size_t max_output) const {
+  // The LZ77 token stream is at most a small constant factor larger than
+  // the decompressed payload (literal runs carry their bytes verbatim).
+  MMLIB_ASSIGN_OR_RETURN(
+      Bytes tokens,
+      huffman::Decode(input, /*max_output=*/2 * max_output + 1024));
+  return Codec::ForKind(CodecKind::kLz77)->Decompress(tokens, max_output);
+}
+
+namespace {
+
+// LZ77 token stream:
+//   0x00 <varint len> <len literal bytes>
+//   0x01 <varint len> <varint distance>     (len >= kMinMatch)
+constexpr size_t kWindowSize = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1024;
+constexpr size_t kHashBits = 16;
+constexpr size_t kMaxChainDepth = 32;
+
+inline uint32_t HashQuad(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+Result<Bytes> Lz77Codec::Compress(const Bytes& input) const {
+  Bytes out;
+  const size_t n = input.size();
+  if (n == 0) {
+    return out;
+  }
+
+  std::vector<int64_t> head(1 << kHashBits, -1);
+  std::vector<int64_t> prev(n, -1);
+
+  size_t literal_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end > literal_start) {
+      out.push_back(0x00);
+      WriteVarint(&out, end - literal_start);
+      out.insert(out.end(), input.begin() + literal_start,
+                 input.begin() + end);
+    }
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const uint32_t h = HashQuad(input.data() + i);
+      int64_t candidate = head[h];
+      size_t depth = 0;
+      while (candidate >= 0 && depth < kMaxChainDepth &&
+             i - static_cast<size_t>(candidate) <= kWindowSize) {
+        const size_t cand = static_cast<size_t>(candidate);
+        const size_t limit = std::min(kMaxMatch, n - i);
+        size_t len = 0;
+        while (len < limit && input[cand + len] == input[i + len]) {
+          ++len;
+        }
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = i - cand;
+          if (len == kMaxMatch) {
+            break;
+          }
+        }
+        candidate = prev[cand];
+        ++depth;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_literals(i);
+      out.push_back(0x01);
+      WriteVarint(&out, best_len);
+      WriteVarint(&out, best_dist);
+      // Insert hash entries for all covered positions so later matches can
+      // reference inside this match.
+      const size_t match_end = i + best_len;
+      while (i < match_end) {
+        if (i + kMinMatch <= n) {
+          const uint32_t h = HashQuad(input.data() + i);
+          prev[i] = head[h];
+          head[h] = static_cast<int64_t>(i);
+        }
+        ++i;
+      }
+      literal_start = i;
+    } else {
+      if (i + kMinMatch <= n) {
+        const uint32_t h = HashQuad(input.data() + i);
+        prev[i] = head[h];
+        head[h] = static_cast<int64_t>(i);
+      }
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return out;
+}
+
+Result<Bytes> Lz77Codec::Decompress(const Bytes& input,
+                                    size_t max_output) const {
+  Bytes out;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    const uint8_t tag = input[pos++];
+    if (tag == 0x00) {
+      MMLIB_ASSIGN_OR_RETURN(uint64_t len, ReadVarint(input, &pos));
+      if (pos + len > input.size()) {
+        return Status::Corruption("LZ77 literal run truncated");
+      }
+      if (len > max_output - out.size()) {
+        return Status::Corruption("LZ77 output exceeds limit");
+      }
+      out.insert(out.end(), input.begin() + pos, input.begin() + pos + len);
+      pos += len;
+    } else if (tag == 0x01) {
+      MMLIB_ASSIGN_OR_RETURN(uint64_t len, ReadVarint(input, &pos));
+      MMLIB_ASSIGN_OR_RETURN(uint64_t dist, ReadVarint(input, &pos));
+      if (dist == 0 || dist > out.size()) {
+        return Status::Corruption("LZ77 match distance out of range");
+      }
+      if (len > max_output - out.size()) {
+        return Status::Corruption("LZ77 output exceeds limit");
+      }
+      // Byte-by-byte copy: matches may overlap their own output.
+      size_t src = out.size() - dist;
+      for (uint64_t k = 0; k < len; ++k) {
+        out.push_back(out[src + k]);
+      }
+    } else {
+      return Status::Corruption("invalid LZ77 token tag");
+    }
+  }
+  return out;
+}
+
+}  // namespace mmlib

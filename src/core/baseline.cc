@@ -1,0 +1,27 @@
+#include "core/baseline.h"
+
+namespace mmlib::core {
+
+Result<SaveResult> BaselineSaveService::SaveModel(const SaveRequest& request) {
+  CostMeter meter(backends_);
+
+  // Extract: serialize the full parameter snapshot.
+  Bytes params = request.model->SerializeParams();
+
+  // Persist: parameters to the file store, metadata to the document store.
+  MMLIB_ASSIGN_OR_RETURN(std::string params_file,
+                         backends_.files->SaveFile(params));
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request));
+  doc.Set("params_file", params_file);
+  MMLIB_ASSIGN_OR_RETURN(std::string model_id,
+                         backends_.docs->Insert(kModelsCollection,
+                                                std::move(doc)));
+
+  SaveResult result;
+  result.model_id = model_id;
+  result.tts_seconds = meter.ElapsedSeconds();
+  result.storage_bytes = meter.StoredBytesDelta();
+  return result;
+}
+
+}  // namespace mmlib::core

@@ -1,0 +1,142 @@
+#include "core/catalog.h"
+
+#include <algorithm>
+
+namespace mmlib::core {
+
+Result<ModelSummary> ModelCatalog::SummaryFromDoc(const json::Value& doc) {
+  ModelSummary summary;
+  MMLIB_ASSIGN_OR_RETURN(summary.id, doc.GetString("_id"));
+  MMLIB_ASSIGN_OR_RETURN(summary.approach, doc.GetString("approach"));
+  if (const json::Value* base = doc.FindMember("base_model");
+      base != nullptr && base->is_string()) {
+    summary.base_model_id = base->as_string();
+  }
+  MMLIB_ASSIGN_OR_RETURN(summary.architecture_fingerprint,
+                         doc.GetString("architecture"));
+  MMLIB_ASSIGN_OR_RETURN(const json::Value* checksum,
+                         doc.GetMember("checksum"));
+  MMLIB_ASSIGN_OR_RETURN(summary.params_hash,
+                         checksum->GetString("params_hash"));
+  summary.has_params_snapshot = doc.FindMember("params_file") != nullptr;
+  return summary;
+}
+
+Result<std::vector<ModelSummary>> ModelCatalog::ListModels() {
+  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                         backends_.docs->ListIds(kModelsCollection));
+  std::vector<ModelSummary> summaries;
+  summaries.reserve(ids.size());
+  for (const std::string& id : ids) {
+    MMLIB_ASSIGN_OR_RETURN(json::Value doc,
+                           backends_.docs->Get(kModelsCollection, id));
+    MMLIB_ASSIGN_OR_RETURN(ModelSummary summary, SummaryFromDoc(doc));
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+Result<ModelSummary> ModelCatalog::GetInfo(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc,
+                         backends_.docs->Get(kModelsCollection, id));
+  return SummaryFromDoc(doc);
+}
+
+Result<std::vector<std::string>> ModelCatalog::GetChain(
+    const std::string& id) {
+  std::vector<std::string> chain;
+  std::string current = id;
+  while (!current.empty()) {
+    MMLIB_ASSIGN_OR_RETURN(ModelSummary summary, GetInfo(current));
+    chain.push_back(current);
+    current = summary.base_model_id;
+    if (chain.size() > 4096) {
+      return Status::Corruption("base model chain too long (cycle?)");
+    }
+  }
+  return chain;
+}
+
+Result<std::vector<std::string>> ModelCatalog::GetDerived(
+    const std::string& id) {
+  // Verify the model exists so that asking about an unknown id is an error
+  // rather than an empty answer.
+  MMLIB_RETURN_IF_ERROR(GetInfo(id).status());
+  return backends_.docs->FindByField(kModelsCollection, "base_model", id);
+}
+
+Status ModelCatalog::DeleteModel(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc,
+                         backends_.docs->Get(kModelsCollection, id));
+  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> derived, GetDerived(id));
+  if (!derived.empty()) {
+    return Status::FailedPrecondition(
+        "model " + id + " is the base of " + std::to_string(derived.size()) +
+        " model(s) (e.g. " + derived.front() +
+        "); deleting it would make them unrecoverable");
+  }
+
+  // Collect owned documents and files before mutating anything.
+  std::vector<std::pair<std::string, std::string>> docs_to_delete;
+  std::vector<std::string> files_to_delete;
+  auto collect_file = [&](const json::Value& owner, const char* key) {
+    if (const json::Value* ref = owner.FindMember(key);
+        ref != nullptr && ref->is_string()) {
+      files_to_delete.push_back(ref->as_string());
+    }
+  };
+  auto collect_doc = [&](const char* collection, const json::Value& owner,
+                         const char* key) -> Result<bool> {
+    const json::Value* ref = owner.FindMember(key);
+    if (ref == nullptr || !ref->is_string()) {
+      return false;
+    }
+    docs_to_delete.push_back({collection, ref->as_string()});
+    return true;
+  };
+
+  collect_file(doc, "params_file");
+  collect_file(doc, "update_file");
+  collect_file(doc, "merkle_file");
+  MMLIB_RETURN_IF_ERROR(
+      collect_doc(kEnvironmentsCollection, doc, "env_doc").status());
+  MMLIB_RETURN_IF_ERROR(
+      collect_doc(kCodeCollection, doc, "code_doc").status());
+  MMLIB_ASSIGN_OR_RETURN(bool has_provenance,
+                         collect_doc(kProvenanceCollection, doc,
+                                     "provenance_doc"));
+  if (has_provenance) {
+    MMLIB_ASSIGN_OR_RETURN(
+        json::Value prov_doc,
+        backends_.docs->Get(kProvenanceCollection,
+                            docs_to_delete.back().second));
+    collect_file(prov_doc, "optimizer_state_file");
+    collect_file(prov_doc, "dataset_file");
+  }
+
+  // Delete the model document first so the model disappears atomically from
+  // listings; orphaned payloads are then removed best-effort.
+  MMLIB_RETURN_IF_ERROR(backends_.docs->Delete(kModelsCollection, id));
+  for (const auto& [collection, doc_id] : docs_to_delete) {
+    MMLIB_RETURN_IF_ERROR(backends_.docs->Delete(collection, doc_id)
+                              .WithContext("deleting document of " + id));
+  }
+  for (const std::string& file_id : files_to_delete) {
+    MMLIB_RETURN_IF_ERROR(backends_.files->Delete(file_id).WithContext(
+        "deleting file of " + id));
+  }
+  return Status::OK();
+}
+
+Result<size_t> ModelCatalog::DeleteModelTree(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> derived, GetDerived(id));
+  size_t deleted = 0;
+  for (const std::string& child : derived) {
+    MMLIB_ASSIGN_OR_RETURN(size_t child_count, DeleteModelTree(child));
+    deleted += child_count;
+  }
+  MMLIB_RETURN_IF_ERROR(DeleteModel(id));
+  return deleted + 1;
+}
+
+}  // namespace mmlib::core

@@ -1,0 +1,67 @@
+#ifndef MMLIB_CORE_CATALOG_H_
+#define MMLIB_CORE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "json/json.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// Summary of one managed model, assembled from its stored documents.
+struct ModelSummary {
+  std::string id;
+  std::string approach;
+  /// Empty for initial models.
+  std::string base_model_id;
+  std::string architecture_fingerprint;
+  std::string params_hash;
+  /// True when a full parameter snapshot is stored (baseline saves and the
+  /// initial models of PUA/MPA chains).
+  bool has_params_snapshot = false;
+};
+
+/// Management operations over the models in a store: listing, inspecting
+/// derivation chains, and deleting models without breaking the recursive
+/// recovery of others (paper use case U4 requires the server "to monitor
+/// every model that exists").
+class ModelCatalog {
+ public:
+  explicit ModelCatalog(StorageBackends backends) : backends_(backends) {}
+
+  /// Summaries of all stored models, ordered by id.
+  Result<std::vector<ModelSummary>> ListModels();
+
+  /// Summary of one model.
+  Result<ModelSummary> GetInfo(const std::string& id);
+
+  /// The derivation chain from `id` to its root: {id, base, ..., initial}.
+  Result<std::vector<std::string>> GetChain(const std::string& id);
+
+  /// Ids of models directly derived from `id`.
+  Result<std::vector<std::string>> GetDerived(const std::string& id);
+
+  /// Deletes a model together with its owned documents (environment, code,
+  /// provenance) and files (parameter snapshot, update, Merkle tree,
+  /// optimizer state, dataset archive).
+  ///
+  /// Fails with FailedPrecondition when any other model references `id` as
+  /// its base: deleting it would make those models unrecoverable under the
+  /// PUA/MPA's recursive recovery.
+  Status DeleteModel(const std::string& id);
+
+  /// Deletes `id` and, transitively, every model derived from it
+  /// (children first). Returns the number of models deleted.
+  Result<size_t> DeleteModelTree(const std::string& id);
+
+ private:
+  Result<ModelSummary> SummaryFromDoc(const json::Value& doc);
+
+  StorageBackends backends_;
+};
+
+}  // namespace mmlib::core
+
+#endif  // MMLIB_CORE_CATALOG_H_

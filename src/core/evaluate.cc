@@ -1,0 +1,50 @@
+#include "core/evaluate.h"
+
+#include "nn/loss.h"
+
+namespace mmlib::core {
+
+Result<EvaluationResult> EvaluateModel(nn::Model* model,
+                                       const data::DataLoader& loader,
+                                       nn::ExecutionContext* ctx,
+                                       int64_t max_batches) {
+  const bool was_training = ctx->training();
+  ctx->set_training(false);
+
+  EvaluationResult result;
+  double weighted_loss = 0.0;
+  double weighted_accuracy = 0.0;
+  size_t batches = loader.BatchesPerEpoch();
+  if (max_batches >= 0) {
+    batches = std::min(batches, static_cast<size_t>(max_batches));
+  }
+  auto run = [&]() -> Status {
+    for (size_t b = 0; b < batches; ++b) {
+      MMLIB_ASSIGN_OR_RETURN(data::Batch batch, loader.GetBatch(b));
+      MMLIB_ASSIGN_OR_RETURN(Tensor logits,
+                             model->Forward(batch.images, ctx));
+      MMLIB_ASSIGN_OR_RETURN(nn::LossResult loss,
+                             nn::SoftmaxCrossEntropy(logits, batch.labels));
+      MMLIB_ASSIGN_OR_RETURN(float accuracy,
+                             nn::Accuracy(logits, batch.labels));
+      const size_t n = batch.labels.size();
+      weighted_loss += static_cast<double>(loss.loss) * n;
+      weighted_accuracy += static_cast<double>(accuracy) * n;
+      result.sample_count += n;
+    }
+    return Status::OK();
+  };
+  const Status status = run();
+  ctx->set_training(was_training);
+  MMLIB_RETURN_IF_ERROR(status);
+
+  if (result.sample_count > 0) {
+    weighted_loss /= static_cast<double>(result.sample_count);
+    weighted_accuracy /= static_cast<double>(result.sample_count);
+  }
+  result.mean_loss = weighted_loss;
+  result.accuracy = weighted_accuracy;
+  return result;
+}
+
+}  // namespace mmlib::core

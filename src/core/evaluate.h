@@ -1,0 +1,31 @@
+#ifndef MMLIB_CORE_EVALUATE_H_
+#define MMLIB_CORE_EVALUATE_H_
+
+#include <cstdint>
+
+#include "data/dataloader.h"
+#include "nn/model.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// Aggregate metrics of an evaluation pass.
+struct EvaluationResult {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;
+  size_t sample_count = 0;
+};
+
+/// Runs inference over the loader's current epoch (eval mode: batch-norm
+/// uses running statistics, dropout is identity) and reports mean
+/// cross-entropy loss and top-1 accuracy. `max_batches` < 0 evaluates the
+/// whole epoch. Deterministic in deterministic contexts — evaluating a
+/// recovered model yields bit-identical logits to the original.
+Result<EvaluationResult> EvaluateModel(nn::Model* model,
+                                       const data::DataLoader& loader,
+                                       nn::ExecutionContext* ctx,
+                                       int64_t max_batches = -1);
+
+}  // namespace mmlib::core
+
+#endif  // MMLIB_CORE_EVALUATE_H_

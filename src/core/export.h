@@ -1,0 +1,42 @@
+#ifndef MMLIB_CORE_EXPORT_H_
+#define MMLIB_CORE_EXPORT_H_
+
+#include "json/json.h"
+#include "nn/model.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// Framework-independent, inference-only model export.
+///
+/// The paper (Section 2.2) observes that portable formats like PMML, PFA,
+/// or ONNX "do not capture the model in a level of detail needed to
+/// reproduce model training" — they carry the architecture and weights, but
+/// none of the provenance (training process, environment, data) mmlib
+/// manages. This module implements such a format so the gap is concrete:
+/// an exported bundle round-trips inference exactly, but recovery-by-
+/// retraining is impossible from it.
+///
+/// Bundle layout: a JSON manifest (format version, architecture code
+/// descriptor, parameter checksum) followed by the raw parameter snapshot.
+struct PortableBundle {
+  json::Value manifest;
+  Bytes parameters;
+
+  /// Serializes manifest + parameters into one buffer.
+  Bytes Serialize() const;
+  static Result<PortableBundle> Deserialize(const Bytes& data);
+};
+
+/// Exports a model built from `code` (see core/model_code.h).
+Result<PortableBundle> ExportPortable(const nn::Model& model,
+                                      const json::Value& code);
+
+/// Instantiates the model from a bundle and verifies the checksum. The
+/// result reproduces inference bit-for-bit but carries no provenance.
+Result<nn::Model> ImportPortable(const PortableBundle& bundle);
+
+}  // namespace mmlib::core
+
+#endif  // MMLIB_CORE_EXPORT_H_

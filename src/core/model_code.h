@@ -1,0 +1,29 @@
+#ifndef MMLIB_CORE_MODEL_CODE_H_
+#define MMLIB_CORE_MODEL_CODE_H_
+
+#include "json/json.h"
+#include "models/zoo.h"
+#include "nn/model.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// mmlib saves "the model architecture by its implementation in code"
+/// (paper Section 3.1). In this reproduction the unit of model code is a
+/// *code descriptor*: a JSON document naming a zoo architecture and its
+/// build configuration, replayed through models::BuildModel on recovery.
+/// The substitution (source text -> replayable descriptor) is documented in
+/// DESIGN.md Section 1.
+
+/// Serializes a build configuration into a code descriptor document.
+json::Value CodeDescriptorFor(const models::ModelConfig& config);
+
+/// Parses a code descriptor back into a build configuration.
+Result<models::ModelConfig> ConfigFromCodeDescriptor(const json::Value& doc);
+
+/// Instantiates a freshly initialized model from a code descriptor.
+Result<nn::Model> BuildModelFromCode(const json::Value& doc);
+
+}  // namespace mmlib::core
+
+#endif  // MMLIB_CORE_MODEL_CODE_H_

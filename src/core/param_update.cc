@@ -1,0 +1,56 @@
+#include "core/param_update.h"
+
+namespace mmlib::core {
+
+Result<SaveResult> ParamUpdateSaveService::SaveModel(
+    const SaveRequest& request) {
+  CostMeter meter(backends_);
+
+  // MakeModelDoc persists this model's Merkle tree so that the *next*
+  // derived save can find changed layers without recovering this model.
+  MerkleTree tree;
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request, &tree));
+
+  if (request.base_model_id.empty()) {
+    // Initial model: full snapshot, exactly like the baseline approach.
+    Bytes params = request.model->SerializeParams();
+    MMLIB_ASSIGN_OR_RETURN(std::string params_file,
+                           backends_.files->SaveFile(params));
+    doc.Set("params_file", params_file);
+  } else {
+    // Derived model: load only the base's Merkle tree and save the layers
+    // whose hashes changed.
+    MMLIB_ASSIGN_OR_RETURN(
+        json::Value base_doc,
+        backends_.docs->Get(kModelsCollection, request.base_model_id));
+    MMLIB_ASSIGN_OR_RETURN(std::string base_merkle_file,
+                           base_doc.GetString("merkle_file"));
+    MMLIB_ASSIGN_OR_RETURN(Bytes base_merkle_bytes,
+                           backends_.files->LoadFile(base_merkle_file));
+    MMLIB_ASSIGN_OR_RETURN(MerkleTree base_tree,
+                           MerkleTree::Deserialize(base_merkle_bytes));
+    MMLIB_ASSIGN_OR_RETURN(MerkleDiff diff,
+                           MerkleTree::Diff(base_tree, tree));
+
+    last_diff_stats_.changed_layers = diff.changed_leaves.size();
+    last_diff_stats_.total_layers = tree.leaf_count();
+    last_diff_stats_.merkle_comparisons = diff.comparisons;
+
+    Bytes update =
+        request.model->SerializeLayerSubset(diff.changed_leaves);
+    MMLIB_ASSIGN_OR_RETURN(std::string update_file,
+                           backends_.files->SaveFile(update));
+    doc.Set("update_file", update_file);
+  }
+
+  MMLIB_ASSIGN_OR_RETURN(std::string model_id,
+                         backends_.docs->Insert(kModelsCollection,
+                                                std::move(doc)));
+  SaveResult result;
+  result.model_id = model_id;
+  result.tts_seconds = meter.ElapsedSeconds();
+  result.storage_bytes = meter.StoredBytesDelta();
+  return result;
+}
+
+}  // namespace mmlib::core

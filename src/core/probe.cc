@@ -1,0 +1,145 @@
+#include "core/probe.h"
+
+#include "nn/loss.h"
+
+namespace mmlib::core {
+
+namespace {
+
+/// Captures per-layer digests during Forward/Backward.
+class ProbeRecorder : public nn::ActivationObserver {
+ public:
+  explicit ProbeRecorder(ProbeRecord* record) : record_(record) {}
+
+  void OnForward(const std::string& layer_name,
+                 const Tensor& output) override {
+    record_->forward.push_back(
+        ProbeEntry{layer_name, output.ContentHash()});
+  }
+
+  void OnBackward(const std::string& layer_name,
+                  const Tensor& grad_input) override {
+    record_->backward.push_back(
+        ProbeEntry{layer_name, grad_input.ContentHash()});
+  }
+
+ private:
+  ProbeRecord* record_;
+};
+
+void SerializeEntries(BytesWriter* writer,
+                      const std::vector<ProbeEntry>& entries) {
+  writer->WriteU64(entries.size());
+  for (const ProbeEntry& entry : entries) {
+    writer->WriteString(entry.layer_name);
+    writer->WriteRaw(entry.digest.bytes.data(), entry.digest.bytes.size());
+  }
+}
+
+Result<std::vector<ProbeEntry>> DeserializeEntries(BytesReader* reader) {
+  MMLIB_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  if (count > (1ULL << 24)) {
+    return Status::Corruption("probe record entry count out of range");
+  }
+  std::vector<ProbeEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ProbeEntry entry;
+    MMLIB_ASSIGN_OR_RETURN(entry.layer_name, reader->ReadString());
+    MMLIB_RETURN_IF_ERROR(
+        reader->ReadRaw(entry.digest.bytes.data(), entry.digest.bytes.size()));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+Bytes ProbeRecord::Serialize() const {
+  BytesWriter writer;
+  writer.WriteF32(loss);
+  SerializeEntries(&writer, forward);
+  SerializeEntries(&writer, backward);
+  return writer.TakeBytes();
+}
+
+Result<ProbeRecord> ProbeRecord::Deserialize(const Bytes& data) {
+  BytesReader reader(data);
+  ProbeRecord record;
+  MMLIB_ASSIGN_OR_RETURN(record.loss, reader.ReadF32());
+  MMLIB_ASSIGN_OR_RETURN(record.forward, DeserializeEntries(&reader));
+  MMLIB_ASSIGN_OR_RETURN(record.backward, DeserializeEntries(&reader));
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after probe record");
+  }
+  return record;
+}
+
+Result<ProbeRecord> ProbeModel(nn::Model* model, const data::Batch& batch,
+                               nn::ExecutionContext* ctx) {
+  ProbeRecord record;
+  ProbeRecorder recorder(&record);
+  model->set_observer(&recorder);
+  model->ZeroGrad();
+
+  auto run = [&]() -> Status {
+    MMLIB_ASSIGN_OR_RETURN(Tensor logits, model->Forward(batch.images, ctx));
+    MMLIB_ASSIGN_OR_RETURN(nn::LossResult loss,
+                           nn::SoftmaxCrossEntropy(logits, batch.labels));
+    record.loss = loss.loss;
+    MMLIB_RETURN_IF_ERROR(model->Backward(loss.grad_logits, ctx).status());
+    return Status::OK();
+  };
+  const Status status = run();
+  model->set_observer(nullptr);
+  MMLIB_RETURN_IF_ERROR(status);
+  return record;
+}
+
+ProbeComparison CompareProbeRecords(const ProbeRecord& a,
+                                    const ProbeRecord& b) {
+  ProbeComparison comparison;
+  auto compare_pass = [&](const std::vector<ProbeEntry>& lhs,
+                          const std::vector<ProbeEntry>& rhs,
+                          ProbeMismatch::Pass pass) {
+    const size_t n = std::max(lhs.size(), rhs.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (i >= lhs.size() || i >= rhs.size() ||
+          lhs[i].layer_name != rhs[i].layer_name ||
+          lhs[i].digest != rhs[i].digest) {
+        const std::string& name =
+            i < lhs.size() ? lhs[i].layer_name
+                           : (i < rhs.size() ? rhs[i].layer_name : "");
+        comparison.mismatches.push_back(ProbeMismatch{pass, name, i});
+      }
+    }
+  };
+  compare_pass(a.forward, b.forward, ProbeMismatch::Pass::kForward);
+  compare_pass(a.backward, b.backward, ProbeMismatch::Pass::kBackward);
+  comparison.equal = comparison.mismatches.empty() && a.loss == b.loss;
+  return comparison;
+}
+
+Result<ProbeComparison> CheckReproducibility(nn::Model* model,
+                                             const data::Batch& batch,
+                                             bool deterministic,
+                                             uint64_t seed) {
+  // The two runs use equal intentional-randomness seeds; in the
+  // non-deterministic configuration the scheduler seeds differ, modeling two
+  // runs on an uncontrolled parallel device.
+  auto make_ctx = [&](uint64_t scheduler_seed) {
+    nn::ExecutionContext ctx =
+        deterministic
+            ? nn::ExecutionContext::Deterministic(seed)
+            : nn::ExecutionContext::NonDeterministic(seed, scheduler_seed);
+    ctx.set_training(true);
+    return ctx;
+  };
+  nn::ExecutionContext ctx1 = make_ctx(101);
+  MMLIB_ASSIGN_OR_RETURN(ProbeRecord first, ProbeModel(model, batch, &ctx1));
+  nn::ExecutionContext ctx2 = make_ctx(202);
+  MMLIB_ASSIGN_OR_RETURN(ProbeRecord second, ProbeModel(model, batch, &ctx2));
+  return CompareProbeRecords(first, second);
+}
+
+}  // namespace mmlib::core

@@ -1,0 +1,73 @@
+#ifndef MMLIB_CORE_PROBE_H_
+#define MMLIB_CORE_PROBE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "hash/sha256.h"
+#include "nn/model.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// One captured intermediate result: the digest of a layer's output tensor
+/// (forward pass) or input gradient (backward pass).
+struct ProbeEntry {
+  std::string layer_name;
+  Digest digest;
+};
+
+/// The layer-wise trace of one forward+backward execution. Records can be
+/// serialized, moved across machines, and compared — which verifies model
+/// reproducibility across machines (paper Section 2.4).
+struct ProbeRecord {
+  std::vector<ProbeEntry> forward;
+  std::vector<ProbeEntry> backward;
+  float loss = 0.0f;
+
+  Bytes Serialize() const;
+  static Result<ProbeRecord> Deserialize(const Bytes& data);
+};
+
+/// A difference between two probe records.
+struct ProbeMismatch {
+  enum class Pass { kForward, kBackward };
+  Pass pass = Pass::kForward;
+  std::string layer_name;
+  size_t index = 0;
+};
+
+/// Outcome of comparing two probe records layer by layer.
+struct ProbeComparison {
+  bool equal = false;
+  std::vector<ProbeMismatch> mismatches;
+};
+
+/// The reproducibility probing tool (paper Section 2.4, inspired by Riach's
+/// TensorFlow determinism probe): executes a model's forward and backward
+/// pass on a given batch and captures the input and output tensors of every
+/// layer as digests.
+///
+/// Executing the same model twice on the same data and comparing the records
+/// layer-wise tells whether — and at which layer — the execution diverges.
+Result<ProbeRecord> ProbeModel(nn::Model* model, const data::Batch& batch,
+                               nn::ExecutionContext* ctx);
+
+/// Compares two records layer by layer over both passes.
+ProbeComparison CompareProbeRecords(const ProbeRecord& a,
+                                    const ProbeRecord& b);
+
+/// Convenience check: runs the model twice with identically seeded contexts
+/// (deterministic per `deterministic`) and returns whether the two traces
+/// match — i.e. whether inference and training of the model are reproducible
+/// in this configuration.
+Result<ProbeComparison> CheckReproducibility(nn::Model* model,
+                                             const data::Batch& batch,
+                                             bool deterministic,
+                                             uint64_t seed);
+
+}  // namespace mmlib::core
+
+#endif  // MMLIB_CORE_PROBE_H_

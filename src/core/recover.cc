@@ -1,0 +1,277 @@
+#include "core/recover.h"
+
+#include "core/model_code.h"
+#include "core/train_service.h"
+#include "data/archive.h"
+#include "util/clock.h"
+
+namespace mmlib::core {
+
+namespace {
+
+constexpr int kMaxChainDepth = 4096;
+
+/// Times a region including any simulated network transfer time.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(simnet::Network* network) : network_(network) {
+    start_network_ = network_ != nullptr ? network_->TotalTransferSeconds()
+                                         : 0.0;
+  }
+
+  double Stop() const {
+    double seconds = stopwatch_.ElapsedSeconds();
+    if (network_ != nullptr) {
+      seconds += network_->TotalTransferSeconds() - start_network_;
+    }
+    return seconds;
+  }
+
+ private:
+  Stopwatch stopwatch_;
+  simnet::Network* network_;
+  double start_network_ = 0.0;
+};
+
+}  // namespace
+
+Result<size_t> ModelRecoverer::BaseChainLength(const std::string& id) {
+  size_t length = 0;
+  std::string current = id;
+  while (true) {
+    MMLIB_ASSIGN_OR_RETURN(json::Value doc,
+                           backends_.docs->Get(kModelsCollection, current));
+    const json::Value* base = doc.FindMember("base_model");
+    if (base == nullptr || !base->is_string()) {
+      return length;
+    }
+    current = base->as_string();
+    if (++length > kMaxChainDepth) {
+      return Status::Corruption("base model chain too long (cycle?)");
+    }
+  }
+}
+
+void ModelRecoverer::EnableSnapshotCache(size_t capacity_bytes) {
+  cache_enabled_ = true;
+  cache_capacity_bytes_ = capacity_bytes;
+}
+
+const Bytes* ModelRecoverer::CacheLookup(const std::string& id) {
+  if (!cache_enabled_) {
+    return nullptr;
+  }
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    ++cache_misses_;
+    return nullptr;
+  }
+  ++cache_hits_;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.second);
+  return &it->second.first;
+}
+
+void ModelRecoverer::CacheInsert(const std::string& id, Bytes snapshot) {
+  if (!cache_enabled_ || snapshot.size() > cache_capacity_bytes_ ||
+      cache_.count(id) > 0) {
+    return;
+  }
+  cache_size_bytes_ += snapshot.size();
+  cache_lru_.push_front(id);
+  cache_.emplace(id, std::make_pair(std::move(snapshot), cache_lru_.begin()));
+  while (cache_size_bytes_ > cache_capacity_bytes_ && !cache_lru_.empty()) {
+    const std::string& victim = cache_lru_.back();
+    auto it = cache_.find(victim);
+    cache_size_bytes_ -= it->second.first.size();
+    cache_.erase(it);
+    cache_lru_.pop_back();
+  }
+}
+
+Result<nn::Model> ModelRecoverer::RecoverInternal(const std::string& id,
+                                                  RecoverBreakdown* breakdown,
+                                                  int depth) {
+  if (depth > kMaxChainDepth) {
+    return Status::Corruption("base model chain too long (cycle?)");
+  }
+
+  PhaseTimer doc_timer(backends_.network);
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc,
+                         backends_.docs->Get(kModelsCollection, id));
+  MMLIB_ASSIGN_OR_RETURN(std::string approach, doc.GetString("approach"));
+  breakdown->load_seconds += doc_timer.Stop();
+
+  // Snapshot cache: reuse a previously recovered state of this model.
+  if (const Bytes* snapshot = CacheLookup(id); snapshot != nullptr) {
+    PhaseTimer recover_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(std::string code_id, doc.GetString("code_doc"));
+    MMLIB_ASSIGN_OR_RETURN(json::Value code_doc,
+                           backends_.docs->Get(kCodeCollection, code_id));
+    MMLIB_ASSIGN_OR_RETURN(const json::Value* descriptor,
+                           code_doc.GetMember("descriptor"));
+    MMLIB_ASSIGN_OR_RETURN(nn::Model model, BuildModelFromCode(*descriptor));
+    MMLIB_RETURN_IF_ERROR(model.LoadParams(*snapshot));
+    breakdown->recover_seconds += recover_timer.Stop();
+    return model;
+  }
+
+  // Full snapshot (baseline saves, and the initial model of PUA/MPA chains).
+  if (doc.FindMember("params_file") != nullptr) {
+    PhaseTimer load_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(std::string params_file,
+                           doc.GetString("params_file"));
+    MMLIB_ASSIGN_OR_RETURN(std::string code_id, doc.GetString("code_doc"));
+    MMLIB_ASSIGN_OR_RETURN(json::Value code_doc,
+                           backends_.docs->Get(kCodeCollection, code_id));
+    MMLIB_ASSIGN_OR_RETURN(Bytes params,
+                           backends_.files->LoadFile(params_file));
+    breakdown->load_seconds += load_timer.Stop();
+
+    PhaseTimer recover_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(const json::Value* descriptor,
+                           code_doc.GetMember("descriptor"));
+    MMLIB_ASSIGN_OR_RETURN(nn::Model model, BuildModelFromCode(*descriptor));
+    MMLIB_RETURN_IF_ERROR(model.LoadParams(params));
+    breakdown->recover_seconds += recover_timer.Stop();
+    if (cache_enabled_) {
+      CacheInsert(id, std::move(params));
+    }
+    return model;
+  }
+
+  // Derived model: recover the base first (recursive).
+  const json::Value* base = doc.FindMember("base_model");
+  if (base == nullptr || !base->is_string()) {
+    return Status::Corruption("model " + id +
+                              " has neither parameters nor a base model");
+  }
+  MMLIB_ASSIGN_OR_RETURN(
+      nn::Model model, RecoverInternal(base->as_string(), breakdown,
+                                       depth + 1));
+
+  if (approach == kApproachParamUpdate) {
+    PhaseTimer load_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(std::string update_file,
+                           doc.GetString("update_file"));
+    MMLIB_ASSIGN_OR_RETURN(Bytes update,
+                           backends_.files->LoadFile(update_file));
+    breakdown->load_seconds += load_timer.Stop();
+
+    PhaseTimer recover_timer(backends_.network);
+    MMLIB_RETURN_IF_ERROR(model.MergeLayerSubset(update));
+    breakdown->recover_seconds += recover_timer.Stop();
+    if (cache_enabled_) {
+      CacheInsert(id, model.SerializeParams());
+    }
+    return model;
+  }
+
+  if (approach == kApproachProvenance) {
+    PhaseTimer load_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(std::string prov_id,
+                           doc.GetString("provenance_doc"));
+    MMLIB_ASSIGN_OR_RETURN(
+        json::Value prov_doc,
+        backends_.docs->Get(kProvenanceCollection, prov_id));
+
+    Bytes optimizer_state;
+    if (const json::Value* state_ref =
+            prov_doc.FindMember("optimizer_state_file");
+        state_ref != nullptr) {
+      MMLIB_ASSIGN_OR_RETURN(optimizer_state,
+                             backends_.files->LoadFile(state_ref->as_string()));
+    }
+
+    std::unique_ptr<data::Dataset> dataset;
+    if (const json::Value* dataset_ref = prov_doc.FindMember("dataset_file");
+        dataset_ref != nullptr) {
+      MMLIB_ASSIGN_OR_RETURN(
+          Bytes archive, backends_.files->LoadFile(dataset_ref->as_string()));
+      MMLIB_ASSIGN_OR_RETURN(dataset, data::DatasetArchiver::Extract(archive));
+    } else {
+      if (dataset_resolver_ == nullptr) {
+        return Status::FailedPrecondition(
+            "model was saved with an external dataset manager but no "
+            "DatasetResolver is configured");
+      }
+      MMLIB_ASSIGN_OR_RETURN(std::string name,
+                             prov_doc.GetString("dataset_name"));
+      MMLIB_ASSIGN_OR_RETURN(std::string hash,
+                             prov_doc.GetString("dataset_ref"));
+      MMLIB_ASSIGN_OR_RETURN(dataset, dataset_resolver_->Resolve(name, hash));
+      if (dataset->ContentHash().ToHex() != hash) {
+        return Status::Corruption("resolved dataset hash mismatch for " +
+                                  name);
+      }
+    }
+    breakdown->load_seconds += load_timer.Stop();
+
+    // Reproduce the training step-by-step (deterministic execution).
+    PhaseTimer recover_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(const json::Value* service_doc,
+                           prov_doc.GetMember("train_service"));
+    MMLIB_ASSIGN_OR_RETURN(
+        std::unique_ptr<TrainService> service,
+        RestoreTrainService(*service_doc, std::move(optimizer_state),
+                            std::move(dataset)));
+    MMLIB_RETURN_IF_ERROR(service
+                              ->Train(&model, /*deterministic=*/true,
+                                      /*scheduler_seed=*/0)
+                              .status());
+    breakdown->recover_seconds += recover_timer.Stop();
+    if (cache_enabled_) {
+      CacheInsert(id, model.SerializeParams());
+    }
+    return model;
+  }
+
+  return Status::Corruption("model " + id + ": unknown approach " + approach);
+}
+
+Result<RecoveredModel> ModelRecoverer::Recover(const std::string& id,
+                                               const RecoverOptions& options) {
+  RecoveredModel result;
+  result.model_id = id;
+
+  MMLIB_ASSIGN_OR_RETURN(nn::Model model,
+                         RecoverInternal(id, &result.breakdown, 0));
+  result.model = std::move(model);
+
+  // Load the top-level document again for verification metadata (cheap: the
+  // metadata documents are tiny compared to parameter payloads).
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc,
+                         backends_.docs->Get(kModelsCollection, id));
+
+  if (options.check_environment) {
+    PhaseTimer env_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(std::string env_id, doc.GetString("env_doc"));
+    MMLIB_ASSIGN_OR_RETURN(json::Value env_doc,
+                           backends_.docs->Get(kEnvironmentsCollection,
+                                               env_id));
+    MMLIB_ASSIGN_OR_RETURN(env::EnvironmentInfo saved,
+                           env::EnvironmentInfo::FromJson(env_doc));
+    const env::EnvironmentInfo current = env::CollectEnvironment();
+    result.environment_diffs = saved.DiffAgainst(current);
+    result.environment_matches = result.environment_diffs.empty();
+    result.breakdown.check_env_seconds += env_timer.Stop();
+  }
+
+  if (options.verify_checksum) {
+    PhaseTimer verify_timer(backends_.network);
+    MMLIB_ASSIGN_OR_RETURN(const json::Value* checksum,
+                           doc.GetMember("checksum"));
+    MMLIB_ASSIGN_OR_RETURN(std::string expected,
+                           checksum->GetString("params_hash"));
+    const std::string actual = result.model.ParamsHash().ToHex();
+    result.breakdown.verify_seconds += verify_timer.Stop();
+    if (actual != expected) {
+      return Status::Corruption("model " + id +
+                                ": recovered parameter hash mismatch");
+    }
+    result.checksum_verified = true;
+  }
+
+  return result;
+}
+
+}  // namespace mmlib::core

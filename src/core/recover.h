@@ -1,0 +1,101 @@
+#ifndef MMLIB_CORE_RECOVER_H_
+#define MMLIB_CORE_RECOVER_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "data/dataset.h"
+#include "env/environment.h"
+#include "nn/model.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// Resolves externally managed datasets by name and content hash (used only
+/// when models were saved with ProvenanceOptions::external_dataset_manager).
+class DatasetResolver {
+ public:
+  virtual ~DatasetResolver() = default;
+  virtual Result<std::unique_ptr<data::Dataset>> Resolve(
+      const std::string& dataset_name,
+      const std::string& content_hash_hex) = 0;
+};
+
+/// A recovered model together with verification outcomes and the per-step
+/// timing breakdown of paper Figure 12.
+struct RecoveredModel {
+  nn::Model model{""};
+  std::string model_id;
+  RecoverBreakdown breakdown;
+  /// True when RecoverOptions::verify_checksum was set and the recovered
+  /// parameter hash matched the stored checksum.
+  bool checksum_verified = false;
+  /// True when RecoverOptions::check_environment was set and the current
+  /// environment matched the saved one.
+  bool environment_matches = false;
+  std::vector<std::string> environment_diffs;
+};
+
+/// Recovers models saved by any of the three approaches. Recovery of
+/// derived models saved with the PUA or MPA is a recursive process: the
+/// base model is recovered first, then the parameter update is merged (PUA)
+/// or the training reproduced (MPA) — paper Sections 3.2/3.3.
+class ModelRecoverer {
+ public:
+  explicit ModelRecoverer(StorageBackends backends) : backends_(backends) {}
+
+  /// Sets the resolver for externally managed datasets; optional.
+  void set_dataset_resolver(DatasetResolver* resolver) {
+    dataset_resolver_ = resolver;
+  }
+
+  /// Enables an in-memory LRU cache of recovered parameter snapshots
+  /// (capacity in bytes). Recovering a derived model then reuses cached
+  /// base-model states instead of walking the whole chain — flattening the
+  /// TTR staircase of the PUA/MPA at the cost of memory (the
+  /// storage-retraining trade-off knob of paper Section 4.7).
+  void EnableSnapshotCache(size_t capacity_bytes);
+
+  /// Cache statistics since construction (0/0 when disabled).
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_misses() const { return cache_misses_; }
+
+  /// Recovers the model with `id`, verifying according to `options`.
+  /// Verification failures surface as Corruption/FailedPrecondition errors;
+  /// the flags in RecoveredModel report what was checked.
+  Result<RecoveredModel> Recover(const std::string& id,
+                                 const RecoverOptions& options);
+
+  /// Returns the number of models in the transitive base chain of `id`
+  /// (0 for an initial model).
+  Result<size_t> BaseChainLength(const std::string& id);
+
+ private:
+  Result<nn::Model> RecoverInternal(const std::string& id,
+                                    RecoverBreakdown* breakdown, int depth);
+
+  /// Returns the cached snapshot for `id`, refreshing its LRU position;
+  /// nullptr on miss or when the cache is disabled.
+  const Bytes* CacheLookup(const std::string& id);
+  void CacheInsert(const std::string& id, Bytes snapshot);
+
+  StorageBackends backends_;
+  DatasetResolver* dataset_resolver_ = nullptr;
+
+  bool cache_enabled_ = false;
+  size_t cache_capacity_bytes_ = 0;
+  size_t cache_size_bytes_ = 0;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
+  std::list<std::string> cache_lru_;  // front = most recent
+  std::map<std::string, std::pair<Bytes, std::list<std::string>::iterator>>
+      cache_;
+};
+
+}  // namespace mmlib::core
+
+#endif  // MMLIB_CORE_RECOVER_H_

@@ -1,0 +1,268 @@
+#include "core/train_service.h"
+
+#include "nn/loss.h"
+#include "util/clock.h"
+
+namespace mmlib::core {
+
+namespace {
+
+json::Value SgdOptionsToJson(const nn::SgdOptions& options) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("learning_rate", static_cast<double>(options.learning_rate));
+  doc.Set("momentum", static_cast<double>(options.momentum));
+  doc.Set("weight_decay", static_cast<double>(options.weight_decay));
+  return doc;
+}
+
+Result<nn::SgdOptions> SgdOptionsFromJson(const json::Value& doc) {
+  nn::SgdOptions options;
+  MMLIB_ASSIGN_OR_RETURN(double lr, doc.GetNumber("learning_rate"));
+  MMLIB_ASSIGN_OR_RETURN(double momentum, doc.GetNumber("momentum"));
+  MMLIB_ASSIGN_OR_RETURN(double wd, doc.GetNumber("weight_decay"));
+  options.learning_rate = static_cast<float>(lr);
+  options.momentum = static_cast<float>(momentum);
+  options.weight_decay = static_cast<float>(wd);
+  return options;
+}
+
+json::Value AdamOptionsToJson(const nn::AdamOptions& options) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("learning_rate", static_cast<double>(options.learning_rate));
+  doc.Set("beta1", static_cast<double>(options.beta1));
+  doc.Set("beta2", static_cast<double>(options.beta2));
+  doc.Set("epsilon", static_cast<double>(options.epsilon));
+  doc.Set("weight_decay", static_cast<double>(options.weight_decay));
+  return doc;
+}
+
+Result<nn::AdamOptions> AdamOptionsFromJson(const json::Value& doc) {
+  nn::AdamOptions options;
+  MMLIB_ASSIGN_OR_RETURN(double lr, doc.GetNumber("learning_rate"));
+  MMLIB_ASSIGN_OR_RETURN(double beta1, doc.GetNumber("beta1"));
+  MMLIB_ASSIGN_OR_RETURN(double beta2, doc.GetNumber("beta2"));
+  MMLIB_ASSIGN_OR_RETURN(double epsilon, doc.GetNumber("epsilon"));
+  MMLIB_ASSIGN_OR_RETURN(double wd, doc.GetNumber("weight_decay"));
+  options.learning_rate = static_cast<float>(lr);
+  options.beta1 = static_cast<float>(beta1);
+  options.beta2 = static_cast<float>(beta2);
+  options.epsilon = static_cast<float>(epsilon);
+  options.weight_decay = static_cast<float>(wd);
+  return options;
+}
+
+json::Value LoaderOptionsToJson(const data::DataLoaderOptions& options) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("batch_size", options.batch_size);
+  doc.Set("image_size", options.image_size);
+  doc.Set("num_classes", options.num_classes);
+  doc.Set("shuffle", options.shuffle);
+  doc.Set("augment", options.augment);
+  doc.Set("seed", static_cast<int64_t>(options.seed));
+  doc.Set("preprocess", options.preprocess.ToJson());
+  return doc;
+}
+
+Result<data::DataLoaderOptions> LoaderOptionsFromJson(
+    const json::Value& doc) {
+  data::DataLoaderOptions options;
+  MMLIB_ASSIGN_OR_RETURN(options.batch_size, doc.GetInt("batch_size"));
+  MMLIB_ASSIGN_OR_RETURN(options.image_size, doc.GetInt("image_size"));
+  MMLIB_ASSIGN_OR_RETURN(options.num_classes, doc.GetInt("num_classes"));
+  MMLIB_ASSIGN_OR_RETURN(options.shuffle, doc.GetBool("shuffle"));
+  MMLIB_ASSIGN_OR_RETURN(options.augment, doc.GetBool("augment"));
+  MMLIB_ASSIGN_OR_RETURN(int64_t seed, doc.GetInt("seed"));
+  options.seed = static_cast<uint64_t>(seed);
+  MMLIB_ASSIGN_OR_RETURN(const json::Value* preprocess,
+                         doc.GetMember("preprocess"));
+  MMLIB_ASSIGN_OR_RETURN(options.preprocess,
+                         data::PreprocessorConfig::FromJson(*preprocess));
+  return options;
+}
+
+}  // namespace
+
+json::Value TrainConfig::ToJson() const {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("epochs", epochs);
+  doc.Set("max_batches_per_epoch", max_batches_per_epoch);
+  doc.Set("seed", static_cast<int64_t>(seed));
+  doc.Set("optimizer",
+          optimizer == OptimizerKind::kAdam ? "adam" : "sgd");
+  doc.Set("sgd", SgdOptionsToJson(sgd));
+  doc.Set("adam", AdamOptionsToJson(adam));
+  doc.Set("lr_decay_gamma", lr_decay_gamma);
+  doc.Set("lr_decay_every_epochs", lr_decay_every_epochs);
+  doc.Set("loader", LoaderOptionsToJson(loader));
+  return doc;
+}
+
+Result<TrainConfig> TrainConfig::FromJson(const json::Value& doc) {
+  TrainConfig config;
+  MMLIB_ASSIGN_OR_RETURN(config.epochs, doc.GetInt("epochs"));
+  MMLIB_ASSIGN_OR_RETURN(config.max_batches_per_epoch,
+                         doc.GetInt("max_batches_per_epoch"));
+  MMLIB_ASSIGN_OR_RETURN(int64_t seed, doc.GetInt("seed"));
+  config.seed = static_cast<uint64_t>(seed);
+  MMLIB_ASSIGN_OR_RETURN(std::string optimizer, doc.GetString("optimizer"));
+  if (optimizer == "sgd") {
+    config.optimizer = OptimizerKind::kSgd;
+  } else if (optimizer == "adam") {
+    config.optimizer = OptimizerKind::kAdam;
+  } else {
+    return Status::InvalidArgument("unknown optimizer kind: " + optimizer);
+  }
+  MMLIB_ASSIGN_OR_RETURN(const json::Value* sgd, doc.GetMember("sgd"));
+  MMLIB_ASSIGN_OR_RETURN(config.sgd, SgdOptionsFromJson(*sgd));
+  MMLIB_ASSIGN_OR_RETURN(const json::Value* adam, doc.GetMember("adam"));
+  MMLIB_ASSIGN_OR_RETURN(config.adam, AdamOptionsFromJson(*adam));
+  MMLIB_ASSIGN_OR_RETURN(config.lr_decay_gamma,
+                         doc.GetNumber("lr_decay_gamma"));
+  MMLIB_ASSIGN_OR_RETURN(config.lr_decay_every_epochs,
+                         doc.GetInt("lr_decay_every_epochs"));
+  MMLIB_ASSIGN_OR_RETURN(const json::Value* loader, doc.GetMember("loader"));
+  MMLIB_ASSIGN_OR_RETURN(config.loader, LoaderOptionsFromJson(*loader));
+  return config;
+}
+
+ImageTrainService::ImageTrainService(const data::Dataset* dataset,
+                                     TrainConfig config)
+    : dataset_(dataset), config_(config) {}
+
+Result<std::unique_ptr<ImageTrainService>> ImageTrainService::FromProvenance(
+    const json::Value& train_service_doc, Bytes optimizer_state,
+    std::unique_ptr<data::Dataset> dataset) {
+  MMLIB_ASSIGN_OR_RETURN(const json::Value* config_doc,
+                         train_service_doc.GetMember("config"));
+  MMLIB_ASSIGN_OR_RETURN(TrainConfig config,
+                         TrainConfig::FromJson(*config_doc));
+  auto service =
+      std::make_unique<ImageTrainService>(dataset.get(), config);
+  service->owned_dataset_ = std::move(dataset);
+  service->pending_optimizer_state_ = std::move(optimizer_state);
+  return service;
+}
+
+Result<nn::PhaseTimes> ImageTrainService::Train(nn::Model* model,
+                                                bool deterministic,
+                                                uint64_t scheduler_seed) {
+  if (optimizer_ == nullptr || bound_model_ != model) {
+    if (config_.optimizer == OptimizerKind::kAdam) {
+      optimizer_ = std::make_unique<nn::AdamOptimizer>(model, config_.adam);
+    } else {
+      optimizer_ = std::make_unique<nn::SgdOptimizer>(model, config_.sgd);
+    }
+    bound_model_ = model;
+    if (!pending_optimizer_state_.empty()) {
+      MMLIB_RETURN_IF_ERROR(
+          optimizer_->LoadState(pending_optimizer_state_));
+      pending_optimizer_state_.clear();
+    }
+  }
+
+  nn::ExecutionContext ctx =
+      deterministic
+          ? nn::ExecutionContext::Deterministic(config_.seed)
+          : nn::ExecutionContext::NonDeterministic(config_.seed,
+                                                   scheduler_seed);
+  ctx.set_training(true);
+
+  data::DataLoader loader(dataset_, config_.loader);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    loader.StartEpoch(static_cast<uint64_t>(epoch));
+    size_t batches = loader.BatchesPerEpoch();
+    if (config_.max_batches_per_epoch >= 0) {
+      batches = std::min(
+          batches, static_cast<size_t>(config_.max_batches_per_epoch));
+    }
+    for (size_t b = 0; b < batches; ++b) {
+      Stopwatch load_timer;
+      MMLIB_ASSIGN_OR_RETURN(data::Batch batch, loader.GetBatch(b));
+      ctx.times()->data_load_seconds += load_timer.ElapsedSeconds();
+
+      optimizer_->ZeroGrad();
+      Stopwatch forward_timer;
+      MMLIB_ASSIGN_OR_RETURN(Tensor logits, model->Forward(batch.images,
+                                                           &ctx));
+      MMLIB_ASSIGN_OR_RETURN(nn::LossResult loss,
+                             nn::SoftmaxCrossEntropy(logits, batch.labels));
+      ctx.times()->forward_seconds += forward_timer.ElapsedSeconds();
+      last_loss_ = loss.loss;
+
+      Stopwatch backward_timer;
+      MMLIB_RETURN_IF_ERROR(
+          model->Backward(loss.grad_logits, &ctx).status());
+      optimizer_->Step();
+      ctx.times()->backward_seconds += backward_timer.ElapsedSeconds();
+    }
+    // Step learning-rate schedule (part of the training logic; replayed
+    // deterministically on provenance recovery).
+    if (config_.lr_decay_gamma != 1.0 && config_.lr_decay_every_epochs > 0 &&
+        (epoch + 1) % config_.lr_decay_every_epochs == 0) {
+      optimizer_->SetLearningRate(
+          optimizer_->learning_rate() *
+          static_cast<float>(config_.lr_decay_gamma));
+    }
+  }
+  return *ctx.times();
+}
+
+Result<ProvenanceData> ImageTrainService::CaptureProvenance() {
+  ProvenanceData data;
+  data.dataset = dataset_;
+  if (optimizer_ != nullptr) {
+    data.optimizer_state = optimizer_->SerializeState();
+  }
+
+  // Wrapper objects (paper Figure 5): the stateless dataloader wrapper
+  // records class name, import, and constructor configuration; the stateful
+  // optimizer wrapper additionally references a state file.
+  json::Value dataloader_wrapper = json::Value::MakeObject();
+  dataloader_wrapper.Set("class_name", "data.DataLoader");
+  dataloader_wrapper.Set("import", "data/dataloader.h");
+  dataloader_wrapper.Set("config", LoaderOptionsToJson(config_.loader));
+
+  const bool adam = config_.optimizer == OptimizerKind::kAdam;
+  json::Value optimizer_wrapper = json::Value::MakeObject();
+  optimizer_wrapper.Set("class_name",
+                        adam ? "nn.AdamOptimizer" : "nn.SgdOptimizer");
+  optimizer_wrapper.Set("import", adam ? "nn/adam.h" : "nn/optimizer.h");
+  optimizer_wrapper.Set("config", adam ? AdamOptionsToJson(config_.adam)
+                                       : SgdOptionsToJson(config_.sgd));
+  optimizer_wrapper.Set("has_state", !data.optimizer_state.empty());
+  // References to other objects are recorded by name; how they are handed
+  // over is part of the training logic (the TrainConfig).
+  optimizer_wrapper.Set("references", json::Value::Array{
+                                          json::Value("model"),
+                                      });
+
+  json::Value wrappers = json::Value::MakeObject();
+  wrappers.Set("dataloader", std::move(dataloader_wrapper));
+  wrappers.Set("optimizer", std::move(optimizer_wrapper));
+
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("class_name", std::string(class_name()));
+  doc.Set("import", "core/train_service.h");
+  doc.Set("config", config_.ToJson());
+  doc.Set("wrappers", std::move(wrappers));
+  data.train_service_doc = std::move(doc);
+  return data;
+}
+
+Result<std::unique_ptr<TrainService>> RestoreTrainService(
+    const json::Value& train_service_doc, Bytes optimizer_state,
+    std::unique_ptr<data::Dataset> dataset) {
+  MMLIB_ASSIGN_OR_RETURN(std::string class_name,
+                         train_service_doc.GetString("class_name"));
+  if (class_name == "ImageTrainService") {
+    MMLIB_ASSIGN_OR_RETURN(
+        std::unique_ptr<ImageTrainService> service,
+        ImageTrainService::FromProvenance(
+            train_service_doc, std::move(optimizer_state),
+            std::move(dataset)));
+    return std::unique_ptr<TrainService>(std::move(service));
+  }
+  return Status::NotFound("unknown TrainService class: " + class_name);
+}
+
+}  // namespace mmlib::core

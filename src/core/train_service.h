@@ -1,0 +1,131 @@
+#ifndef MMLIB_CORE_TRAIN_SERVICE_H_
+#define MMLIB_CORE_TRAIN_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/archive.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "json/json.h"
+#include "nn/adam.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// Which optimizer a TrainConfig instantiates.
+enum class OptimizerKind {
+  kSgd,
+  kAdam,
+};
+
+/// Everything a training run depends on besides the base model and code:
+/// hyperparameters, epoch/batch limits, the seed for intentional randomness,
+/// optimizer and dataloader configuration. Serializable to JSON — this is
+/// the static part of the provenance data (paper Section 3.3).
+struct TrainConfig {
+  int64_t epochs = 2;
+  /// Limit on batches per epoch; -1 trains on the full dataset. The paper's
+  /// evaluation "ran the model training only for two epochs with two
+  /// batches" to keep the extensive evaluation feasible (Section 4.4).
+  int64_t max_batches_per_epoch = 2;
+  uint64_t seed = 42;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  nn::SgdOptions sgd;    // used when optimizer == kSgd
+  nn::AdamOptions adam;  // used when optimizer == kAdam
+  /// Step learning-rate schedule: every `lr_decay_every_epochs` epochs the
+  /// learning rate is multiplied by `lr_decay_gamma`. Gamma 1 disables the
+  /// schedule. Scheduling is pure training logic — it is replayed from this
+  /// config on recovery, not stored as state.
+  double lr_decay_gamma = 1.0;
+  int64_t lr_decay_every_epochs = 1;
+  data::DataLoaderOptions loader;
+
+  json::Value ToJson() const;
+  static Result<TrainConfig> FromJson(const json::Value& doc);
+};
+
+/// The dynamic inputs of one upcoming training run, captured *before* the
+/// training starts (paper: "For every object referenced as part of the
+/// training process, we save its state before the training starts").
+struct ProvenanceData {
+  /// Serialized TrainService: class name, config, wrapper objects.
+  json::Value train_service_doc;
+  /// State file of the stateful optimizer wrapper; empty when the optimizer
+  /// has no accumulated state yet.
+  Bytes optimizer_state;
+  /// The dataset that will be trained on; archived by the save service.
+  const data::Dataset* dataset = nullptr;
+};
+
+/// Defines the logic to train a given model (paper Section 3.3, Figure 5).
+/// A TrainService references the objects relevant for training (optimizer,
+/// dataloader, dataset) wrapped in serializable wrapper objects.
+class TrainService {
+ public:
+  virtual ~TrainService() = default;
+
+  /// Stable class name used to restore the service from provenance data.
+  virtual std::string_view class_name() const = 0;
+
+  /// Trains `model` in place. With `deterministic` set, the run is
+  /// bit-reproducible from the captured provenance; otherwise
+  /// `scheduler_seed` perturbs kernel reduction orders (modeling an
+  /// uncontrolled parallel device). Returns per-phase timings.
+  virtual Result<nn::PhaseTimes> Train(nn::Model* model, bool deterministic,
+                                       uint64_t scheduler_seed) = 0;
+
+  /// Captures the provenance of the *next* Train call.
+  virtual Result<ProvenanceData> CaptureProvenance() = 0;
+};
+
+/// Trains an image classifier with SGD over a DataLoader — the reproduction
+/// of the paper's ImageNetTrainService example (Figure 5).
+class ImageTrainService : public TrainService {
+ public:
+  /// `dataset` must outlive the service.
+  ImageTrainService(const data::Dataset* dataset, TrainConfig config);
+
+  /// Restores a service from its provenance documents; takes ownership of
+  /// the extracted dataset.
+  static Result<std::unique_ptr<ImageTrainService>> FromProvenance(
+      const json::Value& train_service_doc, Bytes optimizer_state,
+      std::unique_ptr<data::Dataset> dataset);
+
+  std::string_view class_name() const override { return "ImageTrainService"; }
+
+  Result<nn::PhaseTimes> Train(nn::Model* model, bool deterministic,
+                               uint64_t scheduler_seed) override;
+
+  Result<ProvenanceData> CaptureProvenance() override;
+
+  const TrainConfig& config() const { return config_; }
+  const data::Dataset* dataset() const { return dataset_; }
+
+  /// Loss observed in the most recent Train call (last batch).
+  float last_loss() const { return last_loss_; }
+
+ private:
+  std::unique_ptr<data::Dataset> owned_dataset_;
+  const data::Dataset* dataset_;
+  TrainConfig config_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  nn::Model* bound_model_ = nullptr;
+  Bytes pending_optimizer_state_;
+  float last_loss_ = 0.0f;
+};
+
+/// Restores any registered TrainService implementation from its provenance
+/// documents. Dispatches on the stored class name — the reproduction of the
+/// paper's wrapper mechanism ("its class name; the code or ... the import
+/// command").
+Result<std::unique_ptr<TrainService>> RestoreTrainService(
+    const json::Value& train_service_doc, Bytes optimizer_state,
+    std::unique_ptr<data::Dataset> dataset);
+
+}  // namespace mmlib::core
+
+#endif  // MMLIB_CORE_TRAIN_SERVICE_H_

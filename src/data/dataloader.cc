@@ -1,0 +1,60 @@
+#include "data/dataloader.h"
+
+namespace mmlib::data {
+
+DataLoader::DataLoader(const Dataset* dataset, DataLoaderOptions options)
+    : dataset_(dataset),
+      options_(options),
+      preprocessor_(options.preprocess, options.image_size) {
+  order_.resize(dataset->size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = i;
+  }
+  StartEpoch(0);
+}
+
+size_t DataLoader::BatchesPerEpoch() const {
+  const size_t n = dataset_->size();
+  const size_t b = static_cast<size_t>(options_.batch_size);
+  return (n + b - 1) / b;
+}
+
+void DataLoader::StartEpoch(uint64_t epoch) {
+  epoch_ = epoch;
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = i;
+  }
+  if (options_.shuffle) {
+    Rng rng(options_.seed ^ (0xabcdef12345ULL + epoch));
+    rng.Shuffle(&order_);
+  }
+}
+
+Result<Batch> DataLoader::GetBatch(size_t batch_index) const {
+  const size_t begin = batch_index * static_cast<size_t>(options_.batch_size);
+  if (begin >= order_.size()) {
+    return Status::OutOfRange("batch index out of range");
+  }
+  const size_t end = std::min(
+      order_.size(), begin + static_cast<size_t>(options_.batch_size));
+  const int64_t n = static_cast<int64_t>(end - begin);
+  const int64_t s = options_.image_size;
+
+  // Per-batch augmentation PRNG: depends on (seed, epoch, batch) only, so
+  // repeated loads of the same batch are identical.
+  Rng aug_rng(options_.seed ^ (epoch_ * 1315423911ULL) ^
+              (batch_index * 2654435761ULL));
+
+  Batch batch;
+  batch.images = Tensor(Shape{n, 3, s, s});
+  batch.labels.resize(n);
+  for (int64_t k = 0; k < n; ++k) {
+    const Image image = dataset_->GetImage(order_[begin + k]);
+    batch.labels[k] = image.label % options_.num_classes;
+    const bool flip = options_.augment && aug_rng.NextFloat() < 0.5f;
+    preprocessor_.Apply(image, flip, batch.images.data() + k * 3 * s * s);
+  }
+  return batch;
+}
+
+}  // namespace mmlib::data

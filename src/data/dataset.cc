@@ -1,0 +1,143 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace mmlib::data {
+
+Digest Dataset::ContentHash() const {
+  Sha256 hasher;
+  for (size_t i = 0; i < size(); ++i) {
+    const Image image = GetImage(i);
+    BytesWriter header;
+    header.WriteI64(image.height);
+    header.WriteI64(image.width);
+    header.WriteI64(image.label);
+    hasher.Update(header.bytes());
+    hasher.Update(image.pixels.data(), image.pixels.size());
+  }
+  return hasher.Finish();
+}
+
+const std::vector<Table1Row>& Table1Reference() {
+  static const std::vector<Table1Row>* rows = new std::vector<Table1Row>{
+      {PaperDatasetId::kImageNetVal, "INet-val", "ImageNet-val-2012", 50000,
+       6'300'000'000ULL, "U2"},
+      {PaperDatasetId::kMiniImageNetVal, "mINet-val", "mini-ImageNet-val",
+       1400, 200'000'000ULL, "U2"},
+      {PaperDatasetId::kCocoFood512, "CF-512", "Coco-food-512", 512,
+       94'300'000ULL, "U3"},
+      {PaperDatasetId::kCocoOutdoor512, "CO-512", "Coco-outdoor-512", 512,
+       71'600'000ULL, "U3"},
+  };
+  return *rows;
+}
+
+namespace {
+
+const Table1Row& RowFor(PaperDatasetId id) {
+  for (const Table1Row& row : Table1Reference()) {
+    if (row.id == id) {
+      return row;
+    }
+  }
+  // All enum values are present in the table.
+  return Table1Reference().front();
+}
+
+uint64_t SeedFor(PaperDatasetId id) {
+  switch (id) {
+    case PaperDatasetId::kImageNetVal:
+      return 0x1a6e7001;
+    case PaperDatasetId::kMiniImageNetVal:
+      return 0x1a6e7002;
+    case PaperDatasetId::kCocoFood512:
+      return 0xc0c0f00d;
+    case PaperDatasetId::kCocoOutdoor512:
+      return 0xc0c00467;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SyntheticImageDataset::SyntheticImageDataset(PaperDatasetId id,
+                                             uint64_t size_divisor)
+    : id_(id), seed_(SeedFor(id)) {
+  const Table1Row& row = RowFor(id);
+  name_ = row.full_name;
+  image_count_ = row.images;
+  const uint64_t bytes_per_image =
+      row.paper_bytes / row.images / std::max<uint64_t>(1, size_divisor);
+  stored_dim_ = std::max<int64_t>(
+      4, static_cast<int64_t>(
+             std::sqrt(static_cast<double>(bytes_per_image) / 3.0)));
+}
+
+std::unique_ptr<SyntheticImageDataset> SyntheticImageDataset::Create(
+    PaperDatasetId id) {
+  return std::make_unique<SyntheticImageDataset>(id, kDefaultDatasetDivisor);
+}
+
+Image SyntheticImageDataset::GetImage(size_t index) const {
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  Image image;
+  image.height = stored_dim_;
+  image.width = stored_dim_;
+  image.label = static_cast<int64_t>(rng.NextBelow(1000));
+  image.pixels.resize(static_cast<size_t>(stored_dim_) * stored_dim_ * 3);
+
+  // Smooth class-dependent structure: a 2D sinusoidal pattern whose
+  // frequency and phase depend on the label, plus moderate pixel noise.
+  const double freq_y = 0.5 + (image.label % 17) * 0.13;
+  const double freq_x = 0.5 + (image.label % 23) * 0.11;
+  const double phase = rng.NextDouble() * 6.28318530717958647692;
+  const int base_r = static_cast<int>(rng.NextBelow(128)) + 64;
+  const int base_g = static_cast<int>(rng.NextBelow(128)) + 64;
+  const int base_b = static_cast<int>(rng.NextBelow(128)) + 64;
+
+  size_t p = 0;
+  for (int64_t y = 0; y < stored_dim_; ++y) {
+    for (int64_t x = 0; x < stored_dim_; ++x) {
+      const double wave =
+          40.0 * std::sin(freq_y * y / stored_dim_ * 6.283 + phase) *
+          std::cos(freq_x * x / stored_dim_ * 6.283);
+      const int noise = static_cast<int>(rng.NextBelow(17)) - 8;
+      // Posterize to 16 levels: banded structure keeps the images partially
+      // compressible, like quantized natural photos.
+      auto clamp8 = [](int v) {
+        return static_cast<uint8_t>((v < 0 ? 0 : (v > 255 ? 255 : v)) & ~15);
+      };
+      image.pixels[p++] = clamp8(base_r + static_cast<int>(wave) + noise);
+      image.pixels[p++] = clamp8(base_g + static_cast<int>(wave) - noise / 2);
+      image.pixels[p++] = clamp8(base_b - static_cast<int>(wave) + noise / 3);
+    }
+  }
+  return image;
+}
+
+size_t SyntheticImageDataset::TotalByteSize() const {
+  return image_count_ *
+         (static_cast<size_t>(stored_dim_) * stored_dim_ * 3 + sizeof(int64_t));
+}
+
+std::unique_ptr<InMemoryDataset> Materialize(const Dataset& source) {
+  std::vector<Image> images;
+  images.reserve(source.size());
+  for (size_t i = 0; i < source.size(); ++i) {
+    images.push_back(source.GetImage(i));
+  }
+  return std::make_unique<InMemoryDataset>(source.name(), std::move(images));
+}
+
+size_t InMemoryDataset::TotalByteSize() const {
+  size_t total = 0;
+  for (const Image& image : images_) {
+    total += image.pixels.size() + sizeof(int64_t);
+  }
+  return total;
+}
+
+}  // namespace mmlib::data

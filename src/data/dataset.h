@@ -1,0 +1,125 @@
+#ifndef MMLIB_DATA_DATASET_H_
+#define MMLIB_DATA_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hash/sha256.h"
+#include "util/result.h"
+
+namespace mmlib::data {
+
+/// A labeled RGB image with 8-bit channels, stored HWC.
+struct Image {
+  int64_t height = 0;
+  int64_t width = 0;
+  std::vector<uint8_t> pixels;  // height * width * 3
+  int64_t label = 0;            // class id in [0, 1000)
+};
+
+/// A labeled image dataset. Implementations must be deterministic: the same
+/// dataset always serves bit-identical images (a precondition of reproducible
+/// training, paper Section 2.3 "Code, Parameters, and Data").
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  /// Full name, e.g. "Coco-food-512".
+  virtual const std::string& name() const = 0;
+
+  /// Number of images.
+  virtual size_t size() const = 0;
+
+  /// Returns image `index`; index must be < size().
+  virtual Image GetImage(size_t index) const = 0;
+
+  /// Total stored payload bytes (pixels + labels), i.e. the dataset's
+  /// storage footprint before compression.
+  virtual size_t TotalByteSize() const = 0;
+
+  /// SHA-256 over all images and labels in order; equal hashes mean equal
+  /// datasets.
+  Digest ContentHash() const;
+};
+
+/// The four datasets of the paper's Table 1.
+enum class PaperDatasetId {
+  kImageNetVal,      // INet-val:  50,000 images, 6.3 GB, U2
+  kMiniImageNetVal,  // mINet-val:  1,400 images, 200 MB, U2
+  kCocoFood512,      // CF-512:       512 images, 94.3 MB, U3
+  kCocoOutdoor512,   // CO-512:       512 images, 71.6 MB, U3
+};
+
+/// Reference metadata for Table 1.
+struct Table1Row {
+  PaperDatasetId id;
+  std::string short_name;
+  std::string full_name;
+  size_t images;
+  uint64_t paper_bytes;  // dataset size reported in the paper
+  std::string use_case;
+};
+const std::vector<Table1Row>& Table1Reference();
+
+/// A procedurally generated stand-in for one of the paper's datasets
+/// (substitution documented in DESIGN.md Section 1). Images are generated
+/// on demand from a per-dataset seed: smooth class-dependent structure plus
+/// pixel noise, so they are partially compressible like natural images.
+///
+/// `size_divisor` scales the per-image byte size so the whole dataset is
+/// paper_bytes / size_divisor; relative sizes between datasets (the quantity
+/// the MPA results depend on) are preserved at any divisor.
+class SyntheticImageDataset : public Dataset {
+ public:
+  SyntheticImageDataset(PaperDatasetId id, uint64_t size_divisor);
+
+  const std::string& name() const override { return name_; }
+  size_t size() const override { return image_count_; }
+  Image GetImage(size_t index) const override;
+  size_t TotalByteSize() const override;
+
+  PaperDatasetId id() const { return id_; }
+  int64_t stored_dim() const { return stored_dim_; }
+
+  /// Creates the dataset with the repo-default divisor (64).
+  static std::unique_ptr<SyntheticImageDataset> Create(PaperDatasetId id);
+
+ private:
+  PaperDatasetId id_;
+  std::string name_;
+  size_t image_count_;
+  int64_t stored_dim_;  // stored images are stored_dim x stored_dim
+  uint64_t seed_;
+};
+
+/// Default size divisor used across tests/benches (paper sizes / 64).
+constexpr uint64_t kDefaultDatasetDivisor = 64;
+
+/// Materializes any dataset into an InMemoryDataset (all images resident).
+/// Evaluation flows materialize their datasets once up front so that
+/// per-save archiving measures byte handling, not procedural generation —
+/// matching the paper, where datasets are files on disk.
+std::unique_ptr<class InMemoryDataset> Materialize(const Dataset& source);
+
+/// An in-memory dataset holding explicit images (used by the archiver's
+/// extraction path, dataset materialization, and tests).
+class InMemoryDataset : public Dataset {
+ public:
+  InMemoryDataset(std::string name, std::vector<Image> images)
+      : name_(std::move(name)), images_(std::move(images)) {}
+
+  const std::string& name() const override { return name_; }
+  size_t size() const override { return images_.size(); }
+  Image GetImage(size_t index) const override { return images_[index]; }
+  size_t TotalByteSize() const override;
+
+ private:
+  std::string name_;
+  std::vector<Image> images_;
+};
+
+}  // namespace mmlib::data
+
+#endif  // MMLIB_DATA_DATASET_H_

@@ -1,0 +1,88 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+
+namespace mmlib::data {
+
+bool PreprocessorConfig::operator==(const PreprocessorConfig& other) const {
+  return center_crop == other.center_crop && mean == other.mean &&
+         stddev == other.stddev;
+}
+
+json::Value PreprocessorConfig::ToJson() const {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("center_crop", center_crop);
+  json::Value mean_list = json::Value::MakeArray();
+  json::Value std_list = json::Value::MakeArray();
+  for (int c = 0; c < 3; ++c) {
+    mean_list.Append(static_cast<double>(mean[c]));
+    std_list.Append(static_cast<double>(stddev[c]));
+  }
+  doc.Set("mean", std::move(mean_list));
+  doc.Set("stddev", std::move(std_list));
+  return doc;
+}
+
+Result<PreprocessorConfig> PreprocessorConfig::FromJson(
+    const json::Value& doc) {
+  PreprocessorConfig config;
+  MMLIB_ASSIGN_OR_RETURN(config.center_crop, doc.GetBool("center_crop"));
+  for (const auto& [key, target] :
+       {std::pair<const char*, std::array<float, 3>*>{"mean", &config.mean},
+        {"stddev", &config.stddev}}) {
+    MMLIB_ASSIGN_OR_RETURN(const json::Value* list, doc.GetMember(key));
+    if (!list->is_array() || list->as_array().size() != 3) {
+      return Status::InvalidArgument(
+          std::string("preprocessor ") + key + " must be a 3-element array");
+    }
+    for (int c = 0; c < 3; ++c) {
+      const json::Value& v = list->as_array()[c];
+      if (!v.is_number()) {
+        return Status::InvalidArgument("preprocessor values must be numbers");
+      }
+      (*target)[c] = static_cast<float>(v.as_number());
+    }
+  }
+  for (float s : config.stddev) {
+    if (s == 0.0f) {
+      return Status::InvalidArgument("preprocessor stddev must be non-zero");
+    }
+  }
+  return config;
+}
+
+Preprocessor::Preprocessor(PreprocessorConfig config, int64_t output_size)
+    : config_(config), output_size_(output_size) {}
+
+void Preprocessor::Apply(const Image& image, bool flip, float* out) const {
+  // Source window: whole image, or the largest centered square.
+  int64_t src_h = image.height;
+  int64_t src_w = image.width;
+  int64_t off_y = 0;
+  int64_t off_x = 0;
+  if (config_.center_crop) {
+    const int64_t side = std::min(src_h, src_w);
+    off_y = (src_h - side) / 2;
+    off_x = (src_w - side) / 2;
+    src_h = side;
+    src_w = side;
+  }
+
+  const int64_t s = output_size_;
+  for (int64_t y = 0; y < s; ++y) {
+    const int64_t sy = off_y + y * src_h / s;
+    for (int64_t x = 0; x < s; ++x) {
+      const int64_t xx = flip ? s - 1 - x : x;
+      const int64_t sx = off_x + xx * src_w / s;
+      const size_t src = (static_cast<size_t>(sy) * image.width + sx) * 3;
+      for (int64_t c = 0; c < 3; ++c) {
+        const float value =
+            static_cast<float>(image.pixels[src + c]) / 255.0f;
+        out[(c * s + y) * s + x] =
+            (value - config_.mean[c]) / config_.stddev[c];
+      }
+    }
+  }
+}
+
+}  // namespace mmlib::data

@@ -1,0 +1,57 @@
+#ifndef MMLIB_DATA_PREPROCESS_H_
+#define MMLIB_DATA_PREPROCESS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "json/json.h"
+#include "util/result.h"
+
+namespace mmlib::data {
+
+/// Configuration of the image preprocessing pipeline applied by the
+/// DataLoader: optional center crop, nearest-neighbor resize, and
+/// per-channel normalization.
+///
+/// The preprocessor is part of what must be tracked to reproduce training
+/// (paper Section 2.3: "This requires tracking the raw dataset and how it
+/// is provided by components such as the preprocessor or the dataloader").
+/// It is a stateless parametrized object: this config is its complete
+/// description and is embedded in the loader's provenance document.
+struct PreprocessorConfig {
+  /// Crop the largest centered square before resizing.
+  bool center_crop = false;
+  /// Per-channel mean subtracted after scaling pixels to [0, 1].
+  std::array<float, 3> mean = {0.5f, 0.5f, 0.5f};
+  /// Per-channel divisor applied after mean subtraction.
+  std::array<float, 3> stddev = {1.0f, 1.0f, 1.0f};
+
+  bool operator==(const PreprocessorConfig& other) const;
+
+  json::Value ToJson() const;
+  static Result<PreprocessorConfig> FromJson(const json::Value& doc);
+};
+
+/// Deterministically decodes a stored image into a normalized CHW float
+/// tensor region.
+class Preprocessor {
+ public:
+  Preprocessor(PreprocessorConfig config, int64_t output_size);
+
+  const PreprocessorConfig& config() const { return config_; }
+  int64_t output_size() const { return output_size_; }
+
+  /// Writes the preprocessed image into `out`, which must hold
+  /// 3 * output_size^2 floats laid out CHW. `flip` mirrors horizontally
+  /// (augmentation).
+  void Apply(const Image& image, bool flip, float* out) const;
+
+ private:
+  PreprocessorConfig config_;
+  int64_t output_size_;
+};
+
+}  // namespace mmlib::data
+
+#endif  // MMLIB_DATA_PREPROCESS_H_

@@ -1,0 +1,339 @@
+#include "dist/flow.h"
+
+#include <algorithm>
+
+#include "core/adaptive.h"
+#include "core/baseline.h"
+#include "core/model_code.h"
+#include "core/param_update.h"
+#include "core/provenance.h"
+#include "env/environment.h"
+
+namespace mmlib::dist {
+
+std::string_view ApproachName(ApproachKind kind) {
+  switch (kind) {
+    case ApproachKind::kBaseline:
+      return "BA";
+    case ApproachKind::kParamUpdate:
+      return "PUA";
+    case ApproachKind::kProvenance:
+      return "MPA";
+    case ApproachKind::kAdaptive:
+      return "Adaptive";
+  }
+  return "unknown";
+}
+
+std::string_view RelationName(ModelRelation relation) {
+  switch (relation) {
+    case ModelRelation::kFullyUpdated:
+      return "fully updated";
+    case ModelRelation::kPartiallyUpdated:
+      return "partially updated";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> FlowResult::Labels() const {
+  std::vector<std::string> labels;
+  for (const UseCaseRecord& record : records) {
+    if (std::find(labels.begin(), labels.end(), record.label) ==
+        labels.end()) {
+      labels.push_back(record.label);
+    }
+  }
+  return labels;
+}
+
+namespace {
+
+double Median(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) {
+    return values[mid];
+  }
+  return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+/// Deterministically perturbs all trainable parameters — the simulated
+/// stand-in for a training run (TrainingMode::kSimulated).
+void SimulateTrainingUpdate(nn::Model* model, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < model->node_count(); ++i) {
+    for (nn::Param& param : model->layer(i)->params()) {
+      if (!param.trainable || param.is_buffer) {
+        continue;
+      }
+      float* values = param.value.data();
+      for (int64_t k = 0; k < param.value.numel(); ++k) {
+        values[k] += rng.NextGaussian() * 0.01f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double FlowResult::MedianTts(const std::string& label) const {
+  std::vector<double> values;
+  for (const UseCaseRecord& record : records) {
+    if (record.label == label) {
+      values.push_back(record.tts_seconds);
+    }
+  }
+  return Median(std::move(values));
+}
+
+double FlowResult::MedianTtr(const std::string& label) const {
+  std::vector<double> values;
+  for (const UseCaseRecord& record : records) {
+    if (record.label == label && record.recovered) {
+      values.push_back(record.ttr_seconds);
+    }
+  }
+  return Median(std::move(values));
+}
+
+int64_t FlowResult::MedianStorage(const std::string& label) const {
+  std::vector<double> values;
+  for (const UseCaseRecord& record : records) {
+    if (record.label == label) {
+      values.push_back(static_cast<double>(record.storage_bytes));
+    }
+  }
+  return static_cast<int64_t>(Median(std::move(values)));
+}
+
+int64_t FlowResult::TotalStorage() const {
+  int64_t total = 0;
+  for (const UseCaseRecord& record : records) {
+    total += record.storage_bytes;
+  }
+  return total;
+}
+
+EvaluationFlow::EvaluationFlow(FlowConfig config,
+                               core::StorageBackends backends)
+    : config_(std::move(config)), backends_(backends) {}
+
+int EvaluationFlow::ExpectedModelCount() const {
+  return 2 + config_.num_nodes * 2 * config_.u3_iterations;
+}
+
+Result<std::unique_ptr<core::SaveService>> EvaluationFlow::MakeService()
+    const {
+  core::ProvenanceOptions provenance_options;
+  provenance_options.dataset_codec = config_.dataset_codec;
+  switch (config_.approach) {
+    case ApproachKind::kBaseline:
+      return std::unique_ptr<core::SaveService>(
+          new core::BaselineSaveService(backends_));
+    case ApproachKind::kParamUpdate:
+      return std::unique_ptr<core::SaveService>(
+          new core::ParamUpdateSaveService(backends_));
+    case ApproachKind::kProvenance:
+      return std::unique_ptr<core::SaveService>(
+          new core::ProvenanceSaveService(backends_, provenance_options));
+    case ApproachKind::kAdaptive: {
+      core::AdaptiveOptions adaptive_options;
+      adaptive_options.provenance = provenance_options;
+      return std::unique_ptr<core::SaveService>(
+          new core::AdaptiveSaveService(backends_, adaptive_options));
+    }
+  }
+  return Status::InvalidArgument("unknown approach");
+}
+
+Result<nn::Model> EvaluationFlow::CloneModel(const nn::Model& source) const {
+  MMLIB_ASSIGN_OR_RETURN(nn::Model copy,
+                         models::BuildModel(config_.model));
+  MMLIB_RETURN_IF_ERROR(copy.LoadParams(source.SerializeParams()));
+  MMLIB_RETURN_IF_ERROR(ApplyRelation(&copy));
+  return copy;
+}
+
+Status EvaluationFlow::ApplyRelation(nn::Model* model) const {
+  if (config_.relation == ModelRelation::kPartiallyUpdated) {
+    models::ApplyPartialUpdateFreeze(model);
+  } else {
+    model->SetTrainableAll(true);
+  }
+  return Status::OK();
+}
+
+Status EvaluationFlow::UpdateModel(nn::Model* model,
+                                   core::TrainService* service,
+                                   uint64_t update_seed,
+                                   core::ProvenanceData* provenance) const {
+  if (provenance != nullptr) {
+    MMLIB_ASSIGN_OR_RETURN(*provenance, service->CaptureProvenance());
+  }
+  if (config_.training_mode == TrainingMode::kReal) {
+    MMLIB_RETURN_IF_ERROR(service
+                              ->Train(model, /*deterministic=*/true,
+                                      /*scheduler_seed=*/0)
+                              .status());
+  } else {
+    SimulateTrainingUpdate(model, update_seed);
+  }
+  return Status::OK();
+}
+
+Result<FlowResult> EvaluationFlow::Run() {
+  if (config_.approach == ApproachKind::kProvenance &&
+      config_.training_mode == TrainingMode::kSimulated &&
+      config_.recover_models && config_.recover_options.verify_checksum) {
+    return Status::InvalidArgument(
+        "provenance recovery with simulated training cannot verify "
+        "checksums; disable recovery or verification, or use real training");
+  }
+
+  MMLIB_ASSIGN_OR_RETURN(std::unique_ptr<core::SaveService> service,
+                         MakeService());
+  const env::EnvironmentInfo environment = env::CollectEnvironment();
+  const json::Value code = core::CodeDescriptorFor(config_.model);
+
+  // Datasets (Table 1). All nodes of an experiment train on the same U3
+  // dataset, as in the paper. Materialized up front: per-save archiving
+  // then measures byte handling, not procedural generation (the paper's
+  // datasets are files on disk).
+  data::SyntheticImageDataset u3_source(config_.u3_dataset,
+                                        config_.dataset_divisor);
+  data::SyntheticImageDataset u2_source(config_.u2_dataset,
+                                        config_.dataset_divisor);
+  const std::unique_ptr<data::InMemoryDataset> u3_dataset_owner =
+      data::Materialize(u3_source);
+  const std::unique_ptr<data::InMemoryDataset> u2_dataset_owner =
+      data::Materialize(u2_source);
+  const data::Dataset& u3_dataset = *u3_dataset_owner;
+  const data::Dataset& u2_dataset = *u2_dataset_owner;
+
+  // Training configuration, aligned with the model configuration.
+  core::TrainConfig base_train = config_.train;
+  base_train.loader.image_size = config_.model.image_size;
+  base_train.loader.num_classes = config_.model.num_classes;
+
+  FlowResult result;
+  auto record_save = [&](const std::string& label, int node,
+                         const core::SaveResult& save) {
+    UseCaseRecord record;
+    record.label = label;
+    record.node = node;
+    record.model_id = save.model_id;
+    record.tts_seconds = save.tts_seconds;
+    record.storage_bytes = save.storage_bytes;
+    result.records.push_back(record);
+  };
+
+  // --- U1: develop the initial model on the server and distribute it. ---
+  MMLIB_ASSIGN_OR_RETURN(nn::Model server_model,
+                         models::BuildModel(config_.model));
+  MMLIB_RETURN_IF_ERROR(ApplyRelation(&server_model));
+
+  core::SaveRequest u1_request;
+  u1_request.model = &server_model;
+  u1_request.code = code;
+  u1_request.environment = &environment;
+  MMLIB_ASSIGN_OR_RETURN(core::SaveResult u1_save,
+                         service->SaveModel(u1_request));
+  record_save("U1", /*node=*/-1, u1_save);
+
+  struct NodeState {
+    nn::Model model{""};
+    std::unique_ptr<core::ImageTrainService> service;
+    std::string base_id;
+  };
+  std::vector<NodeState> nodes(config_.num_nodes);
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    MMLIB_ASSIGN_OR_RETURN(nodes[n].model, CloneModel(server_model));
+    nodes[n].base_id = u1_save.model_id;
+  }
+
+  auto run_phase = [&](int phase) -> Status {
+    for (int n = 0; n < config_.num_nodes; ++n) {
+      // Fresh train service per node and phase: the deployed model is new,
+      // so optimizer state starts empty and then carries across the phase's
+      // iterations (exercising the MPA's state files).
+      core::TrainConfig node_train = base_train;
+      node_train.seed = base_train.seed + 7919ULL * (n + 1) + 101ULL * phase;
+      node_train.loader.seed = node_train.seed;
+      nodes[n].service = std::make_unique<core::ImageTrainService>(
+          &u3_dataset, node_train);
+    }
+    for (int iter = 1; iter <= config_.u3_iterations; ++iter) {
+      for (int n = 0; n < config_.num_nodes; ++n) {
+        NodeState& node = nodes[n];
+        core::ProvenanceData provenance;
+        const uint64_t update_seed =
+            0xdead0000ULL + phase * 1000003ULL + iter * 7919ULL + n;
+        MMLIB_RETURN_IF_ERROR(UpdateModel(&node.model, node.service.get(),
+                                          update_seed, &provenance));
+        core::SaveRequest request;
+        request.model = &node.model;
+        request.code = code;
+        request.environment = &environment;
+        request.base_model_id = node.base_id;
+        request.provenance = &provenance;
+        MMLIB_ASSIGN_OR_RETURN(core::SaveResult save,
+                               service->SaveModel(request));
+        node.base_id = save.model_id;
+        record_save("U3-" + std::to_string(phase) + "-" +
+                        std::to_string(iter),
+                    n, save);
+      }
+    }
+    return Status::OK();
+  };
+
+  // --- Phase 1: node-local updates (U3-1-*). ---
+  MMLIB_RETURN_IF_ERROR(run_phase(1));
+
+  // --- U2: the server improves the initial model and deploys the update.
+  core::TrainConfig server_train = base_train;
+  server_train.seed = base_train.seed + 424243ULL;
+  server_train.loader.seed = server_train.seed;
+  core::ImageTrainService server_service(&u2_dataset, server_train);
+  core::ProvenanceData u2_provenance;
+  MMLIB_RETURN_IF_ERROR(UpdateModel(&server_model, &server_service,
+                                    0xbeef0001ULL, &u2_provenance));
+  core::SaveRequest u2_request;
+  u2_request.model = &server_model;
+  u2_request.code = code;
+  u2_request.environment = &environment;
+  u2_request.base_model_id = u1_save.model_id;
+  u2_request.provenance = &u2_provenance;
+  MMLIB_ASSIGN_OR_RETURN(core::SaveResult u2_save,
+                         service->SaveModel(u2_request));
+  record_save("U2", /*node=*/-1, u2_save);
+
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    MMLIB_ASSIGN_OR_RETURN(nodes[n].model, CloneModel(server_model));
+    nodes[n].base_id = u2_save.model_id;
+  }
+
+  // --- Phase 2: node-local updates on the deployed update (U3-2-*). ---
+  MMLIB_RETURN_IF_ERROR(run_phase(2));
+
+  // --- U4: recover every saved model and measure TTR. ---
+  if (config_.recover_models) {
+    core::ModelRecoverer recoverer(backends_);
+    for (UseCaseRecord& record : result.records) {
+      core::CostMeter meter(backends_);
+      MMLIB_ASSIGN_OR_RETURN(
+          core::RecoveredModel recovered,
+          recoverer.Recover(record.model_id, config_.recover_options));
+      record.ttr_seconds = meter.ElapsedSeconds();
+      record.ttr_breakdown = recovered.breakdown;
+      record.recovered = true;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mmlib::dist

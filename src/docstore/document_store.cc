@@ -1,0 +1,286 @@
+#include "docstore/document_store.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace mmlib::docstore {
+
+namespace {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+Status WriteWholeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing " + path);
+  }
+  return Status::OK();
+}
+
+bool IsSafeName(const std::string& name) {
+  if (name.empty() || name.size() > 200) {
+    return false;
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok || name == "." || name == "..") {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> DocumentStore::FindByField(
+    const std::string& collection, const std::string& key,
+    const std::string& value) {
+  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids, ListIds(collection));
+  std::vector<std::string> matches;
+  for (const std::string& id : ids) {
+    MMLIB_ASSIGN_OR_RETURN(json::Value doc, Get(collection, id));
+    const json::Value* member = doc.FindMember(key);
+    if (member != nullptr && member->is_string() &&
+        member->as_string() == value) {
+      matches.push_back(id);
+    }
+  }
+  return matches;
+}
+
+InMemoryDocumentStore::InMemoryDocumentStore() : id_generator_(0xd0c5) {}
+
+Result<std::string> InMemoryDocumentStore::Insert(
+    const std::string& collection, json::Value doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("documents must be JSON objects");
+  }
+  const std::string id = id_generator_.Next(collection);
+  doc.Set("_id", id);
+  collections_[collection][id] = doc.Dump();
+  return id;
+}
+
+Result<json::Value> InMemoryDocumentStore::Get(const std::string& collection,
+                                               const std::string& id) {
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) {
+    return Status::NotFound("no collection " + collection);
+  }
+  auto doc_it = coll_it->second.find(id);
+  if (doc_it == coll_it->second.end()) {
+    return Status::NotFound("no document " + id + " in " + collection);
+  }
+  return json::Parse(doc_it->second);
+}
+
+Status InMemoryDocumentStore::Delete(const std::string& collection,
+                                     const std::string& id) {
+  auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end() || coll_it->second.erase(id) == 0) {
+    return Status::NotFound("no document " + id + " in " + collection);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> InMemoryDocumentStore::ListIds(
+    const std::string& collection) {
+  std::vector<std::string> ids;
+  auto coll_it = collections_.find(collection);
+  if (coll_it != collections_.end()) {
+    for (const auto& [id, text] : coll_it->second) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+size_t InMemoryDocumentStore::TotalStoredBytes() const {
+  size_t total = 0;
+  for (const auto& [name, docs] : collections_) {
+    for (const auto& [id, text] : docs) {
+      total += text.size();
+    }
+  }
+  return total;
+}
+
+size_t InMemoryDocumentStore::DocumentCount() const {
+  size_t count = 0;
+  for (const auto& [name, docs] : collections_) {
+    count += docs.size();
+  }
+  return count;
+}
+
+PersistentDocumentStore::PersistentDocumentStore(std::string root)
+    : root_(std::move(root)), id_generator_(0xd15c) {}
+
+Result<std::unique_ptr<PersistentDocumentStore>> PersistentDocumentStore::Open(
+    const std::string& root) {
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + root + ": " + ec.message());
+  }
+  return std::unique_ptr<PersistentDocumentStore>(
+      new PersistentDocumentStore(root));
+}
+
+Result<std::string> PersistentDocumentStore::PathFor(
+    const std::string& collection, const std::string& id) const {
+  if (!IsSafeName(collection) || !IsSafeName(id)) {
+    return Status::InvalidArgument("unsafe collection or id name");
+  }
+  return root_ + "/" + collection + "/" + id + ".json";
+}
+
+Result<std::string> PersistentDocumentStore::Insert(
+    const std::string& collection, json::Value doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("documents must be JSON objects");
+  }
+  if (!IsSafeName(collection)) {
+    return Status::InvalidArgument("unsafe collection name");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(root_ + "/" + collection, ec);
+  if (ec) {
+    return Status::IoError("cannot create collection dir: " + ec.message());
+  }
+  const std::string id = id_generator_.Next(collection);
+  doc.Set("_id", id);
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(collection, id));
+  MMLIB_RETURN_IF_ERROR(WriteWholeFile(path, doc.Dump()));
+  return id;
+}
+
+Result<json::Value> PersistentDocumentStore::Get(const std::string& collection,
+                                                 const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(collection, id));
+  MMLIB_ASSIGN_OR_RETURN(std::string content, ReadWholeFile(path));
+  return json::Parse(content);
+}
+
+Status PersistentDocumentStore::Delete(const std::string& collection,
+                                       const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(collection, id));
+  std::error_code ec;
+  if (!std::filesystem::remove(path, ec) || ec) {
+    return Status::NotFound("no document " + id + " in " + collection);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PersistentDocumentStore::ListIds(
+    const std::string& collection) {
+  std::vector<std::string> ids;
+  if (!IsSafeName(collection)) {
+    return Status::InvalidArgument("unsafe collection name");
+  }
+  const std::string dir = root_ + "/" + collection;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (EndsWith(filename, ".json")) {
+      ids.push_back(filename.substr(0, filename.size() - 5));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t PersistentDocumentStore::TotalStoredBytes() const {
+  size_t total = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      total += entry.file_size(ec);
+    }
+  }
+  return total;
+}
+
+size_t PersistentDocumentStore::DocumentCount() const {
+  size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<std::string> RemoteDocumentStore::Insert(const std::string& collection,
+                                                json::Value doc) {
+  network_->Transfer(doc.Dump().size());
+  return backend_->Insert(collection, std::move(doc));
+}
+
+Result<json::Value> RemoteDocumentStore::Get(const std::string& collection,
+                                             const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc, backend_->Get(collection, id));
+  network_->Transfer(doc.Dump().size());
+  return doc;
+}
+
+Status RemoteDocumentStore::Delete(const std::string& collection,
+                                   const std::string& id) {
+  network_->Transfer(id.size());
+  return backend_->Delete(collection, id);
+}
+
+Result<std::vector<std::string>> RemoteDocumentStore::ListIds(
+    const std::string& collection) {
+  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                         backend_->ListIds(collection));
+  size_t bytes = 0;
+  for (const std::string& id : ids) {
+    bytes += id.size();
+  }
+  network_->Transfer(bytes);
+  return ids;
+}
+
+Result<std::vector<std::string>> RemoteDocumentStore::FindByField(
+    const std::string& collection, const std::string& key,
+    const std::string& value) {
+  // The query executes on the database host; only the matching ids travel.
+  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                         backend_->FindByField(collection, key, value));
+  size_t bytes = key.size() + value.size();
+  for (const std::string& id : ids) {
+    bytes += id.size();
+  }
+  network_->Transfer(bytes);
+  return ids;
+}
+
+}  // namespace mmlib::docstore

@@ -1,0 +1,134 @@
+#ifndef MMLIB_DOCSTORE_DOCUMENT_STORE_H_
+#define MMLIB_DOCSTORE_DOCUMENT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "simnet/network.h"
+#include "util/id_generator.h"
+#include "util/result.h"
+
+namespace mmlib::docstore {
+
+/// A JSON document database organized in named collections — mmlib's
+/// MongoDB substitute (paper Section 3.1: model metadata is saved as JSON
+/// documents identified by generated ids and persisted in a document
+/// database).
+class DocumentStore {
+ public:
+  virtual ~DocumentStore() = default;
+
+  /// Inserts `doc` into `collection` and returns its generated id. The id
+  /// is also written into the stored document as member "_id".
+  virtual Result<std::string> Insert(const std::string& collection,
+                                     json::Value doc) = 0;
+
+  /// Loads the document with `id`.
+  virtual Result<json::Value> Get(const std::string& collection,
+                                  const std::string& id) = 0;
+
+  /// Deletes a document; NotFound if absent.
+  virtual Status Delete(const std::string& collection,
+                        const std::string& id) = 0;
+
+  /// Ids of all documents in a collection, sorted.
+  virtual Result<std::vector<std::string>> ListIds(
+      const std::string& collection) = 0;
+
+  /// Ids of documents whose top-level member `key` is the string `value`
+  /// (MongoDB-style equality query). The base implementation scans the
+  /// collection; stores may override with indexed lookups.
+  virtual Result<std::vector<std::string>> FindByField(
+      const std::string& collection, const std::string& key,
+      const std::string& value);
+
+  /// Total bytes of all stored documents (canonical serialization).
+  virtual size_t TotalStoredBytes() const = 0;
+
+  /// Number of stored documents across collections.
+  virtual size_t DocumentCount() const = 0;
+};
+
+/// Heap-backed store; the reference implementation.
+class InMemoryDocumentStore : public DocumentStore {
+ public:
+  InMemoryDocumentStore();
+
+  Result<std::string> Insert(const std::string& collection,
+                             json::Value doc) override;
+  Result<json::Value> Get(const std::string& collection,
+                          const std::string& id) override;
+  Status Delete(const std::string& collection, const std::string& id) override;
+  Result<std::vector<std::string>> ListIds(
+      const std::string& collection) override;
+  size_t TotalStoredBytes() const override;
+  size_t DocumentCount() const override;
+
+ private:
+  IdGenerator id_generator_;
+  // collection -> id -> canonical JSON text.
+  std::map<std::string, std::map<std::string, std::string>> collections_;
+};
+
+/// Disk-backed store: one file per document under
+/// `root/<collection>/<id>.json`. Documents survive process restarts.
+class PersistentDocumentStore : public DocumentStore {
+ public:
+  /// Opens (and creates if needed) the store rooted at `root`.
+  static Result<std::unique_ptr<PersistentDocumentStore>> Open(
+      const std::string& root);
+
+  Result<std::string> Insert(const std::string& collection,
+                             json::Value doc) override;
+  Result<json::Value> Get(const std::string& collection,
+                          const std::string& id) override;
+  Status Delete(const std::string& collection, const std::string& id) override;
+  Result<std::vector<std::string>> ListIds(
+      const std::string& collection) override;
+  size_t TotalStoredBytes() const override;
+  size_t DocumentCount() const override;
+
+ private:
+  explicit PersistentDocumentStore(std::string root);
+
+  Result<std::string> PathFor(const std::string& collection,
+                              const std::string& id) const;
+
+  std::string root_;
+  IdGenerator id_generator_;
+};
+
+/// Decorator charging every operation's payload to a simulated network link
+/// — models a MongoDB instance running on a separate machine, as in the
+/// paper's three-machine setup (Section 4.1).
+class RemoteDocumentStore : public DocumentStore {
+ public:
+  RemoteDocumentStore(DocumentStore* backend, simnet::Network* network)
+      : backend_(backend), network_(network) {}
+
+  Result<std::string> Insert(const std::string& collection,
+                             json::Value doc) override;
+  Result<json::Value> Get(const std::string& collection,
+                          const std::string& id) override;
+  Status Delete(const std::string& collection, const std::string& id) override;
+  Result<std::vector<std::string>> ListIds(
+      const std::string& collection) override;
+  Result<std::vector<std::string>> FindByField(
+      const std::string& collection, const std::string& key,
+      const std::string& value) override;
+  size_t TotalStoredBytes() const override {
+    return backend_->TotalStoredBytes();
+  }
+  size_t DocumentCount() const override { return backend_->DocumentCount(); }
+
+ private:
+  DocumentStore* backend_;
+  simnet::Network* network_;
+};
+
+}  // namespace mmlib::docstore
+
+#endif  // MMLIB_DOCSTORE_DOCUMENT_STORE_H_

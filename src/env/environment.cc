@@ -1,0 +1,150 @@
+#include "env/environment.h"
+
+#include <sys/utsname.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace mmlib::env {
+
+bool EnvironmentInfo::operator==(const EnvironmentInfo& other) const {
+  return framework_version == other.framework_version &&
+         compiler == other.compiler && cxx_standard == other.cxx_standard &&
+         os_name == other.os_name && os_release == other.os_release &&
+         machine == other.machine && cpu_model == other.cpu_model &&
+         cpu_cores == other.cpu_cores && libraries == other.libraries;
+}
+
+json::Value EnvironmentInfo::ToJson() const {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("framework_version", framework_version);
+  doc.Set("compiler", compiler);
+  doc.Set("cxx_standard", cxx_standard);
+  doc.Set("os_name", os_name);
+  doc.Set("os_release", os_release);
+  doc.Set("machine", machine);
+  doc.Set("cpu_model", cpu_model);
+  doc.Set("cpu_cores", cpu_cores);
+  json::Value libs = json::Value::MakeObject();
+  for (const auto& [name, version] : libraries) {
+    libs.Set(name, version);
+  }
+  doc.Set("libraries", std::move(libs));
+  return doc;
+}
+
+Result<EnvironmentInfo> EnvironmentInfo::FromJson(const json::Value& doc) {
+  EnvironmentInfo info;
+  MMLIB_ASSIGN_OR_RETURN(info.framework_version,
+                         doc.GetString("framework_version"));
+  MMLIB_ASSIGN_OR_RETURN(info.compiler, doc.GetString("compiler"));
+  MMLIB_ASSIGN_OR_RETURN(info.cxx_standard, doc.GetString("cxx_standard"));
+  MMLIB_ASSIGN_OR_RETURN(info.os_name, doc.GetString("os_name"));
+  MMLIB_ASSIGN_OR_RETURN(info.os_release, doc.GetString("os_release"));
+  MMLIB_ASSIGN_OR_RETURN(info.machine, doc.GetString("machine"));
+  MMLIB_ASSIGN_OR_RETURN(info.cpu_model, doc.GetString("cpu_model"));
+  MMLIB_ASSIGN_OR_RETURN(info.cpu_cores, doc.GetInt("cpu_cores"));
+  MMLIB_ASSIGN_OR_RETURN(const json::Value* libs, doc.GetMember("libraries"));
+  if (!libs->is_object()) {
+    return Status::InvalidArgument("libraries must be an object");
+  }
+  for (const auto& [name, version] : libs->as_object()) {
+    if (!version.is_string()) {
+      return Status::InvalidArgument("library version must be a string");
+    }
+    info.libraries[name] = version.as_string();
+  }
+  return info;
+}
+
+std::vector<std::string> EnvironmentInfo::DiffAgainst(
+    const EnvironmentInfo& other) const {
+  std::vector<std::string> diffs;
+  auto check = [&](const std::string& field, const std::string& a,
+                   const std::string& b) {
+    if (a != b) {
+      diffs.push_back(field + ": '" + a + "' vs '" + b + "'");
+    }
+  };
+  check("framework_version", framework_version, other.framework_version);
+  check("compiler", compiler, other.compiler);
+  check("cxx_standard", cxx_standard, other.cxx_standard);
+  check("os_name", os_name, other.os_name);
+  check("os_release", os_release, other.os_release);
+  check("machine", machine, other.machine);
+  check("cpu_model", cpu_model, other.cpu_model);
+  if (cpu_cores != other.cpu_cores) {
+    diffs.push_back("cpu_cores: " + std::to_string(cpu_cores) + " vs " +
+                    std::to_string(other.cpu_cores));
+  }
+  if (libraries != other.libraries) {
+    diffs.push_back("libraries differ");
+  }
+  return diffs;
+}
+
+namespace {
+
+std::string ReadCpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "model name")) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        return std::string(StripWhitespace(line.substr(colon + 1)));
+      }
+    }
+  }
+  return "unknown";
+}
+
+std::string CompilerVersion() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+EnvironmentInfo CollectEnvironment() {
+  EnvironmentInfo info;
+  info.framework_version = kMmlibVersion;
+  info.compiler = CompilerVersion();
+  info.cxx_standard = "c++" + std::to_string(__cplusplus / 100 % 100);
+
+  struct utsname uts;
+  if (uname(&uts) == 0) {
+    info.os_name = uts.sysname;
+    info.os_release = uts.release;
+    info.machine = uts.machine;
+  } else {
+    info.os_name = "unknown";
+    info.os_release = "unknown";
+    info.machine = "unknown";
+  }
+  info.cpu_model = ReadCpuModel();
+  info.cpu_cores =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+
+  // Versions of the bundled substrate libraries (stand-ins for the paper's
+  // "framework version, all third-party libraries").
+  info.libraries["mmlib.tensor"] = "1.0";
+  info.libraries["mmlib.nn"] = "1.0";
+  info.libraries["mmlib.compress"] = "1.0";
+  info.libraries["mmlib.docstore"] = "1.0";
+  return info;
+}
+
+}  // namespace mmlib::env

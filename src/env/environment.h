@@ -1,0 +1,47 @@
+#ifndef MMLIB_ENV_ENVIRONMENT_H_
+#define MMLIB_ENV_ENVIRONMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "util/result.h"
+
+namespace mmlib::env {
+
+/// A snapshot of the execution environment — everything the paper lists as
+/// necessary to reproduce floating-point behaviour across machines
+/// (Section 3.1 / 3.3 "Environment Tracking"): framework version, library
+/// versions, language/compiler, OS kernel, driver versions, and hardware.
+struct EnvironmentInfo {
+  std::string framework_version;   // mmlib engine version
+  std::string compiler;            // e.g. "gcc 12.2.0"
+  std::string cxx_standard;        // e.g. "c++20"
+  std::string os_name;             // uname sysname
+  std::string os_release;          // uname release (kernel)
+  std::string machine;             // uname machine (hardware arch)
+  std::string cpu_model;           // from /proc/cpuinfo
+  int64_t cpu_cores = 0;
+  std::map<std::string, std::string> libraries;  // name -> version
+
+  bool operator==(const EnvironmentInfo& other) const;
+
+  json::Value ToJson() const;
+  static Result<EnvironmentInfo> FromJson(const json::Value& doc);
+
+  /// Human-readable list of fields that differ from `other`; empty when
+  /// environments match.
+  std::vector<std::string> DiffAgainst(const EnvironmentInfo& other) const;
+};
+
+/// Collects the current host's environment by querying the OS (uname,
+/// /proc/cpuinfo) and compiled-in versions. Deterministic on a fixed host.
+EnvironmentInfo CollectEnvironment();
+
+/// mmlib engine version string recorded in environment fingerprints.
+constexpr const char* kMmlibVersion = "mmlib++ 1.0.0";
+
+}  // namespace mmlib::env
+
+#endif  // MMLIB_ENV_ENVIRONMENT_H_

@@ -1,0 +1,175 @@
+#include "filestore/file_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace mmlib::filestore {
+
+namespace {
+
+bool IsSafeId(const std::string& id) {
+  if (id.empty() || id.size() > 200) {
+    return false;
+  }
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+InMemoryFileStore::InMemoryFileStore() : id_generator_(0xf17e) {}
+
+Result<std::string> InMemoryFileStore::SaveFile(const Bytes& content) {
+  const std::string id = id_generator_.Next("file");
+  files_[id] = content;
+  return id;
+}
+
+Result<Bytes> InMemoryFileStore::LoadFile(const std::string& id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no file " + id);
+  }
+  return it->second;
+}
+
+Status InMemoryFileStore::Delete(const std::string& id) {
+  if (files_.erase(id) == 0) {
+    return Status::NotFound("no file " + id);
+  }
+  return Status::OK();
+}
+
+Result<size_t> InMemoryFileStore::FileSize(const std::string& id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no file " + id);
+  }
+  return it->second.size();
+}
+
+size_t InMemoryFileStore::TotalStoredBytes() const {
+  size_t total = 0;
+  for (const auto& [id, content] : files_) {
+    total += content.size();
+  }
+  return total;
+}
+
+LocalDirFileStore::LocalDirFileStore(std::string root)
+    : root_(std::move(root)), id_generator_(0xf17f) {}
+
+Result<std::unique_ptr<LocalDirFileStore>> LocalDirFileStore::Open(
+    const std::string& root) {
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + root + ": " + ec.message());
+  }
+  return std::unique_ptr<LocalDirFileStore>(new LocalDirFileStore(root));
+}
+
+Result<std::string> LocalDirFileStore::PathFor(const std::string& id) const {
+  if (!IsSafeId(id)) {
+    return Status::InvalidArgument("unsafe file id");
+  }
+  return root_ + "/" + id + ".bin";
+}
+
+Result<std::string> LocalDirFileStore::SaveFile(const Bytes& content) {
+  const std::string id = id_generator_.Next("file");
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(content.data()),
+            static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing " + path);
+  }
+  return id;
+}
+
+Result<Bytes> LocalDirFileStore::LoadFile(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no file " + id);
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  Bytes content(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(content.data()), size);
+  if (!in) {
+    return Status::IoError("failed reading " + path);
+  }
+  return content;
+}
+
+Status LocalDirFileStore::Delete(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  std::error_code ec;
+  if (!std::filesystem::remove(path, ec) || ec) {
+    return Status::NotFound("no file " + id);
+  }
+  return Status::OK();
+}
+
+Result<size_t> LocalDirFileStore::FileSize(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::NotFound("no file " + id);
+  }
+  return static_cast<size_t>(size);
+}
+
+size_t LocalDirFileStore::TotalStoredBytes() const {
+  size_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      total += entry.file_size(ec);
+    }
+  }
+  return total;
+}
+
+size_t LocalDirFileStore::FileCount() const {
+  size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<std::string> RemoteFileStore::SaveFile(const Bytes& content) {
+  network_->Transfer(content.size());
+  return backend_->SaveFile(content);
+}
+
+Result<Bytes> RemoteFileStore::LoadFile(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(Bytes content, backend_->LoadFile(id));
+  network_->Transfer(content.size());
+  return content;
+}
+
+Status RemoteFileStore::Delete(const std::string& id) {
+  network_->Transfer(id.size());
+  return backend_->Delete(id);
+}
+
+}  // namespace mmlib::filestore

@@ -1,0 +1,106 @@
+#ifndef MMLIB_FILESTORE_FILE_STORE_H_
+#define MMLIB_FILESTORE_FILE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simnet/network.h"
+#include "util/bytes.h"
+#include "util/id_generator.h"
+#include "util/result.h"
+
+namespace mmlib::filestore {
+
+/// Binary file persistence keyed by generated file ids — mmlib's shared
+/// file system substitute (paper Section 3.1: "To save files, we use a
+/// shared file system and insert an automatically generated file identifier
+/// as a reference in the appropriate JSON document").
+class FileStore {
+ public:
+  virtual ~FileStore() = default;
+
+  /// Persists `content` and returns its generated id.
+  virtual Result<std::string> SaveFile(const Bytes& content) = 0;
+
+  /// Loads the file with `id`.
+  virtual Result<Bytes> LoadFile(const std::string& id) = 0;
+
+  /// Removes the file; NotFound if absent.
+  virtual Status Delete(const std::string& id) = 0;
+
+  /// Size of a stored file in bytes.
+  virtual Result<size_t> FileSize(const std::string& id) = 0;
+
+  /// Total bytes of all stored files.
+  virtual size_t TotalStoredBytes() const = 0;
+
+  /// Number of stored files.
+  virtual size_t FileCount() const = 0;
+};
+
+/// Heap-backed store; the reference implementation.
+class InMemoryFileStore : public FileStore {
+ public:
+  InMemoryFileStore();
+
+  Result<std::string> SaveFile(const Bytes& content) override;
+  Result<Bytes> LoadFile(const std::string& id) override;
+  Status Delete(const std::string& id) override;
+  Result<size_t> FileSize(const std::string& id) override;
+  size_t TotalStoredBytes() const override;
+  size_t FileCount() const override { return files_.size(); }
+
+ private:
+  IdGenerator id_generator_;
+  std::map<std::string, Bytes> files_;
+};
+
+/// Disk-backed store writing one file per id under a root directory.
+class LocalDirFileStore : public FileStore {
+ public:
+  static Result<std::unique_ptr<LocalDirFileStore>> Open(
+      const std::string& root);
+
+  Result<std::string> SaveFile(const Bytes& content) override;
+  Result<Bytes> LoadFile(const std::string& id) override;
+  Status Delete(const std::string& id) override;
+  Result<size_t> FileSize(const std::string& id) override;
+  size_t TotalStoredBytes() const override;
+  size_t FileCount() const override;
+
+ private:
+  explicit LocalDirFileStore(std::string root);
+  Result<std::string> PathFor(const std::string& id) const;
+
+  std::string root_;
+  IdGenerator id_generator_;
+};
+
+/// Decorator charging payload bytes to a simulated network link — models
+/// external shared storage reached over the evaluation cluster's link.
+class RemoteFileStore : public FileStore {
+ public:
+  RemoteFileStore(FileStore* backend, simnet::Network* network)
+      : backend_(backend), network_(network) {}
+
+  Result<std::string> SaveFile(const Bytes& content) override;
+  Result<Bytes> LoadFile(const std::string& id) override;
+  Status Delete(const std::string& id) override;
+  Result<size_t> FileSize(const std::string& id) override {
+    return backend_->FileSize(id);
+  }
+  size_t TotalStoredBytes() const override {
+    return backend_->TotalStoredBytes();
+  }
+  size_t FileCount() const override { return backend_->FileCount(); }
+
+ private:
+  FileStore* backend_;
+  simnet::Network* network_;
+};
+
+}  // namespace mmlib::filestore
+
+#endif  // MMLIB_FILESTORE_FILE_STORE_H_

@@ -1,0 +1,86 @@
+#include "hash/merkle_tree.h"
+
+#include "util/bytes.h"
+
+namespace mmlib {
+
+Result<MerkleTree> MerkleTree::Build(std::vector<Digest> leaf_hashes) {
+  if (leaf_hashes.empty()) {
+    return Status::InvalidArgument("Merkle tree requires at least one leaf");
+  }
+  MerkleTree tree;
+  tree.leaf_count_ = leaf_hashes.size();
+  tree.padded_leaves_ = 1;
+  while (tree.padded_leaves_ < leaf_hashes.size()) {
+    tree.padded_leaves_ *= 2;
+  }
+  tree.nodes_.assign(2 * tree.padded_leaves_, Digest{});
+  for (size_t i = 0; i < leaf_hashes.size(); ++i) {
+    tree.nodes_[tree.padded_leaves_ + i] = leaf_hashes[i];
+  }
+  for (size_t i = tree.padded_leaves_ - 1; i >= 1; --i) {
+    tree.nodes_[i] = Sha256::HashPair(tree.nodes_[2 * i], tree.nodes_[2 * i + 1]);
+  }
+  return tree;
+}
+
+void MerkleTree::DiffNodes(const MerkleTree& other, size_t index,
+                           MerkleDiff* diff) const {
+  ++diff->comparisons;
+  if (nodes_[index] == other.nodes_[index]) {
+    return;
+  }
+  if (index >= padded_leaves_) {
+    const size_t leaf_index = index - padded_leaves_;
+    if (leaf_index < leaf_count_) {
+      diff->changed_leaves.push_back(leaf_index);
+    }
+    return;
+  }
+  DiffNodes(other, 2 * index, diff);
+  DiffNodes(other, 2 * index + 1, diff);
+}
+
+Result<MerkleDiff> MerkleTree::Diff(const MerkleTree& before,
+                                    const MerkleTree& after) {
+  if (before.leaf_count_ != after.leaf_count_) {
+    return Status::InvalidArgument(
+        "cannot diff Merkle trees with different leaf counts: " +
+        std::to_string(before.leaf_count_) + " vs " +
+        std::to_string(after.leaf_count_));
+  }
+  MerkleDiff diff;
+  before.DiffNodes(after, 1, &diff);
+  return diff;
+}
+
+Bytes MerkleTree::Serialize() const {
+  // Only the leaf digests are persisted; the inner nodes are recomputed on
+  // load. This keeps the persisted form proportional to the layer count
+  // (no power-of-two padding) — it is pure metadata next to parameters.
+  BytesWriter writer;
+  writer.WriteU64(leaf_count_);
+  for (size_t i = 0; i < leaf_count_; ++i) {
+    const Digest& d = nodes_[padded_leaves_ + i];
+    writer.WriteRaw(d.bytes.data(), d.bytes.size());
+  }
+  return writer.TakeBytes();
+}
+
+Result<MerkleTree> MerkleTree::Deserialize(const Bytes& data) {
+  BytesReader reader(data);
+  MMLIB_ASSIGN_OR_RETURN(uint64_t leaf_count, reader.ReadU64());
+  if (leaf_count == 0 || leaf_count > reader.remaining() / 32) {
+    return Status::Corruption("invalid Merkle tree header");
+  }
+  std::vector<Digest> leaves(leaf_count);
+  for (Digest& d : leaves) {
+    MMLIB_RETURN_IF_ERROR(reader.ReadRaw(d.bytes.data(), d.bytes.size()));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after Merkle tree");
+  }
+  return Build(std::move(leaves));
+}
+
+}  // namespace mmlib

@@ -1,0 +1,73 @@
+#ifndef MMLIB_HASH_MERKLE_TREE_H_
+#define MMLIB_HASH_MERKLE_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "hash/sha256.h"
+#include "util/result.h"
+
+namespace mmlib {
+
+/// Result of diffing two Merkle trees.
+struct MerkleDiff {
+  /// Indices of leaves (layers) whose hashes differ.
+  std::vector<size_t> changed_leaves;
+  /// Number of node-hash comparisons performed. For a model with 8 layers of
+  /// which the last 2 changed this is 7; for 64 layers it is 13, and for 128
+  /// layers 15 (paper Figure 4).
+  size_t comparisons = 0;
+};
+
+/// Merkle tree over per-layer parameter hashes (paper Section 3.2).
+///
+/// Every model layer is a leaf; a non-leaf node hashes the concatenation of
+/// its children. Comparing only the root digests of two trees decides
+/// whole-model parameter equality; a top-down diff locates the changed layers
+/// while skipping unchanged subtrees.
+class MerkleTree {
+ public:
+  /// Constructs an empty tree; assign a Build/Deserialize result before use.
+  MerkleTree() = default;
+
+  /// Builds a tree over `leaf_hashes` (one digest per layer, in layer order).
+  /// The leaf level is padded with zero digests to the next power of two.
+  /// At least one leaf is required.
+  static Result<MerkleTree> Build(std::vector<Digest> leaf_hashes);
+
+  /// Digest of the root node; equal roots imply equal leaf sets.
+  const Digest& root() const { return nodes_[1]; }
+
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Digest of leaf `i` (i < leaf_count()).
+  const Digest& leaf(size_t i) const { return nodes_[padded_leaves_ + i]; }
+
+  /// Compares two trees top-down and reports the changed leaves together
+  /// with the number of node comparisons performed. Both trees must have the
+  /// same leaf count.
+  static Result<MerkleDiff> Diff(const MerkleTree& before,
+                                 const MerkleTree& after);
+
+  /// Number of comparisons a naive layer-by-layer scan would need (equals
+  /// leaf_count). Reported by the Fig. 4 benchmark for context.
+  size_t NaiveComparisonCount() const { return leaf_count_; }
+
+  /// Serializes all node hashes; a tree persisted alongside a model lets the
+  /// PUA find changed layers without recovering the base model's parameters.
+  Bytes Serialize() const;
+  static Result<MerkleTree> Deserialize(const Bytes& data);
+
+ private:
+  void DiffNodes(const MerkleTree& other, size_t index, MerkleDiff* diff) const;
+
+  // Heap layout: nodes_[1] is the root, children of i are 2i and 2i+1,
+  // leaves occupy [padded_leaves_, 2 * padded_leaves_). nodes_[0] is unused.
+  std::vector<Digest> nodes_;
+  size_t leaf_count_ = 0;
+  size_t padded_leaves_ = 0;
+};
+
+}  // namespace mmlib
+
+#endif  // MMLIB_HASH_MERKLE_TREE_H_

@@ -1,0 +1,28 @@
+#include "models/builders.h"
+
+namespace mmlib::models::internal {
+
+int64_t ConvBn(BuilderCtx* ctx, const std::string& name, int64_t input_node,
+               int64_t in_ch, int64_t out_ch, int64_t kernel, int64_t stride,
+               int64_t padding, int64_t groups) {
+  int64_t node = ctx->model->AddNode(
+      std::make_unique<nn::Conv2d>(name + ".conv", in_ch, out_ch, kernel,
+                                   stride, padding, groups, ctx->rng),
+      {input_node});
+  node = ctx->model->AddNode(
+      std::make_unique<nn::BatchNorm2d>(name + ".bn", out_ch), {node});
+  return node;
+}
+
+int64_t ConvBnRelu(BuilderCtx* ctx, const std::string& name,
+                   int64_t input_node, int64_t in_ch, int64_t out_ch,
+                   int64_t kernel, int64_t stride, int64_t padding,
+                   int64_t groups, float relu_clip) {
+  int64_t node = ConvBn(ctx, name, input_node, in_ch, out_ch, kernel, stride,
+                        padding, groups);
+  node = ctx->model->AddNode(
+      std::make_unique<nn::ReLU>(name + ".relu", relu_clip), {node});
+  return node;
+}
+
+}  // namespace mmlib::models::internal

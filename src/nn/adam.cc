@@ -1,0 +1,126 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mmlib::nn {
+
+AdamOptimizer::AdamOptimizer(Model* model, AdamOptions options)
+    : model_(model), options_(options) {
+  RebuildSlots();
+}
+
+void AdamOptimizer::RebuildSlots() {
+  slots_.clear();
+  for (size_t i = 0; i < model_->node_count(); ++i) {
+    Layer* layer = model_->layer(i);
+    for (size_t p = 0; p < layer->params().size(); ++p) {
+      const Param& param = layer->params()[p];
+      if (param.trainable && !param.is_buffer) {
+        slots_.push_back(Slot{i, p, Tensor(param.value.shape()),
+                              Tensor(param.value.shape())});
+      }
+    }
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  // Bias correction in fixed order; std::pow on integers is deterministic.
+  const float correction1 =
+      1.0f - std::pow(b1, static_cast<float>(step_count_));
+  const float correction2 =
+      1.0f - std::pow(b2, static_cast<float>(step_count_));
+
+  for (Slot& slot : slots_) {
+    Param& param = model_->layer(slot.node_index)->params()[slot.param_index];
+    if (!param.trainable) {
+      continue;
+    }
+    float* value = param.value.data();
+    const float* grad = param.grad.data();
+    float* m = slot.first_moment.data();
+    float* v = slot.second_moment.data();
+    const int64_t n = param.value.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float g = grad[i] + options_.weight_decay * value[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const float m_hat = m[i] / correction1;
+      const float v_hat = v[i] / correction2;
+      value[i] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+Bytes AdamOptimizer::SerializeState() const {
+  BytesWriter writer;
+  writer.WriteF32(options_.learning_rate);
+  writer.WriteF32(options_.beta1);
+  writer.WriteF32(options_.beta2);
+  writer.WriteF32(options_.epsilon);
+  writer.WriteF32(options_.weight_decay);
+  writer.WriteI64(step_count_);
+  writer.WriteU64(slots_.size());
+  for (const Slot& slot : slots_) {
+    const Layer* layer = model_->layer(slot.node_index);
+    writer.WriteString(layer->name());
+    writer.WriteString(layer->params()[slot.param_index].name);
+    slot.first_moment.SerializeTo(&writer);
+    slot.second_moment.SerializeTo(&writer);
+  }
+  return writer.TakeBytes();
+}
+
+Status AdamOptimizer::LoadState(const Bytes& data) {
+  BytesReader reader(data);
+  MMLIB_ASSIGN_OR_RETURN(options_.learning_rate, reader.ReadF32());
+  MMLIB_ASSIGN_OR_RETURN(options_.beta1, reader.ReadF32());
+  MMLIB_ASSIGN_OR_RETURN(options_.beta2, reader.ReadF32());
+  MMLIB_ASSIGN_OR_RETURN(options_.epsilon, reader.ReadF32());
+  MMLIB_ASSIGN_OR_RETURN(options_.weight_decay, reader.ReadF32());
+  MMLIB_ASSIGN_OR_RETURN(step_count_, reader.ReadI64());
+  MMLIB_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count != slots_.size()) {
+    return Status::Corruption("Adam state slot count mismatch: " +
+                              std::to_string(count) + " vs " +
+                              std::to_string(slots_.size()));
+  }
+  for (Slot& slot : slots_) {
+    const Layer* layer = model_->layer(slot.node_index);
+    MMLIB_ASSIGN_OR_RETURN(std::string layer_name, reader.ReadString());
+    MMLIB_ASSIGN_OR_RETURN(std::string param_name, reader.ReadString());
+    if (layer_name != layer->name() ||
+        param_name != layer->params()[slot.param_index].name) {
+      return Status::Corruption("Adam state does not match model: " +
+                                layer_name + "." + param_name);
+    }
+    MMLIB_ASSIGN_OR_RETURN(Tensor m, Tensor::Deserialize(&reader));
+    MMLIB_ASSIGN_OR_RETURN(Tensor v, Tensor::Deserialize(&reader));
+    if (m.shape() != slot.first_moment.shape() ||
+        v.shape() != slot.second_moment.shape()) {
+      return Status::Corruption("Adam moment shape mismatch for " +
+                                layer_name + "." + param_name);
+    }
+    slot.first_moment = std::move(m);
+    slot.second_moment = std::move(v);
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after Adam state");
+  }
+  return Status::OK();
+}
+
+std::string AdamOptimizer::DescribeConfig() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "Adam(lr=%g, beta1=%g, beta2=%g, eps=%g, weight_decay=%g)",
+                options_.learning_rate, options_.beta1, options_.beta2,
+                options_.epsilon, options_.weight_decay);
+  return buffer;
+}
+
+}  // namespace mmlib::nn

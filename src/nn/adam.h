@@ -1,0 +1,64 @@
+#ifndef MMLIB_NN_ADAM_H_
+#define MMLIB_NN_ADAM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "util/bytes.h"
+
+namespace mmlib::nn {
+
+/// Hyperparameters of the Adam optimizer (Kingma & Ba, 2015).
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam over a model's trainable parameters.
+///
+/// Adam is *always* stateful (first/second moment estimates plus the step
+/// counter), which makes it the stronger test of the model provenance
+/// approach's state-file machinery: replaying a training without restoring
+/// the optimizer state cannot reproduce the model.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(Model* model, AdamOptions options);
+
+  const AdamOptions& options() const { return options_; }
+  int64_t step_count() const { return step_count_; }
+
+  void Step() override;
+  void ZeroGrad() override { model_->ZeroGrad(); }
+  /// State file: hyperparameters, the step counter, and both moment buffers.
+  Bytes SerializeState() const override;
+  Status LoadState(const Bytes& data) override;
+  std::string DescribeConfig() const override;
+  float learning_rate() const override { return options_.learning_rate; }
+  void SetLearningRate(float learning_rate) override {
+    options_.learning_rate = learning_rate;
+  }
+
+ private:
+  struct Slot {
+    size_t node_index;
+    size_t param_index;
+    Tensor first_moment;
+    Tensor second_moment;
+  };
+
+  void RebuildSlots();
+
+  Model* model_;
+  AdamOptions options_;
+  int64_t step_count_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace mmlib::nn
+
+#endif  // MMLIB_NN_ADAM_H_

@@ -1,0 +1,209 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace mmlib::nn {
+
+Conv2d::Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
+               int64_t kernel_size, int64_t stride, int64_t padding,
+               int64_t groups, Rng* rng)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      padding_(padding),
+      groups_(groups),
+      group_in_(in_channels / groups),
+      group_out_(out_channels / groups) {
+  // Kaiming-normal initialization: std = sqrt(2 / fan_in).
+  const int64_t fan_in = group_in_ * kernel_size * kernel_size;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  AddParam("weight",
+           Tensor::Gaussian(
+               Shape{out_channels, group_in_, kernel_size, kernel_size},
+               stddev, rng));
+}
+
+void Conv2d::GatherPatch(const float* input, int64_t height, int64_t width,
+                         int64_t n, int64_t g, int64_t oy, int64_t ox,
+                         float* patch) const {
+  const int64_t base_y = oy * stride_ - padding_;
+  const int64_t base_x = ox * stride_ - padding_;
+  int64_t idx = 0;
+  for (int64_t c = 0; c < group_in_; ++c) {
+    const int64_t channel = g * group_in_ + c;
+    const float* plane =
+        input + ((n * in_channels_ + channel) * height) * width;
+    for (int64_t ky = 0; ky < kernel_size_; ++ky) {
+      const int64_t y = base_y + ky;
+      for (int64_t kx = 0; kx < kernel_size_; ++kx) {
+        const int64_t x = base_x + kx;
+        patch[idx++] = (y >= 0 && y < height && x >= 0 && x < width)
+                           ? plane[y * width + x]
+                           : 0.0f;
+      }
+    }
+  }
+}
+
+Result<Tensor> Conv2d::Forward(const std::vector<const Tensor*>& inputs,
+                               ExecutionContext* ctx) {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("conv2d expects one input");
+  }
+  const Tensor& x = *inputs[0];
+  if (x.shape().rank() != 4 || x.shape().dim(1) != in_channels_) {
+    return Status::InvalidArgument("conv2d " + name_ + ": bad input shape " +
+                                   x.shape().ToString());
+  }
+  cached_input_ = x;
+  const int64_t batch = x.shape().dim(0);
+  const int64_t height = x.shape().dim(2);
+  const int64_t width = x.shape().dim(3);
+  const int64_t out_h = (height + 2 * padding_ - kernel_size_) / stride_ + 1;
+  const int64_t out_w = (width + 2 * padding_ - kernel_size_) / stride_ + 1;
+  if (out_h <= 0 || out_w <= 0) {
+    return Status::InvalidArgument("conv2d " + name_ +
+                                   ": input too small for kernel");
+  }
+
+  Tensor y(Shape{batch, out_channels_, out_h, out_w});
+  const float* weight = params_[0].value.data();
+  const int64_t patch_size = group_in_ * kernel_size_ * kernel_size_;
+  const bool fast_det = kernel_size_ == 1 && padding_ == 0;
+  std::vector<float> patch(patch_size);
+
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t g = 0; g < groups_; ++g) {
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        for (int64_t ox = 0; ox < out_w; ++ox) {
+          GatherPatch(x.data(), height, width, n, g, oy, ox, patch.data());
+          for (int64_t oc = 0; oc < group_out_; ++oc) {
+            const int64_t out_channel = g * group_out_ + oc;
+            const float* wrow = weight + out_channel * patch_size;
+            y.data()[((n * out_channels_ + out_channel) * out_h + oy) * out_w +
+                     ox] =
+                AccumulateDot(wrow, patch.data(), patch_size, fast_det, ctx);
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Result<std::vector<Tensor>> Conv2d::Backward(const Tensor& grad_output,
+                                             ExecutionContext* ctx) {
+  const Tensor& x = cached_input_;
+  const int64_t batch = x.shape().dim(0);
+  const int64_t height = x.shape().dim(2);
+  const int64_t width = x.shape().dim(3);
+  const int64_t out_h = grad_output.shape().dim(2);
+  const int64_t out_w = grad_output.shape().dim(3);
+  const int64_t patch_size = group_in_ * kernel_size_ * kernel_size_;
+  const bool fast_det = kernel_size_ == 1 && padding_ == 0;
+
+  const float* weight = params_[0].value.data();
+  float* grad_weight = params_[0].grad.data();
+  Tensor grad_input(x.shape());
+
+  // Weight gradients accumulate across every output position — on parallel
+  // devices this is the classic source of convolution-backward
+  // nondeterminism (atomic reduction order). Spatial kernels have no cheap
+  // deterministic implementation: in deterministic mode they use
+  // compensated accumulation with a per-element compensation buffer, which
+  // costs extra time (paper Section 4.5).
+  const bool compensated_weight_grad = ctx->deterministic() && !fast_det;
+  std::vector<float> weight_grad_compensation;
+  if (compensated_weight_grad) {
+    weight_grad_compensation.assign(
+        static_cast<size_t>(params_[0].grad.numel()), 0.0f);
+  }
+
+  std::vector<float> patch(patch_size);
+  std::vector<float> grad_patch(patch_size);
+  std::vector<float> gout_vec(group_out_);
+  // Weight transposed within each group: [patch_size][group_out].
+  std::vector<float> weight_t(static_cast<size_t>(groups_) * patch_size *
+                              group_out_);
+  for (int64_t g = 0; g < groups_; ++g) {
+    for (int64_t oc = 0; oc < group_out_; ++oc) {
+      const float* wrow = weight + (g * group_out_ + oc) * patch_size;
+      for (int64_t j = 0; j < patch_size; ++j) {
+        weight_t[(g * patch_size + j) * group_out_ + oc] = wrow[j];
+      }
+    }
+  }
+
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t g = 0; g < groups_; ++g) {
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        for (int64_t ox = 0; ox < out_w; ++ox) {
+          GatherPatch(x.data(), height, width, n, g, oy, ox, patch.data());
+          for (int64_t oc = 0; oc < group_out_; ++oc) {
+            const int64_t out_channel = g * group_out_ + oc;
+            gout_vec[oc] =
+                grad_output
+                    .data()[((n * out_channels_ + out_channel) * out_h + oy) *
+                                out_w +
+                            ox];
+          }
+          // Parameter gradients: grad_W[oc] += gout[oc] * patch.
+          for (int64_t oc = 0; oc < group_out_; ++oc) {
+            const float gv = gout_vec[oc];
+            if (gv == 0.0f) {
+              continue;
+            }
+            const int64_t row_offset = (g * group_out_ + oc) * patch_size;
+            float* gwrow = grad_weight + row_offset;
+            if (compensated_weight_grad) {
+              float* comp = weight_grad_compensation.data() + row_offset;
+              for (int64_t j = 0; j < patch_size; ++j) {
+                const float y = gv * patch[j] - comp[j];
+                const float t = gwrow[j] + y;
+                comp[j] = (t - gwrow[j]) - y;
+                gwrow[j] = t;
+              }
+            } else {
+              for (int64_t j = 0; j < patch_size; ++j) {
+                gwrow[j] += gv * patch[j];
+              }
+            }
+          }
+          // Input gradients: grad_patch[j] = W^T[j] . gout.
+          for (int64_t j = 0; j < patch_size; ++j) {
+            grad_patch[j] = AccumulateDot(
+                weight_t.data() + (g * patch_size + j) * group_out_,
+                gout_vec.data(), group_out_, fast_det, ctx);
+          }
+          // Scatter grad_patch back to grad_input.
+          const int64_t base_y = oy * stride_ - padding_;
+          const int64_t base_x = ox * stride_ - padding_;
+          int64_t idx = 0;
+          for (int64_t c = 0; c < group_in_; ++c) {
+            const int64_t channel = g * group_in_ + c;
+            float* plane = grad_input.data() +
+                           ((n * in_channels_ + channel) * height) * width;
+            for (int64_t ky = 0; ky < kernel_size_; ++ky) {
+              const int64_t yy = base_y + ky;
+              for (int64_t kx = 0; kx < kernel_size_; ++kx) {
+                const int64_t xx = base_x + kx;
+                if (yy >= 0 && yy < height && xx >= 0 && xx < width) {
+                  plane[yy * width + xx] += grad_patch[idx];
+                }
+                ++idx;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+}  // namespace mmlib::nn

@@ -1,0 +1,57 @@
+#ifndef MMLIB_NN_CONV2D_H_
+#define MMLIB_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mmlib::nn {
+
+/// 2D convolution over NCHW inputs, optionally grouped (groups == in_channels
+/// gives a depthwise convolution as used by MobileNetV2). No bias — all zoo
+/// architectures follow conv → batch-norm, where a bias is redundant.
+///
+/// Determinism: 1x1 convolutions have a fast deterministic kernel; spatial
+/// kernels (k > 1) fall back to compensated summation in deterministic mode,
+/// which costs extra time (the mechanism behind paper Figure 13, where
+/// ResNet-18's 3x3-heavy basic blocks slow down more than the
+/// bottleneck-based ResNet-50/152).
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
+         int64_t kernel_size, int64_t stride, int64_t padding, int64_t groups,
+         Rng* rng);
+
+  std::string_view type() const override { return "conv2d"; }
+
+  Result<Tensor> Forward(const std::vector<const Tensor*>& inputs,
+                         ExecutionContext* ctx) override;
+  Result<std::vector<Tensor>> Backward(const Tensor& grad_output,
+                                       ExecutionContext* ctx) override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel_size() const { return kernel_size_; }
+
+ private:
+  /// Copies the receptive field at (oy, ox) for group `g` of sample `n`
+  /// into `patch` (zero-padded borders).
+  void GatherPatch(const float* input, int64_t height, int64_t width,
+                   int64_t n, int64_t g, int64_t oy, int64_t ox,
+                   float* patch) const;
+
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_size_;
+  int64_t stride_;
+  int64_t padding_;
+  int64_t groups_;
+  int64_t group_in_;   // in channels per group
+  int64_t group_out_;  // out channels per group
+  Tensor cached_input_;
+};
+
+}  // namespace mmlib::nn
+
+#endif  // MMLIB_NN_CONV2D_H_

@@ -1,0 +1,90 @@
+#ifndef MMLIB_NN_EXECUTION_CONTEXT_H_
+#define MMLIB_NN_EXECUTION_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/random.h"
+
+namespace mmlib::nn {
+
+/// Phase timing accumulators (seconds), mirroring the categories of paper
+/// Figure 13: loading data, forward pass, backward pass.
+struct PhaseTimes {
+  double data_load_seconds = 0;
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+
+  double TotalSeconds() const {
+    return data_load_seconds + forward_seconds + backward_seconds;
+  }
+};
+
+/// Execution configuration and per-run state for forward/backward passes.
+///
+/// Determinism model (paper Sections 2.3 and 4.5): with `deterministic`
+/// set, every kernel accumulates in a fixed order — layers without a cheap
+/// deterministic implementation (spatial convolutions) fall back to
+/// compensated summation, which costs extra time. With `deterministic`
+/// unset, kernels split their reductions at a point chosen from
+/// `scheduler_rng` (modeling the scheduling nondeterminism of a parallel
+/// device), so repeated runs produce slightly different floating-point
+/// results.
+class ExecutionContext {
+ public:
+  /// Creates a deterministic context; `seed` drives intentional randomness
+  /// (dropout masks, augmentation) so runs with equal seeds are identical.
+  static ExecutionContext Deterministic(uint64_t seed) {
+    ExecutionContext ctx(/*deterministic=*/true, seed, /*scheduler_seed=*/0);
+    return ctx;
+  }
+
+  /// Creates a non-deterministic context; `scheduler_seed` stands in for the
+  /// uncontrolled thread scheduling of a real parallel device (pass e.g. a
+  /// wall-clock derived value).
+  static ExecutionContext NonDeterministic(uint64_t seed,
+                                           uint64_t scheduler_seed) {
+    return ExecutionContext(/*deterministic=*/false, seed, scheduler_seed);
+  }
+
+  bool deterministic() const { return deterministic_; }
+
+  /// True while training (dropout active, batch-norm uses batch statistics).
+  bool training() const { return training_; }
+  void set_training(bool training) { training_ = training; }
+
+  /// PRNG for intentional randomness; reproducible across runs when seeded
+  /// identically.
+  Rng* rng() { return &rng_; }
+
+  /// PRNG modeling scheduler nondeterminism; only consulted when
+  /// !deterministic().
+  Rng* scheduler_rng() { return &scheduler_rng_; }
+
+  /// Returns a reduction split point in [1, n) used by non-deterministic
+  /// kernels; n must be >= 2.
+  size_t NextSplit(size_t n) {
+    return 1 + static_cast<size_t>(scheduler_rng_.NextBelow(n - 1));
+  }
+
+  PhaseTimes* times() { return &times_; }
+  const PhaseTimes& times() const { return times_; }
+  void ResetTimes() { times_ = PhaseTimes(); }
+
+ private:
+  ExecutionContext(bool deterministic, uint64_t seed, uint64_t scheduler_seed)
+      : deterministic_(deterministic),
+        rng_(seed),
+        scheduler_rng_(scheduler_seed) {}
+
+  bool deterministic_;
+  bool training_ = true;
+  Rng rng_;
+  Rng scheduler_rng_;
+  PhaseTimes times_;
+};
+
+}  // namespace mmlib::nn
+
+#endif  // MMLIB_NN_EXECUTION_CONTEXT_H_

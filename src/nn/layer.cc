@@ -1,0 +1,131 @@
+#include "nn/layer.h"
+
+namespace mmlib::nn {
+
+int64_t Layer::TrainableParamCount() const {
+  int64_t count = 0;
+  for (const Param& p : params_) {
+    if (p.trainable && !p.is_buffer) {
+      count += p.value.numel();
+    }
+  }
+  return count;
+}
+
+int64_t Layer::TotalParamCount() const {
+  int64_t count = 0;
+  for (const Param& p : params_) {
+    count += p.value.numel();
+  }
+  return count;
+}
+
+void Layer::SetTrainable(bool trainable) {
+  for (Param& p : params_) {
+    if (!p.is_buffer) {
+      p.trainable = trainable;
+    }
+  }
+}
+
+bool Layer::HasTrainableParams() const {
+  for (const Param& p : params_) {
+    if (p.trainable && !p.is_buffer) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Layer::ZeroGrad() {
+  for (Param& p : params_) {
+    p.grad.Fill(0.0f);
+  }
+}
+
+Digest Layer::ParamHash() const {
+  Sha256 hasher;
+  for (const Param& p : params_) {
+    hasher.Update(p.name);
+    const Digest d = p.value.ContentHash();
+    hasher.Update(d.bytes.data(), d.bytes.size());
+  }
+  return hasher.Finish();
+}
+
+void Layer::SerializeParams(BytesWriter* writer) const {
+  writer->WriteU64(params_.size());
+  for (const Param& p : params_) {
+    writer->WriteString(p.name);
+    p.value.SerializeTo(writer);
+  }
+}
+
+Status Layer::DeserializeParams(BytesReader* reader) {
+  MMLIB_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  if (count != params_.size()) {
+    return Status::Corruption("layer " + name_ + ": parameter count mismatch");
+  }
+  for (Param& p : params_) {
+    MMLIB_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    if (name != p.name) {
+      return Status::Corruption("layer " + name_ + ": expected parameter " +
+                                p.name + ", found " + name);
+    }
+    MMLIB_ASSIGN_OR_RETURN(Tensor value, Tensor::Deserialize(reader));
+    if (value.shape() != p.value.shape()) {
+      return Status::Corruption("layer " + name_ + ": parameter " + p.name +
+                                " shape mismatch");
+    }
+    p.value = std::move(value);
+  }
+  return Status::OK();
+}
+
+size_t Layer::AddParam(std::string name, Tensor value, bool trainable,
+                       bool is_buffer) {
+  Param p;
+  p.name = std::move(name);
+  p.grad = Tensor(value.shape());
+  p.value = std::move(value);
+  p.trainable = trainable && !is_buffer;
+  p.is_buffer = is_buffer;
+  params_.push_back(std::move(p));
+  return params_.size() - 1;
+}
+
+float AccumulateDot(const float* a, const float* b, size_t n,
+                    bool has_fast_det_kernel, ExecutionContext* ctx) {
+  if (n == 0) {
+    return 0.0f;
+  }
+  if (ctx->deterministic()) {
+    if (has_fast_det_kernel) {
+      // Fixed-order plain summation; cheap and reproducible.
+      return DotSerial(a, b, n);
+    }
+    // No fast deterministic kernel for this layer: fall back to compensated
+    // summation (fixed order, extra per-element work).
+    float sum = 0.0f;
+    float compensation = 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+      const float y = a[i] * b[i] - compensation;
+      const float t = sum + y;
+      compensation = (t - sum) - y;
+      sum = t;
+    }
+    return sum;
+  }
+  // Short reductions are not worth parallelizing on a real device; they
+  // stay serial (and thus deterministic) in both modes.
+  constexpr size_t kMinParallelLength = 32;
+  if (n < kMinParallelLength) {
+    return DotSerial(a, b, n);
+  }
+  // Non-deterministic: the reduction is split where the scheduler happened
+  // to partition the work, so association order varies between runs.
+  const size_t split = ctx->NextSplit(n);
+  return DotSerial(a, b, split) + DotSerial(a + split, b + split, n - split);
+}
+
+}  // namespace mmlib::nn

@@ -1,0 +1,79 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace mmlib::nn {
+
+Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
+               Rng* rng)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  AddParam("weight",
+           Tensor::Uniform(Shape{out_features, in_features}, -bound, bound,
+                           rng));
+  AddParam("bias", Tensor::Uniform(Shape{out_features}, -bound, bound, rng));
+}
+
+Result<Tensor> Linear::Forward(const std::vector<const Tensor*>& inputs,
+                               ExecutionContext* ctx) {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument("linear expects one input");
+  }
+  const Tensor& x = *inputs[0];
+  if (x.shape().rank() != 2 || x.shape().dim(1) != in_features_) {
+    return Status::InvalidArgument("linear " + name_ + ": bad input shape " +
+                                   x.shape().ToString());
+  }
+  cached_input_ = x;
+  const int64_t batch = x.shape().dim(0);
+  Tensor y(Shape{batch, out_features_});
+  const float* weight = params_[0].value.data();
+  const float* bias = params_[1].value.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* row = x.data() + n * in_features_;
+    float* out = y.data() + n * out_features_;
+    for (int64_t o = 0; o < out_features_; ++o) {
+      out[o] = bias[o] + AccumulateDot(weight + o * in_features_, row,
+                                       in_features_,
+                                       /*has_fast_det_kernel=*/true, ctx);
+    }
+  }
+  return y;
+}
+
+Result<std::vector<Tensor>> Linear::Backward(const Tensor& grad_output,
+                                             ExecutionContext* ctx) {
+  const int64_t batch = cached_input_.shape().dim(0);
+  if (grad_output.shape() != Shape{batch, out_features_}) {
+    return Status::InvalidArgument("linear " + name_ +
+                                   ": bad grad_output shape");
+  }
+  const float* weight = params_[0].value.data();
+  float* grad_weight = params_[0].grad.data();
+  float* grad_bias = params_[1].grad.data();
+
+  Tensor grad_input(cached_input_.shape());
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* gout = grad_output.data() + n * out_features_;
+    const float* row = cached_input_.data() + n * in_features_;
+    float* gin = grad_input.data() + n * in_features_;
+    for (int64_t o = 0; o < out_features_; ++o) {
+      const float g = gout[o];
+      grad_bias[o] += g;
+      const float* wrow = weight + o * in_features_;
+      float* gwrow = grad_weight + o * in_features_;
+      for (int64_t i = 0; i < in_features_; ++i) {
+        gwrow[i] += g * row[i];
+        gin[i] += g * wrow[i];
+      }
+    }
+  }
+  (void)ctx;
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+}  // namespace mmlib::nn

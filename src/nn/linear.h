@@ -1,0 +1,36 @@
+#ifndef MMLIB_NN_LINEAR_H_
+#define MMLIB_NN_LINEAR_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace mmlib::nn {
+
+/// Fully connected layer: y = x W^T + b with input [N, in] and output
+/// [N, out]. Weights are Kaiming-uniform initialized from `rng`.
+class Linear : public Layer {
+ public:
+  Linear(std::string name, int64_t in_features, int64_t out_features,
+         Rng* rng);
+
+  std::string_view type() const override { return "linear"; }
+
+  Result<Tensor> Forward(const std::vector<const Tensor*>& inputs,
+                         ExecutionContext* ctx) override;
+  Result<std::vector<Tensor>> Backward(const Tensor& grad_output,
+                                       ExecutionContext* ctx) override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor cached_input_;
+};
+
+}  // namespace mmlib::nn
+
+#endif  // MMLIB_NN_LINEAR_H_

@@ -1,0 +1,77 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace mmlib::nn {
+
+Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
+                                       const std::vector<int64_t>& labels) {
+  if (logits.shape().rank() != 2) {
+    return Status::InvalidArgument("logits must be [N, C]");
+  }
+  const int64_t batch = logits.shape().dim(0);
+  const int64_t classes = logits.shape().dim(1);
+  if (static_cast<int64_t>(labels.size()) != batch) {
+    return Status::InvalidArgument("label count does not match batch size");
+  }
+
+  LossResult result;
+  result.grad_logits = Tensor(logits.shape());
+  double total_loss = 0.0;
+  for (int64_t n = 0; n < batch; ++n) {
+    const int64_t label = labels[n];
+    if (label < 0 || label >= classes) {
+      return Status::InvalidArgument("label out of range: " +
+                                     std::to_string(label));
+    }
+    const float* row = logits.data() + n * classes;
+    float* grad = result.grad_logits.data() + n * classes;
+    float max_logit = row[0];
+    for (int64_t c = 1; c < classes; ++c) {
+      max_logit = std::max(max_logit, row[c]);
+    }
+    double sum_exp = 0.0;
+    for (int64_t c = 0; c < classes; ++c) {
+      sum_exp += std::exp(static_cast<double>(row[c] - max_logit));
+    }
+    const double log_sum = std::log(sum_exp);
+    total_loss += log_sum - (row[label] - max_logit);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (int64_t c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - max_logit)) /
+                       sum_exp;
+      grad[c] = (static_cast<float>(p) - (c == label ? 1.0f : 0.0f)) *
+                inv_batch;
+    }
+  }
+  result.loss = static_cast<float>(total_loss / batch);
+  return result;
+}
+
+Result<float> Accuracy(const Tensor& logits,
+                       const std::vector<int64_t>& labels) {
+  if (logits.shape().rank() != 2) {
+    return Status::InvalidArgument("logits must be [N, C]");
+  }
+  const int64_t batch = logits.shape().dim(0);
+  const int64_t classes = logits.shape().dim(1);
+  if (static_cast<int64_t>(labels.size()) != batch) {
+    return Status::InvalidArgument("label count does not match batch size");
+  }
+  int64_t correct = 0;
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    int64_t best = 0;
+    for (int64_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) {
+        best = c;
+      }
+    }
+    if (best == labels[n]) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(batch);
+}
+
+}  // namespace mmlib::nn

@@ -1,0 +1,30 @@
+#ifndef MMLIB_NN_LOSS_H_
+#define MMLIB_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/result.h"
+
+namespace mmlib::nn {
+
+/// Loss value together with the gradient w.r.t. the logits.
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad_logits;
+};
+
+/// Softmax cross-entropy over logits [N, C] against integer labels (size N).
+/// Returns mean loss and its gradient; numerically stabilized by max
+/// subtraction, accumulation in fixed order (deterministic).
+Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
+                                       const std::vector<int64_t>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+Result<float> Accuracy(const Tensor& logits,
+                       const std::vector<int64_t>& labels);
+
+}  // namespace mmlib::nn
+
+#endif  // MMLIB_NN_LOSS_H_

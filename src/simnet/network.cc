@@ -1,0 +1,19 @@
+#include "simnet/network.h"
+
+namespace mmlib::simnet {
+
+double Network::Transfer(uint64_t bytes) {
+  const double seconds = link_.TransferSeconds(bytes);
+  clock_.AdvanceSeconds(seconds);
+  total_bytes_ += bytes;
+  ++message_count_;
+  return seconds;
+}
+
+void Network::Reset() {
+  clock_ = VirtualClock();
+  total_bytes_ = 0;
+  message_count_ = 0;
+}
+
+}  // namespace mmlib::simnet

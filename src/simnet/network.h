@@ -1,0 +1,64 @@
+#ifndef MMLIB_SIMNET_NETWORK_H_
+#define MMLIB_SIMNET_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace mmlib::simnet {
+
+/// Bandwidth/latency cost model of one network link.
+struct Link {
+  double bandwidth_bytes_per_second = 12.5e9;  // 100 Gbit/s InfiniBand
+  double latency_seconds = 2e-6;
+
+  /// Time to move `bytes` over this link (one message).
+  double TransferSeconds(uint64_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+
+  /// The paper's evaluation link: 100G InfiniBand.
+  static Link InfiniBand100G() { return Link{}; }
+
+  /// A constrained uplink, e.g. a vehicle's cellular connection — the
+  /// motivating scenario where saving bytes matters most (Section 1).
+  static Link Cellular50M() { return Link{6.25e6, 30e-3}; }
+};
+
+/// Simulated network shared by the hosts of a distributed evaluation flow.
+/// Every transfer advances a virtual clock and is accounted, so experiments
+/// are deterministic and instantaneous regardless of modeled data volume.
+class Network {
+ public:
+  explicit Network(Link link) : link_(link) {}
+  Network() : Network(Link::InfiniBand100G()) {}
+
+  const Link& link() const { return link_; }
+
+  /// Charges one message of `bytes` to the virtual clock; returns the
+  /// transfer time in seconds.
+  double Transfer(uint64_t bytes);
+
+  /// Total simulated time spent in transfers.
+  double TotalTransferSeconds() const { return clock_.NowSeconds(); }
+
+  /// Total bytes moved.
+  uint64_t TotalBytes() const { return total_bytes_; }
+
+  /// Number of messages sent.
+  uint64_t MessageCount() const { return message_count_; }
+
+  void Reset();
+
+ private:
+  Link link_;
+  VirtualClock clock_;
+  uint64_t total_bytes_ = 0;
+  uint64_t message_count_ = 0;
+};
+
+}  // namespace mmlib::simnet
+
+#endif  // MMLIB_SIMNET_NETWORK_H_

@@ -1,0 +1,25 @@
+#include "tensor/shape.h"
+
+namespace mmlib {
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mmlib

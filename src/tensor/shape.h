@@ -1,0 +1,37 @@
+#ifndef MMLIB_TENSOR_SHAPE_H_
+#define MMLIB_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mmlib {
+
+/// Dimensions of a tensor, e.g. {N, C, H, W} for image batches.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  size_t rank() const { return dims_.size(); }
+  int64_t dim(size_t i) const { return dims_[i]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements; 1 for a scalar (rank 0).
+  int64_t numel() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 224, 224]"
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace mmlib
+
+#endif  // MMLIB_TENSOR_SHAPE_H_

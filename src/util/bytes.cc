@@ -1,0 +1,169 @@
+#include "util/bytes.h"
+
+#include <cstring>
+
+namespace mmlib {
+
+void BytesWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BytesWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BytesWriter::WriteF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU32(bits);
+}
+
+void BytesWriter::WriteF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BytesWriter::WriteString(std::string_view s) {
+  WriteU64(s.size());
+  WriteRaw(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void BytesWriter::WriteBlob(const uint8_t* data, size_t size) {
+  WriteU64(size);
+  WriteRaw(data, size);
+}
+
+void BytesWriter::WriteRaw(const uint8_t* data, size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Status BytesReader::CheckAvailable(size_t n) const {
+  if (offset_ + n > size_) {
+    return Status::Corruption("truncated input: need " + std::to_string(n) +
+                              " bytes, have " +
+                              std::to_string(size_ - offset_));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BytesReader::ReadU8() {
+  MMLIB_RETURN_IF_ERROR(CheckAvailable(1));
+  return data_[offset_++];
+}
+
+Result<uint32_t> BytesReader::ReadU32() {
+  MMLIB_RETURN_IF_ERROR(CheckAvailable(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+Result<uint64_t> BytesReader::ReadU64() {
+  MMLIB_RETURN_IF_ERROR(CheckAvailable(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+Result<int64_t> BytesReader::ReadI64() {
+  MMLIB_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<float> BytesReader::ReadF32() {
+  MMLIB_ASSIGN_OR_RETURN(uint32_t bits, ReadU32());
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<double> BytesReader::ReadF64() {
+  MMLIB_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BytesReader::ReadString() {
+  MMLIB_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  MMLIB_RETURN_IF_ERROR(CheckAvailable(size));
+  std::string s(reinterpret_cast<const char*>(data_ + offset_), size);
+  offset_ += size;
+  return s;
+}
+
+Result<Bytes> BytesReader::ReadBlob() {
+  MMLIB_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  MMLIB_RETURN_IF_ERROR(CheckAvailable(size));
+  Bytes b(data_ + offset_, data_ + offset_ + size);
+  offset_ += size;
+  return b;
+}
+
+Status BytesReader::ReadRaw(uint8_t* out, size_t size) {
+  MMLIB_RETURN_IF_ERROR(CheckAvailable(size));
+  std::memcpy(out, data_ + offset_, size);
+  offset_ += size;
+  return Status::OK();
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(const uint8_t* data, size_t size) {
+  std::string out;
+  out.reserve(size * 2);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0x0f]);
+  }
+  return out;
+}
+
+std::string ToHex(const Bytes& data) { return ToHex(data.data(), data.size()); }
+
+Result<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid hex character");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes StringToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string BytesToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace mmlib

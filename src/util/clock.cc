@@ -1,0 +1,17 @@
+#include "util/clock.h"
+
+namespace mmlib {
+
+uint64_t WallClock::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+WallClock* WallClock::Get() {
+  static WallClock* instance = new WallClock();
+  return instance;
+}
+
+}  // namespace mmlib

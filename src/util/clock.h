@@ -1,0 +1,67 @@
+#ifndef MMLIB_UTIL_CLOCK_H_
+#define MMLIB_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace mmlib {
+
+/// Abstract time source. Wall-clock time is used for real measurements
+/// (benchmarks); virtual time is used by the simulated network so that
+/// distributed experiments are deterministic and fast.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since an arbitrary epoch.
+  virtual uint64_t NowNanos() const = 0;
+
+  /// Advances virtual clocks; no-op for wall clocks.
+  virtual void AdvanceNanos(uint64_t nanos) = 0;
+
+  double NowSeconds() const { return NowNanos() * 1e-9; }
+};
+
+/// Monotonic wall clock backed by std::chrono::steady_clock.
+class WallClock : public Clock {
+ public:
+  uint64_t NowNanos() const override;
+  void AdvanceNanos(uint64_t) override {}
+
+  /// Process-wide shared instance.
+  static WallClock* Get();
+};
+
+/// Manually advanced virtual clock for deterministic simulations.
+class VirtualClock : public Clock {
+ public:
+  uint64_t NowNanos() const override { return now_nanos_; }
+  void AdvanceNanos(uint64_t nanos) override { now_nanos_ += nanos; }
+  void AdvanceSeconds(double seconds) {
+    AdvanceNanos(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+ private:
+  uint64_t now_nanos_ = 0;
+};
+
+/// Scoped stopwatch measuring elapsed seconds on a clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock) { Reset(); }
+  Stopwatch() : Stopwatch(WallClock::Get()) {}
+
+  void Reset() { start_nanos_ = clock_->NowNanos(); }
+  double ElapsedSeconds() const {
+    return (clock_->NowNanos() - start_nanos_) * 1e-9;
+  }
+
+ private:
+  const Clock* clock_;
+  uint64_t start_nanos_ = 0;
+};
+
+}  // namespace mmlib
+
+#endif  // MMLIB_UTIL_CLOCK_H_

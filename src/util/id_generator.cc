@@ -1,0 +1,24 @@
+#include "util/id_generator.h"
+
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace mmlib {
+
+IdGenerator::IdGenerator(uint64_t seed) {
+  SplitMix64 sm(seed);
+  suffix_state_ = sm.Next();
+}
+
+std::string IdGenerator::Next(const std::string& prefix) {
+  const uint64_t count = counter_.fetch_add(1, std::memory_order_relaxed);
+  SplitMix64 sm(suffix_state_ + count);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "-%llu-%08llx",
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(sm.Next() & 0xffffffffULL));
+  return prefix + buffer;
+}
+
+}  // namespace mmlib

@@ -1,0 +1,30 @@
+#ifndef MMLIB_UTIL_ID_GENERATOR_H_
+#define MMLIB_UTIL_ID_GENERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mmlib {
+
+/// Generates unique, human-scannable identifiers of the form
+/// "<prefix>-<counter>-<random hex>", e.g. "model-42-9f3ab1c2".
+/// Counter is process-wide; random suffix distinguishes processes.
+class IdGenerator {
+ public:
+  /// Constructs a generator seeded deterministically from `seed`. Ids from
+  /// the same seed and call order are identical, which makes experiment
+  /// output reproducible.
+  explicit IdGenerator(uint64_t seed);
+
+  /// Returns the next identifier with the given prefix.
+  std::string Next(const std::string& prefix);
+
+ private:
+  std::atomic<uint64_t> counter_{0};
+  uint64_t suffix_state_;
+};
+
+}  // namespace mmlib
+
+#endif  // MMLIB_UTIL_ID_GENERATOR_H_

@@ -1,0 +1,30 @@
+#ifndef MMLIB_UTIL_TABLE_PRINTER_H_
+#define MMLIB_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mmlib {
+
+/// Renders aligned plain-text tables. Used by the benchmark harness to print
+/// the rows/series of the paper's tables and figures.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds one row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with a header rule to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmlib
+
+#endif  // MMLIB_UTIL_TABLE_PRINTER_H_

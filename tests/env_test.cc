@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+
+namespace mmlib::env {
+namespace {
+
+TEST(EnvironmentTest, CollectFillsCoreFields) {
+  const EnvironmentInfo info = CollectEnvironment();
+  EXPECT_EQ(info.framework_version, kMmlibVersion);
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.os_name.empty());
+  EXPECT_FALSE(info.os_release.empty());
+  EXPECT_FALSE(info.machine.empty());
+  EXPECT_FALSE(info.libraries.empty());
+}
+
+TEST(EnvironmentTest, CollectIsStableWithinProcess) {
+  EXPECT_TRUE(CollectEnvironment() == CollectEnvironment());
+}
+
+TEST(EnvironmentTest, JsonRoundtrip) {
+  const EnvironmentInfo info = CollectEnvironment();
+  auto restored = EnvironmentInfo::FromJson(info.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored.value() == info);
+}
+
+TEST(EnvironmentTest, FromJsonRejectsMissingFields) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("compiler", "gcc");
+  EXPECT_FALSE(EnvironmentInfo::FromJson(doc).ok());
+}
+
+TEST(EnvironmentTest, DiffDetectsEveryFieldChange) {
+  const EnvironmentInfo base = CollectEnvironment();
+  EXPECT_TRUE(base.DiffAgainst(base).empty());
+
+  EnvironmentInfo other = base;
+  other.framework_version = "mmlib++ 0.9";
+  other.os_release = "9.9.9-different";
+  other.cpu_cores += 2;
+  other.libraries["mmlib.nn"] = "2.0";
+  const auto diffs = base.DiffAgainst(other);
+  EXPECT_EQ(diffs.size(), 4u);
+}
+
+TEST(EnvironmentTest, DiffMessagesNameTheField) {
+  EnvironmentInfo a = CollectEnvironment();
+  EnvironmentInfo b = a;
+  b.compiler = "icc 99";
+  const auto diffs = a.DiffAgainst(b);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("compiler"), std::string::npos);
+  EXPECT_NE(diffs[0].find("icc 99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmlib::env

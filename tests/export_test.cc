@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/export.h"
+#include "core/model_code.h"
+#include "data/dataloader.h"
+#include "models/zoo.h"
+#include "nn/loss.h"
+
+namespace mmlib::core {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = models::DefaultConfig(models::Architecture::kResNet18);
+    config_.channel_divisor = 8;
+    config_.image_size = 28;
+    config_.num_classes = 10;
+    model_ = std::make_unique<nn::Model>(
+        models::BuildModel(config_).value());
+  }
+
+  models::ModelConfig config_;
+  std::unique_ptr<nn::Model> model_;
+};
+
+TEST_F(ExportTest, ExportImportReproducesInferenceExactly) {
+  auto bundle =
+      ExportPortable(*model_, CodeDescriptorFor(config_)).value();
+  auto imported = ImportPortable(bundle).value();
+  EXPECT_EQ(imported.ParamsHash(), model_->ParamsHash());
+
+  // Inference of the imported model is bit-identical (paper Section 2.2:
+  // the model is *recoverable* from the bundle...).
+  data::SyntheticImageDataset dataset(
+      data::PaperDatasetId::kCocoOutdoor512, 4096);
+  data::DataLoaderOptions options;
+  options.batch_size = 4;
+  options.image_size = 28;
+  options.num_classes = 10;
+  data::DataLoader loader(&dataset, options);
+  const data::Batch batch = loader.GetBatch(0).value();
+
+  nn::ExecutionContext ctx1 = nn::ExecutionContext::Deterministic(1);
+  ctx1.set_training(false);
+  nn::ExecutionContext ctx2 = nn::ExecutionContext::Deterministic(1);
+  ctx2.set_training(false);
+  Tensor original_out = model_->Forward(batch.images, &ctx1).value();
+  Tensor imported_out = imported.Forward(batch.images, &ctx2).value();
+  EXPECT_TRUE(original_out.Equals(imported_out));
+}
+
+TEST_F(ExportTest, BundleSerializationRoundtrip) {
+  auto bundle =
+      ExportPortable(*model_, CodeDescriptorFor(config_)).value();
+  auto restored = PortableBundle::Deserialize(bundle.Serialize()).value();
+  EXPECT_TRUE(restored.manifest == bundle.manifest);
+  EXPECT_EQ(restored.parameters, bundle.parameters);
+  EXPECT_TRUE(ImportPortable(restored).ok());
+}
+
+TEST_F(ExportTest, BundleCarriesNoProvenance) {
+  // ... but, unlike mmlib's managed representation, the bundle has no base
+  // model, no training process, no environment — retraining-based recovery
+  // is impossible from it (the paper's criticism of PMML/PFA/ONNX).
+  auto bundle =
+      ExportPortable(*model_, CodeDescriptorFor(config_)).value();
+  EXPECT_FALSE(bundle.manifest.Has("base_model"));
+  EXPECT_FALSE(bundle.manifest.Has("provenance"));
+  EXPECT_FALSE(bundle.manifest.Has("env_doc"));
+}
+
+TEST_F(ExportTest, ImportDetectsTamperedParameters) {
+  auto bundle =
+      ExportPortable(*model_, CodeDescriptorFor(config_)).value();
+  bundle.parameters[bundle.parameters.size() - 1] ^= 0x01;
+  EXPECT_EQ(ImportPortable(bundle).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(ExportTest, ImportRejectsWrongFormat) {
+  auto bundle =
+      ExportPortable(*model_, CodeDescriptorFor(config_)).value();
+  bundle.manifest.Set("format", "onnx");
+  EXPECT_FALSE(ImportPortable(bundle).ok());
+  bundle.manifest.Set("format", "mmlib-portable");
+  bundle.manifest.Set("version", 99);
+  EXPECT_EQ(ImportPortable(bundle).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(ExportTest, DeserializeRejectsCorruption) {
+  auto bundle =
+      ExportPortable(*model_, CodeDescriptorFor(config_)).value();
+  Bytes data = bundle.Serialize();
+  data.resize(data.size() / 2);
+  EXPECT_FALSE(PortableBundle::Deserialize(data).ok());
+  data = bundle.Serialize();
+  data.push_back(0);
+  EXPECT_FALSE(PortableBundle::Deserialize(data).ok());
+}
+
+}  // namespace
+}  // namespace mmlib::core

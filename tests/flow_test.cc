@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "dist/flow.h"
+#include "docstore/document_store.h"
+#include "filestore/file_store.h"
+
+namespace mmlib::dist {
+namespace {
+
+FlowConfig TinyFlowConfig(ApproachKind approach) {
+  FlowConfig config;
+  config.approach = approach;
+  config.model = models::DefaultConfig(models::Architecture::kMobileNetV2);
+  config.model.channel_divisor = 8;
+  config.model.image_size = 28;
+  config.model.num_classes = 125;
+  config.u3_iterations = 2;
+  config.dataset_divisor = 4096;
+  config.train.epochs = 1;
+  config.train.max_batches_per_epoch = 1;
+  config.train.loader.batch_size = 4;
+  return config;
+}
+
+struct Backing {
+  docstore::InMemoryDocumentStore docs;
+  filestore::InMemoryFileStore files;
+  core::StorageBackends backends{&docs, &files, nullptr};
+};
+
+class FlowApproaches : public ::testing::TestWithParam<ApproachKind> {};
+
+TEST_P(FlowApproaches, StandardFlowSavesAndRecoversAllModels) {
+  Backing backing;
+  FlowConfig config = TinyFlowConfig(GetParam());
+  EvaluationFlow flow(config, backing.backends);
+  EXPECT_EQ(flow.ExpectedModelCount(), 2 + 2 * 2);
+
+  auto result = flow.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->records.size(), 6u);
+  // Labels in execution order.
+  EXPECT_EQ(result->Labels(),
+            (std::vector<std::string>{"U1", "U3-1-1", "U3-1-2", "U2",
+                                      "U3-2-1", "U3-2-2"}));
+  for (const UseCaseRecord& record : result->records) {
+    EXPECT_GT(record.storage_bytes, 0) << record.label;
+    EXPECT_GT(record.tts_seconds, 0.0) << record.label;
+    // Every model was recovered losslessly (checksum verified inside).
+    EXPECT_TRUE(record.recovered) << record.label;
+    EXPECT_GT(record.ttr_seconds, 0.0) << record.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Approaches, FlowApproaches,
+                         ::testing::Values(ApproachKind::kBaseline,
+                                           ApproachKind::kParamUpdate,
+                                           ApproachKind::kProvenance,
+                                           ApproachKind::kAdaptive),
+                         [](const ::testing::TestParamInfo<ApproachKind>& i) {
+                           return std::string(ApproachName(i.param));
+                         });
+
+/// Paper Table 3: STANDARD/DIST-5/DIST-10/DIST-20 save 10/102/202/402
+/// models.
+struct Table3Case {
+  int nodes;
+  int iterations;
+  int expected_models;
+};
+
+class Table3Property : public ::testing::TestWithParam<Table3Case> {};
+
+TEST_P(Table3Property, ModelCountMatchesTable3) {
+  const Table3Case c = GetParam();
+  FlowConfig config = TinyFlowConfig(ApproachKind::kBaseline);
+  config.num_nodes = c.nodes;
+  config.u3_iterations = c.iterations;
+  Backing backing;
+  EvaluationFlow flow(config, backing.backends);
+  EXPECT_EQ(flow.ExpectedModelCount(), c.expected_models);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTable3, Table3Property,
+                         ::testing::Values(Table3Case{1, 4, 10},
+                                           Table3Case{5, 10, 102},
+                                           Table3Case{10, 10, 202},
+                                           Table3Case{20, 10, 402}));
+
+TEST(FlowTest, MultiNodeFlowProducesPerNodeRecords) {
+  FlowConfig config = TinyFlowConfig(ApproachKind::kBaseline);
+  config.num_nodes = 3;
+  config.recover_models = false;
+  Backing backing;
+  EvaluationFlow flow(config, backing.backends);
+  auto result = flow.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->records.size(), 2u + 3u * 4u);
+
+  // U3 labels appear once per node; server use cases once.
+  int u311 = 0;
+  int u1 = 0;
+  for (const UseCaseRecord& record : result->records) {
+    if (record.label == "U3-1-1") {
+      ++u311;
+      EXPECT_GE(record.node, 0);
+    }
+    if (record.label == "U1") {
+      ++u1;
+      EXPECT_EQ(record.node, -1);
+    }
+  }
+  EXPECT_EQ(u311, 3);
+  EXPECT_EQ(u1, 1);
+  EXPECT_GT(result->MedianTts("U3-1-1"), 0.0);
+  EXPECT_GT(result->MedianStorage("U1"), 0);
+  EXPECT_GT(result->TotalStorage(), 0);
+}
+
+TEST(FlowTest, PartialRelationShrinksParamUpdateStorage) {
+  // Paper Figure 7(b)/(d): for partially updated versions the PUA's
+  // derived-model storage is a small fraction of U1's full snapshot.
+  FlowConfig config = TinyFlowConfig(ApproachKind::kParamUpdate);
+  config.relation = ModelRelation::kPartiallyUpdated;
+  config.recover_models = false;
+  Backing backing;
+  auto result = EvaluationFlow(config, backing.backends).Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const int64_t initial = result->MedianStorage("U1");
+  const int64_t derived = result->MedianStorage("U3-1-1");
+  EXPECT_LT(derived, initial / 3);
+}
+
+TEST(FlowTest, FullRelationKeepsParamUpdateStorageNearBaseline) {
+  // Paper Figure 7(a)/(c): for fully updated versions PUA ~ BA.
+  Backing pua_backing;
+  FlowConfig pua = TinyFlowConfig(ApproachKind::kParamUpdate);
+  pua.recover_models = false;
+  auto pua_result = EvaluationFlow(pua, pua_backing.backends).Run();
+  ASSERT_TRUE(pua_result.ok());
+
+  Backing ba_backing;
+  FlowConfig ba = TinyFlowConfig(ApproachKind::kBaseline);
+  ba.recover_models = false;
+  auto ba_result = EvaluationFlow(ba, ba_backing.backends).Run();
+  ASSERT_TRUE(ba_result.ok());
+
+  const double pua_storage =
+      static_cast<double>(pua_result->MedianStorage("U3-1-1"));
+  const double ba_storage =
+      static_cast<double>(ba_result->MedianStorage("U3-1-1"));
+  EXPECT_NEAR(pua_storage, ba_storage, 0.15 * ba_storage);
+}
+
+TEST(FlowTest, ProvenanceStorageTracksDatasetNotModel) {
+  // Paper Figure 9: MPA storage is dataset-dominated and nearly
+  // architecture-independent.
+  auto run = [](models::Architecture arch) {
+    FlowConfig config = TinyFlowConfig(ApproachKind::kProvenance);
+    config.model = models::DefaultConfig(arch);
+    config.model.channel_divisor = 8;
+    config.model.image_size = 28;
+    config.model.num_classes = 125;
+    config.dataset_divisor = 512;  // realistic dataset-to-metadata ratio
+    config.recover_models = false;
+    Backing backing;
+    return EvaluationFlow(config, backing.backends)
+        .Run()
+        .value()
+        .MedianStorage("U3-1-1");
+  };
+  const int64_t mobilenet = run(models::Architecture::kMobileNetV2);
+  const int64_t resnet18 = run(models::Architecture::kResNet18);
+  EXPECT_NEAR(static_cast<double>(mobilenet),
+              static_cast<double>(resnet18), 0.1 * mobilenet);
+}
+
+TEST(FlowTest, ChainDepthFollowsFigure6) {
+  // Model relations (paper Figure 6): U3-1-n chains to U1 (depth n);
+  // U2 chains to U1 (depth 1); U3-2-n chains through U2 (depth n+1).
+  FlowConfig config = TinyFlowConfig(ApproachKind::kParamUpdate);
+  config.recover_models = false;
+  Backing backing;
+  auto result = EvaluationFlow(config, backing.backends).Run();
+  ASSERT_TRUE(result.ok());
+
+  core::ModelRecoverer recoverer(backing.backends);
+  for (const UseCaseRecord& record : result->records) {
+    const size_t depth =
+        recoverer.BaseChainLength(record.model_id).value();
+    if (record.label == "U1") {
+      EXPECT_EQ(depth, 0u);
+    } else if (record.label == "U2" || record.label == "U3-1-1") {
+      EXPECT_EQ(depth, 1u);
+    } else if (record.label == "U3-1-2") {
+      EXPECT_EQ(depth, 2u);
+    } else if (record.label == "U3-2-1") {
+      EXPECT_EQ(depth, 2u);
+    } else if (record.label == "U3-2-2") {
+      EXPECT_EQ(depth, 3u);
+    }
+  }
+}
+
+TEST(FlowTest, SimulatedModeSkipsTraining) {
+  FlowConfig config = TinyFlowConfig(ApproachKind::kBaseline);
+  config.training_mode = TrainingMode::kSimulated;
+  Backing backing;
+  auto result = EvaluationFlow(config, backing.backends).Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const UseCaseRecord& record : result->records) {
+    EXPECT_TRUE(record.recovered);
+  }
+}
+
+TEST(FlowTest, SimulatedProvenanceRecoveryIsRejected) {
+  FlowConfig config = TinyFlowConfig(ApproachKind::kProvenance);
+  config.training_mode = TrainingMode::kSimulated;
+  config.recover_models = true;
+  Backing backing;
+  auto result = EvaluationFlow(config, backing.backends).Run();
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlowTest, SimulatedPartialUpdatesOnlyTouchClassifier) {
+  FlowConfig config = TinyFlowConfig(ApproachKind::kParamUpdate);
+  config.training_mode = TrainingMode::kSimulated;
+  config.relation = ModelRelation::kPartiallyUpdated;
+  config.recover_models = false;
+  Backing backing;
+  auto result = EvaluationFlow(config, backing.backends).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->MedianStorage("U3-1-1"),
+            result->MedianStorage("U1") / 3);
+}
+
+TEST(FlowTest, NetworkChargesAppearInTimes) {
+  // With a very slow simulated link, save times are dominated by transfer
+  // time, which must be included in TTS.
+  FlowConfig config = TinyFlowConfig(ApproachKind::kBaseline);
+  config.recover_models = false;
+  config.training_mode = TrainingMode::kSimulated;
+
+  docstore::InMemoryDocumentStore docs;
+  filestore::InMemoryFileStore files;
+  simnet::Network network(simnet::Link{1e6, 0.0});  // 1 MB/s
+  docstore::RemoteDocumentStore remote_docs(&docs, &network);
+  filestore::RemoteFileStore remote_files(&files, &network);
+  core::StorageBackends backends{&remote_docs, &remote_files, &network};
+
+  auto result = EvaluationFlow(config, backends).Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The MobileNetV2 snapshot is ~300 KB => >= 0.3 s of virtual transfer.
+  EXPECT_GT(result->MedianTts("U1"), 0.2);
+  EXPECT_GT(network.TotalBytes(), 0u);
+}
+
+TEST(FlowTest, MediansOfUnknownLabelAreZero) {
+  FlowResult empty;
+  EXPECT_EQ(empty.MedianTts("U1"), 0.0);
+  EXPECT_EQ(empty.MedianTtr("U1"), 0.0);
+  EXPECT_EQ(empty.MedianStorage("U1"), 0);
+  EXPECT_EQ(empty.TotalStorage(), 0);
+}
+
+}  // namespace
+}  // namespace mmlib::dist

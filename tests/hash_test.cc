@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "hash/merkle_tree.h"
+#include "hash/sha256.h"
+#include "util/random.h"
+
+namespace mmlib {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 test vectors) ---
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(
+      Sha256::Hash("").ToHex(),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(
+      Sha256::Hash("abc").ToHex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  EXPECT_EQ(
+      hasher.Finish().ToHex(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Rng rng(3);
+  Bytes data(10000);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  // Feed in irregular chunk sizes.
+  Sha256 hasher;
+  size_t pos = 0;
+  size_t step = 1;
+  while (pos < data.size()) {
+    const size_t take = std::min(step, data.size() - pos);
+    hasher.Update(data.data() + pos, take);
+    pos += take;
+    step = step * 2 + 1;
+  }
+  EXPECT_EQ(hasher.Finish(), Sha256::Hash(data));
+}
+
+TEST(Sha256Test, HashPairDependsOnOrder) {
+  const Digest a = Sha256::Hash("a");
+  const Digest b = Sha256::Hash("b");
+  EXPECT_NE(Sha256::HashPair(a, b), Sha256::HashPair(b, a));
+}
+
+TEST(DigestTest, HexRoundtrip) {
+  const Digest d = Sha256::Hash("roundtrip");
+  auto restored = Digest::FromHex(d.ToHex());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), d);
+}
+
+TEST(DigestTest, FromHexRejectsBadInput) {
+  EXPECT_FALSE(Digest::FromHex("abcd").ok());
+  EXPECT_FALSE(Digest::FromHex(std::string(63, 'a')).ok());
+  EXPECT_FALSE(Digest::FromHex(std::string(64, 'g')).ok());
+}
+
+// --- CRC-32 ---
+
+TEST(Crc32Test, KnownVectors) {
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(s.data()), s.size()),
+            0xcbf43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  Bytes data(100, 0x55);
+  const uint32_t original = Crc32(data);
+  data[50] ^= 0x01;
+  EXPECT_NE(Crc32(data), original);
+}
+
+// --- Merkle tree ---
+
+std::vector<Digest> MakeLeaves(size_t count, uint64_t salt = 0) {
+  std::vector<Digest> leaves;
+  for (size_t i = 0; i < count; ++i) {
+    leaves.push_back(
+        Sha256::Hash("leaf-" + std::to_string(i) + "-" + std::to_string(salt)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTreeTest, RequiresLeaves) {
+  EXPECT_FALSE(MerkleTree::Build({}).ok());
+}
+
+TEST(MerkleTreeTest, EqualLeavesGiveEqualRoot) {
+  auto a = MerkleTree::Build(MakeLeaves(13)).value();
+  auto b = MerkleTree::Build(MakeLeaves(13)).value();
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.leaf_count(), 13u);
+}
+
+TEST(MerkleTreeTest, AnyLeafChangeChangesRoot) {
+  auto base = MerkleTree::Build(MakeLeaves(8)).value();
+  for (size_t i = 0; i < 8; ++i) {
+    auto leaves = MakeLeaves(8);
+    leaves[i] = Sha256::Hash("changed");
+    auto changed = MerkleTree::Build(std::move(leaves)).value();
+    EXPECT_NE(changed.root(), base.root()) << "leaf " << i;
+  }
+}
+
+TEST(MerkleTreeTest, DiffFindsChangedLeaves) {
+  auto leaves = MakeLeaves(10);
+  auto before = MerkleTree::Build(leaves).value();
+  leaves[3] = Sha256::Hash("x");
+  leaves[7] = Sha256::Hash("y");
+  auto after = MerkleTree::Build(leaves).value();
+  auto diff = MerkleTree::Diff(before, after).value();
+  EXPECT_EQ(diff.changed_leaves, (std::vector<size_t>{3, 7}));
+}
+
+TEST(MerkleTreeTest, DiffOfEqualTreesIsOneComparison) {
+  auto a = MerkleTree::Build(MakeLeaves(64)).value();
+  auto b = MerkleTree::Build(MakeLeaves(64)).value();
+  auto diff = MerkleTree::Diff(a, b).value();
+  EXPECT_TRUE(diff.changed_leaves.empty());
+  EXPECT_EQ(diff.comparisons, 1u);
+}
+
+TEST(MerkleTreeTest, DiffRejectsMismatchedLeafCounts) {
+  auto a = MerkleTree::Build(MakeLeaves(8)).value();
+  auto b = MerkleTree::Build(MakeLeaves(9)).value();
+  EXPECT_FALSE(MerkleTree::Diff(a, b).ok());
+}
+
+/// Paper Figure 4: with the last two layers changed, locating them costs 7
+/// comparisons for 8 layers, 13 for 64 layers, and 15 for 128 layers.
+struct Fig4Case {
+  size_t layers;
+  size_t expected_comparisons;
+};
+
+class MerkleFig4Property : public ::testing::TestWithParam<Fig4Case> {};
+
+TEST_P(MerkleFig4Property, ComparisonCountMatchesPaper) {
+  const Fig4Case test_case = GetParam();
+  auto leaves = MakeLeaves(test_case.layers);
+  auto before = MerkleTree::Build(leaves).value();
+  leaves[test_case.layers - 2] = Sha256::Hash("changed-a");
+  leaves[test_case.layers - 1] = Sha256::Hash("changed-b");
+  auto after = MerkleTree::Build(leaves).value();
+  auto diff = MerkleTree::Diff(before, after).value();
+  EXPECT_EQ(diff.comparisons, test_case.expected_comparisons);
+  EXPECT_EQ(diff.changed_leaves,
+            (std::vector<size_t>{test_case.layers - 2, test_case.layers - 1}));
+  EXPECT_EQ(before.NaiveComparisonCount(), test_case.layers);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFigure4, MerkleFig4Property,
+                         ::testing::Values(Fig4Case{8, 7}, Fig4Case{64, 13},
+                                           Fig4Case{128, 15}));
+
+TEST(MerkleTreeTest, SerializeRoundtrip) {
+  auto tree = MerkleTree::Build(MakeLeaves(11)).value();
+  auto restored = MerkleTree::Deserialize(tree.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->root(), tree.root());
+  EXPECT_EQ(restored->leaf_count(), tree.leaf_count());
+  for (size_t i = 0; i < tree.leaf_count(); ++i) {
+    EXPECT_EQ(restored->leaf(i), tree.leaf(i));
+  }
+}
+
+TEST(MerkleTreeTest, DeserializeRejectsCorruptHeader) {
+  auto tree = MerkleTree::Build(MakeLeaves(4)).value();
+  Bytes data = tree.Serialize();
+  data[0] = 0xff;  // leaf_count corrupted beyond padded size
+  EXPECT_FALSE(MerkleTree::Deserialize(data).ok());
+}
+
+TEST(MerkleTreeTest, DeserializeRejectsTruncation) {
+  auto tree = MerkleTree::Build(MakeLeaves(4)).value();
+  Bytes data = tree.Serialize();
+  data.resize(data.size() - 5);
+  EXPECT_FALSE(MerkleTree::Deserialize(data).ok());
+}
+
+/// Property: for any leaf count and changed subset, the diff finds exactly
+/// the changed leaves and never needs more comparisons than a naive scan of
+/// all padded nodes.
+class MerkleDiffProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleDiffProperty, DiffIsExact) {
+  const size_t leaf_count = GetParam();
+  Rng rng(leaf_count * 7 + 1);
+  for (int round = 0; round < 10; ++round) {
+    auto leaves = MakeLeaves(leaf_count);
+    std::vector<size_t> changed;
+    for (size_t i = 0; i < leaf_count; ++i) {
+      if (rng.NextBelow(4) == 0) {
+        leaves[i] = Sha256::Hash("r" + std::to_string(round) + "-" +
+                                 std::to_string(i));
+        changed.push_back(i);
+      }
+    }
+    auto before = MerkleTree::Build(MakeLeaves(leaf_count)).value();
+    auto after = MerkleTree::Build(leaves).value();
+    auto diff = MerkleTree::Diff(before, after).value();
+    EXPECT_EQ(diff.changed_leaves, changed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleDiffProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 33, 100, 129));
+
+}  // namespace
+}  // namespace mmlib

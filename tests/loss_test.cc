@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/random.h"
+
+namespace mmlib::nn {
+namespace {
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{2, 4});  // all-zero logits: uniform distribution
+  auto result = SoftmaxCrossEntropy(logits, {0, 3}).value();
+  EXPECT_NEAR(result.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits(Shape{1, 3}, {10.0f, -10.0f, -10.0f});
+  auto result = SoftmaxCrossEntropy(logits, {0}).value();
+  EXPECT_LT(result.loss, 1e-3f);
+}
+
+TEST(CrossEntropyTest, GradientRowsSumToZero) {
+  Rng rng(1);
+  Tensor logits = Tensor::Gaussian(Shape{4, 7}, 2.0f, &rng);
+  auto result = SoftmaxCrossEntropy(logits, {0, 1, 2, 3}).value();
+  for (int64_t n = 0; n < 4; ++n) {
+    double sum = 0;
+    for (int64_t c = 0; c < 7; ++c) {
+      sum += result.grad_logits.at(n * 7 + c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropyTest, GradientMatchesFiniteDifferences) {
+  Rng rng(2);
+  Tensor logits = Tensor::Gaussian(Shape{2, 5}, 1.0f, &rng);
+  const std::vector<int64_t> labels{1, 4};
+  auto analytic = SoftmaxCrossEntropy(logits, labels).value();
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor perturbed = logits;
+    perturbed.at(i) += eps;
+    const float plus = SoftmaxCrossEntropy(perturbed, labels).value().loss;
+    perturbed.at(i) -= 2 * eps;
+    const float minus = SoftmaxCrossEntropy(perturbed, labels).value().loss;
+    const float numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(analytic.grad_logits.at(i), numeric, 1e-3f);
+  }
+}
+
+TEST(CrossEntropyTest, NumericallyStableForLargeLogits) {
+  Tensor logits(Shape{1, 2}, {1000.0f, -1000.0f});
+  auto result = SoftmaxCrossEntropy(logits, {0}).value();
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_NEAR(result.loss, 0.0f, 1e-5f);
+}
+
+TEST(CrossEntropyTest, RejectsBadInputs) {
+  Tensor logits(Shape{2, 3});
+  EXPECT_FALSE(SoftmaxCrossEntropy(logits, {0}).ok());          // count
+  EXPECT_FALSE(SoftmaxCrossEntropy(logits, {0, 5}).ok());       // range
+  EXPECT_FALSE(SoftmaxCrossEntropy(logits, {0, -1}).ok());      // negative
+  Tensor bad_rank(Shape{6});
+  EXPECT_FALSE(SoftmaxCrossEntropy(bad_rank, {0}).ok());
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor logits(Shape{3, 2}, {2.0f, 1.0f,   // -> 0
+                              0.0f, 5.0f,   // -> 1
+                              3.0f, 4.0f}); // -> 1
+  EXPECT_FLOAT_EQ(Accuracy(logits, {0, 1, 0}).value(), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(Accuracy(logits, {1, 0, 0}).value(), 0.0f);
+}
+
+TEST(AccuracyTest, RejectsMismatchedLabels) {
+  Tensor logits(Shape{2, 2});
+  EXPECT_FALSE(Accuracy(logits, {0}).ok());
+}
+
+}  // namespace
+}  // namespace mmlib::nn

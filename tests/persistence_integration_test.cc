@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/catalog.h"
+#include "core/model_code.h"
+#include "core/param_update.h"
+#include "core/provenance.h"
+#include "core/recover.h"
+#include "core/train_service.h"
+#include "docstore/document_store.h"
+#include "filestore/file_store.h"
+#include "models/zoo.h"
+
+namespace mmlib::core {
+namespace {
+
+/// Integration tests over disk-backed stores: everything written by a save
+/// "session" must be recoverable by a later session that only shares the
+/// store directory — the paper's central-server scenario, where the machine
+/// that saves and the machine that recovers share only MongoDB + storage.
+class PersistenceIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/mmlib-persist-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    config_ = models::DefaultConfig(models::Architecture::kMobileNetV2);
+    config_.channel_divisor = 8;
+    config_.image_size = 28;
+    config_.num_classes = 10;
+    environment_ = env::CollectEnvironment();
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  struct Session {
+    std::unique_ptr<docstore::PersistentDocumentStore> docs;
+    std::unique_ptr<filestore::LocalDirFileStore> files;
+    StorageBackends backends;
+  };
+
+  /// Opens the store directory as a fresh "process".
+  Session OpenSession() {
+    Session session;
+    session.docs =
+        docstore::PersistentDocumentStore::Open(root_ + "/docs").value();
+    session.files =
+        filestore::LocalDirFileStore::Open(root_ + "/files").value();
+    session.backends =
+        StorageBackends{session.docs.get(), session.files.get(), nullptr};
+    return session;
+  }
+
+  std::string root_;
+  models::ModelConfig config_;
+  env::EnvironmentInfo environment_;
+};
+
+TEST_F(PersistenceIntegrationTest, PuaChainSurvivesReopen) {
+  Digest final_hash{};
+  std::string head_id;
+  {
+    // Session 1: save an initial model and two partial updates.
+    Session session = OpenSession();
+    ParamUpdateSaveService service(session.backends);
+    auto model = models::BuildModel(config_).value();
+    models::ApplyPartialUpdateFreeze(&model);
+
+    SaveRequest request;
+    request.model = &model;
+    request.code = CodeDescriptorFor(config_);
+    request.environment = &environment_;
+    head_id = service.SaveModel(request).value().model_id;
+
+    Rng rng(1);
+    for (int round = 0; round < 2; ++round) {
+      for (size_t i = 0; i < model.node_count(); ++i) {
+        for (nn::Param& param : model.layer(i)->params()) {
+          if (param.trainable && !param.is_buffer) {
+            for (int64_t k = 0; k < param.value.numel(); ++k) {
+              param.value.at(k) += rng.NextGaussian() * 0.01f;
+            }
+          }
+        }
+      }
+      SaveRequest derived = request;
+      derived.base_model_id = head_id;
+      head_id = service.SaveModel(derived).value().model_id;
+    }
+    final_hash = model.ParamsHash();
+  }
+  {
+    // Session 2: a different "process" recovers from disk alone.
+    Session session = OpenSession();
+    ModelRecoverer recoverer(session.backends);
+    auto recovered = recoverer.Recover(head_id, RecoverOptions{}).value();
+    EXPECT_EQ(recovered.model.ParamsHash(), final_hash);
+    EXPECT_TRUE(recovered.checksum_verified);
+    EXPECT_TRUE(recovered.environment_matches);
+    EXPECT_EQ(recoverer.BaseChainLength(head_id).value(), 2u);
+
+    ModelCatalog catalog(session.backends);
+    EXPECT_EQ(catalog.ListModels().value().size(), 3u);
+    EXPECT_EQ(catalog.GetChain(head_id).value().size(), 3u);
+  }
+}
+
+TEST_F(PersistenceIntegrationTest, ProvenanceRecoverySurvivesReopen) {
+  Digest trained_hash{};
+  std::string derived_id;
+  {
+    // Session 1: train and save via provenance (dataset archived to disk).
+    Session session = OpenSession();
+    ProvenanceSaveService service(session.backends);
+    auto model = models::BuildModel(config_).value();
+
+    SaveRequest request;
+    request.model = &model;
+    request.code = CodeDescriptorFor(config_);
+    request.environment = &environment_;
+    const std::string initial_id =
+        service.SaveModel(request).value().model_id;
+
+    data::SyntheticImageDataset dataset(
+        data::PaperDatasetId::kCocoOutdoor512, 4096);
+    TrainConfig train_config;
+    train_config.epochs = 1;
+    train_config.max_batches_per_epoch = 2;
+    train_config.loader.batch_size = 4;
+    train_config.loader.image_size = config_.image_size;
+    train_config.loader.num_classes = config_.num_classes;
+    train_config.sgd.momentum = 0.9f;
+    ImageTrainService trainer(&dataset, train_config);
+    auto provenance = trainer.CaptureProvenance().value();
+    ASSERT_TRUE(trainer.Train(&model, true, 0).ok());
+    trained_hash = model.ParamsHash();
+
+    SaveRequest derived = request;
+    derived.base_model_id = initial_id;
+    derived.provenance = &provenance;
+    derived_id = service.SaveModel(derived).value().model_id;
+  }
+  {
+    // Session 2: recovery replays the training from the on-disk archive.
+    Session session = OpenSession();
+    ModelRecoverer recoverer(session.backends);
+    auto recovered =
+        recoverer.Recover(derived_id, RecoverOptions{}).value();
+    EXPECT_EQ(recovered.model.ParamsHash(), trained_hash);
+    EXPECT_TRUE(recovered.checksum_verified);
+  }
+}
+
+TEST_F(PersistenceIntegrationTest, DeletionInOneSessionIsSeenByTheNext) {
+  std::string head_id;
+  {
+    Session session = OpenSession();
+    ParamUpdateSaveService service(session.backends);
+    auto model = models::BuildModel(config_).value();
+    SaveRequest request;
+    request.model = &model;
+    request.code = CodeDescriptorFor(config_);
+    request.environment = &environment_;
+    head_id = service.SaveModel(request).value().model_id;
+  }
+  {
+    Session session = OpenSession();
+    ModelCatalog catalog(session.backends);
+    ASSERT_TRUE(catalog.DeleteModel(head_id).ok());
+  }
+  {
+    Session session = OpenSession();
+    ModelCatalog catalog(session.backends);
+    EXPECT_TRUE(catalog.ListModels().value().empty());
+    EXPECT_EQ(session.files->FileCount(), 0u);
+    ModelRecoverer recoverer(session.backends);
+    EXPECT_FALSE(recoverer.Recover(head_id, RecoverOptions{}).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mmlib::core

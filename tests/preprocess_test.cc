@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "data/preprocess.h"
+
+namespace mmlib::data {
+namespace {
+
+Image SolidImage(int64_t height, int64_t width, uint8_t r, uint8_t g,
+                 uint8_t b) {
+  Image image;
+  image.height = height;
+  image.width = width;
+  image.pixels.resize(static_cast<size_t>(height) * width * 3);
+  for (int64_t i = 0; i < height * width; ++i) {
+    image.pixels[i * 3] = r;
+    image.pixels[i * 3 + 1] = g;
+    image.pixels[i * 3 + 2] = b;
+  }
+  return image;
+}
+
+TEST(PreprocessorConfigTest, JsonRoundtrip) {
+  PreprocessorConfig config;
+  config.center_crop = true;
+  config.mean = {0.485f, 0.456f, 0.406f};   // the ImageNet constants
+  config.stddev = {0.229f, 0.224f, 0.225f};
+  auto restored = PreprocessorConfig::FromJson(config.ToJson()).value();
+  EXPECT_TRUE(restored == config);
+}
+
+TEST(PreprocessorConfigTest, RejectsBadDocuments) {
+  PreprocessorConfig config;
+  json::Value doc = config.ToJson();
+  doc.Set("mean", json::Value::Array{json::Value(1.0), json::Value(2.0)});
+  EXPECT_FALSE(PreprocessorConfig::FromJson(doc).ok());
+  doc = config.ToJson();
+  doc.Set("stddev", json::Value::Array{json::Value(0.0), json::Value(1.0),
+                                       json::Value(1.0)});
+  EXPECT_FALSE(PreprocessorConfig::FromJson(doc).ok());
+  EXPECT_FALSE(
+      PreprocessorConfig::FromJson(json::Value::MakeObject()).ok());
+}
+
+TEST(PreprocessorTest, NormalizesPerChannel) {
+  PreprocessorConfig config;
+  config.mean = {0.0f, 0.5f, 1.0f};
+  config.stddev = {1.0f, 0.5f, 2.0f};
+  Preprocessor preprocessor(config, 2);
+  const Image image = SolidImage(4, 4, 255, 255, 0);
+  std::vector<float> out(3 * 2 * 2);
+  preprocessor.Apply(image, /*flip=*/false, out.data());
+  EXPECT_FLOAT_EQ(out[0], 1.0f);              // (1.0 - 0) / 1
+  EXPECT_FLOAT_EQ(out[4], 1.0f);              // (1.0 - 0.5) / 0.5
+  EXPECT_FLOAT_EQ(out[8], -0.5f);             // (0.0 - 1.0) / 2
+}
+
+TEST(PreprocessorTest, CenterCropUsesMiddleSquare) {
+  // 2x6 image: left third red-ish, middle third green, right third blue.
+  Image image;
+  image.height = 2;
+  image.width = 6;
+  image.pixels.assign(2 * 6 * 3, 0);
+  for (int64_t y = 0; y < 2; ++y) {
+    for (int64_t x = 0; x < 6; ++x) {
+      const size_t p = (y * 6 + x) * 3;
+      image.pixels[p + (x < 2 ? 0 : (x < 4 ? 1 : 2))] = 255;
+    }
+  }
+  PreprocessorConfig config;
+  config.center_crop = true;
+  config.mean = {0, 0, 0};
+  Preprocessor preprocessor(config, 2);
+  std::vector<float> out(3 * 2 * 2);
+  preprocessor.Apply(image, false, out.data());
+  // The centered 2x2 window is all green.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(out[0 * 4 + i], 0.0f);  // R
+    EXPECT_FLOAT_EQ(out[1 * 4 + i], 1.0f);  // G
+    EXPECT_FLOAT_EQ(out[2 * 4 + i], 0.0f);  // B
+  }
+}
+
+TEST(PreprocessorTest, FlipMirrorsHorizontally) {
+  // 1x2 image: left black, right white.
+  Image image;
+  image.height = 1;
+  image.width = 2;
+  image.pixels = {0, 0, 0, 255, 255, 255};
+  PreprocessorConfig config;
+  config.mean = {0, 0, 0};
+  Preprocessor preprocessor(config, 2);
+  std::vector<float> plain(3 * 2 * 2);
+  std::vector<float> flipped(3 * 2 * 2);
+  preprocessor.Apply(image, false, plain.data());
+  preprocessor.Apply(image, true, flipped.data());
+  // Row layout per channel: [y=0: x0 x1; y=1: x0 x1].
+  EXPECT_FLOAT_EQ(plain[0], 0.0f);
+  EXPECT_FLOAT_EQ(plain[1], 1.0f);
+  EXPECT_FLOAT_EQ(flipped[0], 1.0f);
+  EXPECT_FLOAT_EQ(flipped[1], 0.0f);
+}
+
+TEST(PreprocessorTest, LoaderUsesConfiguredNormalization) {
+  SyntheticImageDataset dataset(PaperDatasetId::kCocoOutdoor512, 4096);
+  DataLoaderOptions options;
+  options.batch_size = 2;
+  options.image_size = 8;
+  options.num_classes = 10;
+  options.shuffle = false;
+
+  DataLoader default_loader(&dataset, options);
+  options.preprocess.mean = {0.0f, 0.0f, 0.0f};
+  DataLoader zero_mean_loader(&dataset, options);
+
+  const Batch a = default_loader.GetBatch(0).value();
+  const Batch b = zero_mean_loader.GetBatch(0).value();
+  // Same pixels, shifted by the mean difference of 0.5.
+  EXPECT_FALSE(a.images.Equals(b.images));
+  for (int64_t i = 0; i < a.images.numel(); ++i) {
+    ASSERT_NEAR(b.images.at(i) - a.images.at(i), 0.5f, 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace mmlib::data

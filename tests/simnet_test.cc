@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "simnet/network.h"
+
+namespace mmlib::simnet {
+namespace {
+
+TEST(LinkTest, TransferSecondsCombineLatencyAndBandwidth) {
+  Link link{1e9, 1e-3};  // 1 GB/s, 1 ms latency
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0), 1e-3);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(1'000'000'000), 1.001);
+}
+
+TEST(LinkTest, PresetLinksAreOrdered) {
+  // The datacenter link is vastly faster than the vehicle uplink.
+  const Link fast = Link::InfiniBand100G();
+  const Link slow = Link::Cellular50M();
+  EXPECT_LT(fast.TransferSeconds(100 << 20), slow.TransferSeconds(100 << 20));
+  EXPECT_LT(fast.latency_seconds, slow.latency_seconds);
+}
+
+TEST(NetworkTest, AccumulatesTransfers) {
+  Network network(Link{1000.0, 0.5});
+  const double t1 = network.Transfer(500);
+  EXPECT_DOUBLE_EQ(t1, 1.0);  // 0.5 latency + 500/1000
+  network.Transfer(1500);
+  EXPECT_EQ(network.TotalBytes(), 2000u);
+  EXPECT_EQ(network.MessageCount(), 2u);
+  EXPECT_DOUBLE_EQ(network.TotalTransferSeconds(), 1.0 + 2.0);
+}
+
+TEST(NetworkTest, ResetClearsState) {
+  Network network;
+  network.Transfer(1 << 20);
+  network.Reset();
+  EXPECT_EQ(network.TotalBytes(), 0u);
+  EXPECT_EQ(network.MessageCount(), 0u);
+  EXPECT_DOUBLE_EQ(network.TotalTransferSeconds(), 0.0);
+}
+
+TEST(NetworkTest, InfiniBandIsSubMillisecondForModelSizedPayloads) {
+  // Sanity for the paper's setup: a 240 MB ResNet-152 snapshot crosses the
+  // 100G link in ~20 ms — network time does not dominate save times.
+  Network network(Link::InfiniBand100G());
+  const double seconds = network.Transfer(240ull << 20);
+  EXPECT_LT(seconds, 0.05);
+  EXPECT_GT(seconds, 0.01);
+}
+
+}  // namespace
+}  // namespace mmlib::simnet

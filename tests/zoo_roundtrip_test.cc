@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/baseline.h"
+#include "core/model_code.h"
+#include "core/param_update.h"
+#include "core/recover.h"
+#include "docstore/document_store.h"
+#include "filestore/file_store.h"
+#include "models/zoo.h"
+
+namespace mmlib::core {
+namespace {
+
+/// End-to-end sweep: every zoo architecture round-trips through every
+/// parameter-based approach, for both model relations — the cartesian
+/// product behind the paper's 80-experiment evaluation grid (Section 4.1).
+struct SweepCase {
+  models::Architecture arch;
+  bool param_update;  // false = baseline
+  bool partial;
+};
+
+std::vector<SweepCase> AllSweepCases() {
+  std::vector<SweepCase> cases;
+  for (models::Architecture arch : models::AllArchitectures()) {
+    for (bool param_update : {false, true}) {
+      for (bool partial : {false, true}) {
+        cases.push_back(SweepCase{arch, param_update, partial});
+      }
+    }
+  }
+  return cases;
+}
+
+class ZooRoundtrip : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ZooRoundtrip, SaveRecoverChainIsLossless) {
+  const SweepCase test_case = GetParam();
+  models::ModelConfig config = models::DefaultConfig(test_case.arch);
+  config.channel_divisor = 8;
+  config.image_size = 28;
+  config.num_classes = 10;
+  auto model = models::BuildModel(config).value();
+  if (test_case.partial) {
+    models::ApplyPartialUpdateFreeze(&model);
+  }
+
+  docstore::InMemoryDocumentStore docs;
+  filestore::InMemoryFileStore files;
+  StorageBackends backends{&docs, &files, nullptr};
+  std::unique_ptr<SaveService> service;
+  if (test_case.param_update) {
+    service = std::make_unique<ParamUpdateSaveService>(backends);
+  } else {
+    service = std::make_unique<BaselineSaveService>(backends);
+  }
+  const env::EnvironmentInfo environment = env::CollectEnvironment();
+
+  SaveRequest request;
+  request.model = &model;
+  request.code = CodeDescriptorFor(config);
+  request.environment = &environment;
+  const auto initial = service->SaveModel(request).value();
+
+  // Two derived versions via simulated updates of the trainable layers.
+  Rng rng(static_cast<uint64_t>(test_case.arch) * 100 + test_case.partial);
+  std::string base_id = initial.model_id;
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < model.node_count(); ++i) {
+      for (nn::Param& param : model.layer(i)->params()) {
+        if (param.trainable && !param.is_buffer) {
+          for (int64_t k = 0; k < param.value.numel(); ++k) {
+            param.value.at(k) += rng.NextGaussian() * 0.01f;
+          }
+        }
+      }
+    }
+    SaveRequest derived = request;
+    derived.base_model_id = base_id;
+    base_id = service->SaveModel(derived).value().model_id;
+  }
+
+  ModelRecoverer recoverer(backends);
+  auto recovered = recoverer.Recover(base_id, RecoverOptions{}).value();
+  EXPECT_EQ(recovered.model.ParamsHash(), model.ParamsHash());
+  EXPECT_TRUE(recovered.checksum_verified);
+  EXPECT_EQ(recovered.model.ArchitectureFingerprint(),
+            model.ArchitectureFingerprint());
+  EXPECT_EQ(recoverer.BaseChainLength(base_id).value(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvaluationGrid, ZooRoundtrip, ::testing::ValuesIn(AllSweepCases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name(models::ArchitectureName(info.param.arch));
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      name += info.param.param_update ? "_PUA" : "_BA";
+      name += info.param.partial ? "_partial" : "_full";
+      return name;
+    });
+
+}  // namespace
+}  // namespace mmlib::core
