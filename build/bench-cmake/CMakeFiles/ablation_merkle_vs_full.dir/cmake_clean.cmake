@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_merkle_vs_full"
+  "../bench/ablation_merkle_vs_full.pdb"
+  "CMakeFiles/ablation_merkle_vs_full.dir/ablation_merkle_vs_full.cc.o"
+  "CMakeFiles/ablation_merkle_vs_full.dir/ablation_merkle_vs_full.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merkle_vs_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_recovery_cache"
+  "../bench/ablation_recovery_cache.pdb"
+  "CMakeFiles/ablation_recovery_cache.dir/ablation_recovery_cache.cc.o"
+  "CMakeFiles/ablation_recovery_cache.dir/ablation_recovery_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recovery_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

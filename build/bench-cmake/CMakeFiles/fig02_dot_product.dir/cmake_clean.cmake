@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_dot_product"
+  "../bench/fig02_dot_product.pdb"
+  "CMakeFiles/fig02_dot_product.dir/fig02_dot_product.cc.o"
+  "CMakeFiles/fig02_dot_product.dir/fig02_dot_product.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dot_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

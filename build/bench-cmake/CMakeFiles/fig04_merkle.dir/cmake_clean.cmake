@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_merkle"
+  "../bench/fig04_merkle.pdb"
+  "CMakeFiles/fig04_merkle.dir/fig04_merkle.cc.o"
+  "CMakeFiles/fig04_merkle.dir/fig04_merkle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

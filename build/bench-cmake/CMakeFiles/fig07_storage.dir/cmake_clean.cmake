@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_storage"
+  "../bench/fig07_storage.pdb"
+  "CMakeFiles/fig07_storage.dir/fig07_storage.cc.o"
+  "CMakeFiles/fig07_storage.dir/fig07_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

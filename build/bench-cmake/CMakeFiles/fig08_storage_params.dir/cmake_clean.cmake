@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_storage_params"
+  "../bench/fig08_storage_params.pdb"
+  "CMakeFiles/fig08_storage_params.dir/fig08_storage_params.cc.o"
+  "CMakeFiles/fig08_storage_params.dir/fig08_storage_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_storage_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_mpa_storage"
+  "../bench/fig09_mpa_storage.pdb"
+  "CMakeFiles/fig09_mpa_storage.dir/fig09_mpa_storage.cc.o"
+  "CMakeFiles/fig09_mpa_storage.dir/fig09_mpa_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mpa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_tts"
+  "../bench/fig10_tts.pdb"
+  "CMakeFiles/fig10_tts.dir/fig10_tts.cc.o"
+  "CMakeFiles/fig10_tts.dir/fig10_tts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_ttr"
+  "../bench/fig11_ttr.pdb"
+  "CMakeFiles/fig11_ttr.dir/fig11_ttr.cc.o"
+  "CMakeFiles/fig11_ttr.dir/fig11_ttr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_deterministic"
+  "../bench/fig13_deterministic.pdb"
+  "CMakeFiles/fig13_deterministic.dir/fig13_deterministic.cc.o"
+  "CMakeFiles/fig13_deterministic.dir/fig13_deterministic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

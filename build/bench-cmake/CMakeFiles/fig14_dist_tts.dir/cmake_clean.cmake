@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_dist_tts"
+  "../bench/fig14_dist_tts.pdb"
+  "CMakeFiles/fig14_dist_tts.dir/fig14_dist_tts.cc.o"
+  "CMakeFiles/fig14_dist_tts.dir/fig14_dist_tts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dist_tts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_dist_ttr"
+  "../bench/fig15_dist_ttr.pdb"
+  "CMakeFiles/fig15_dist_ttr.dir/fig15_dist_ttr.cc.o"
+  "CMakeFiles/fig15_dist_ttr.dir/fig15_dist_ttr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dist_ttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_dist_ttr.
+# This may be replaced when dependencies are built.

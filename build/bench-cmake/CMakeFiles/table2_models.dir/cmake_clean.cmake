@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_models"
+  "../bench/table2_models.pdb"
+  "CMakeFiles/table2_models.dir/table2_models.cc.o"
+  "CMakeFiles/table2_models.dir/table2_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_flows"
+  "../bench/table3_flows.pdb"
+  "CMakeFiles/table3_flows.dir/table3_flows.cc.o"
+  "CMakeFiles/table3_flows.dir/table3_flows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

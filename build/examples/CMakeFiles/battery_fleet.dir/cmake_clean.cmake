@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_fleet.dir/battery_fleet.cpp.o"
+  "CMakeFiles/battery_fleet.dir/battery_fleet.cpp.o.d"
+  "battery_fleet"
+  "battery_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

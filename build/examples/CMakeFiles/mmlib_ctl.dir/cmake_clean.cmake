@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmlib_ctl.dir/mmlib_ctl.cpp.o"
+  "CMakeFiles/mmlib_ctl.dir/mmlib_ctl.cpp.o.d"
+  "mmlib_ctl"
+  "mmlib_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmlib_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probing_demo.dir/probing_demo.cpp.o"
+  "CMakeFiles/probing_demo.dir/probing_demo.cpp.o.d"
+  "probing_demo"
+  "probing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

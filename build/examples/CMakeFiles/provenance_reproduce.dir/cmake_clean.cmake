@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_reproduce.dir/provenance_reproduce.cpp.o"
+  "CMakeFiles/provenance_reproduce.dir/provenance_reproduce.cpp.o.d"
+  "provenance_reproduce"
+  "provenance_reproduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_reproduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/mmlib.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/compress/codec.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/CMakeFiles/mmlib.dir/compress/huffman.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/compress/huffman.cc.o.d"
+  "/root/repo/src/core/adaptive.cc" "src/CMakeFiles/mmlib.dir/core/adaptive.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/adaptive.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "src/CMakeFiles/mmlib.dir/core/baseline.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/baseline.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/CMakeFiles/mmlib.dir/core/catalog.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/catalog.cc.o.d"
+  "/root/repo/src/core/evaluate.cc" "src/CMakeFiles/mmlib.dir/core/evaluate.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/evaluate.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/CMakeFiles/mmlib.dir/core/export.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/export.cc.o.d"
+  "/root/repo/src/core/model_code.cc" "src/CMakeFiles/mmlib.dir/core/model_code.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/model_code.cc.o.d"
+  "/root/repo/src/core/param_update.cc" "src/CMakeFiles/mmlib.dir/core/param_update.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/param_update.cc.o.d"
+  "/root/repo/src/core/probe.cc" "src/CMakeFiles/mmlib.dir/core/probe.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/probe.cc.o.d"
+  "/root/repo/src/core/provenance.cc" "src/CMakeFiles/mmlib.dir/core/provenance.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/provenance.cc.o.d"
+  "/root/repo/src/core/recover.cc" "src/CMakeFiles/mmlib.dir/core/recover.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/recover.cc.o.d"
+  "/root/repo/src/core/save_service.cc" "src/CMakeFiles/mmlib.dir/core/save_service.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/save_service.cc.o.d"
+  "/root/repo/src/core/train_service.cc" "src/CMakeFiles/mmlib.dir/core/train_service.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/core/train_service.cc.o.d"
+  "/root/repo/src/data/archive.cc" "src/CMakeFiles/mmlib.dir/data/archive.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/data/archive.cc.o.d"
+  "/root/repo/src/data/dataloader.cc" "src/CMakeFiles/mmlib.dir/data/dataloader.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/data/dataloader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mmlib.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/CMakeFiles/mmlib.dir/data/preprocess.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/data/preprocess.cc.o.d"
+  "/root/repo/src/dist/flow.cc" "src/CMakeFiles/mmlib.dir/dist/flow.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/dist/flow.cc.o.d"
+  "/root/repo/src/docstore/document_store.cc" "src/CMakeFiles/mmlib.dir/docstore/document_store.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/docstore/document_store.cc.o.d"
+  "/root/repo/src/env/environment.cc" "src/CMakeFiles/mmlib.dir/env/environment.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/env/environment.cc.o.d"
+  "/root/repo/src/filestore/file_store.cc" "src/CMakeFiles/mmlib.dir/filestore/file_store.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/filestore/file_store.cc.o.d"
+  "/root/repo/src/hash/merkle_tree.cc" "src/CMakeFiles/mmlib.dir/hash/merkle_tree.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/hash/merkle_tree.cc.o.d"
+  "/root/repo/src/hash/sha256.cc" "src/CMakeFiles/mmlib.dir/hash/sha256.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/hash/sha256.cc.o.d"
+  "/root/repo/src/json/json.cc" "src/CMakeFiles/mmlib.dir/json/json.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/json/json.cc.o.d"
+  "/root/repo/src/models/builders.cc" "src/CMakeFiles/mmlib.dir/models/builders.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/models/builders.cc.o.d"
+  "/root/repo/src/models/googlenet.cc" "src/CMakeFiles/mmlib.dir/models/googlenet.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/models/googlenet.cc.o.d"
+  "/root/repo/src/models/mobilenet.cc" "src/CMakeFiles/mmlib.dir/models/mobilenet.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/models/mobilenet.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/CMakeFiles/mmlib.dir/models/resnet.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/models/resnet.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/CMakeFiles/mmlib.dir/models/zoo.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/models/zoo.cc.o.d"
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/mmlib.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/CMakeFiles/mmlib.dir/nn/adam.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/adam.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/CMakeFiles/mmlib.dir/nn/batchnorm.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/mmlib.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/mmlib.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/mmlib.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/mmlib.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/CMakeFiles/mmlib.dir/nn/model.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/mmlib.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/mmlib.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/simnet/network.cc" "src/CMakeFiles/mmlib.dir/simnet/network.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/simnet/network.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/mmlib.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/mmlib.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/util/bytes.cc" "src/CMakeFiles/mmlib.dir/util/bytes.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/util/bytes.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/mmlib.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/id_generator.cc" "src/CMakeFiles/mmlib.dir/util/id_generator.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/util/id_generator.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mmlib.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mmlib.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/mmlib.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/mmlib.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/mmlib.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_save_test.dir/core_save_test.cc.o"
+  "CMakeFiles/core_save_test.dir/core_save_test.cc.o.d"
+  "core_save_test"
+  "core_save_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_save_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filestore_test.dir/filestore_test.cc.o"
+  "CMakeFiles/filestore_test.dir/filestore_test.cc.o.d"
+  "filestore_test"
+  "filestore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

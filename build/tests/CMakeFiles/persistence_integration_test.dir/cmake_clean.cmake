@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_integration_test.dir/persistence_integration_test.cc.o"
+  "CMakeFiles/persistence_integration_test.dir/persistence_integration_test.cc.o.d"
+  "persistence_integration_test"
+  "persistence_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

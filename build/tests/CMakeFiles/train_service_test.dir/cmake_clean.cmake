@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_service_test.dir/train_service_test.cc.o"
+  "CMakeFiles/train_service_test.dir/train_service_test.cc.o.d"
+  "train_service_test"
+  "train_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

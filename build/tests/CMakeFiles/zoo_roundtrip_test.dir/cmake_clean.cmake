@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_roundtrip_test.dir/zoo_roundtrip_test.cc.o"
+  "CMakeFiles/zoo_roundtrip_test.dir/zoo_roundtrip_test.cc.o.d"
+  "zoo_roundtrip_test"
+  "zoo_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
