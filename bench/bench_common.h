@@ -1,5 +1,4 @@
-#ifndef MMLIB_BENCH_BENCH_COMMON_H_
-#define MMLIB_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -135,4 +134,3 @@ inline std::string Pct(double fraction) {
 
 }  // namespace mmlib::bench
 
-#endif  // MMLIB_BENCH_BENCH_COMMON_H_

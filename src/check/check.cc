@@ -1,0 +1,16 @@
+#include "check/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mmlib::check_internal {
+
+void CheckFail(const char* kind, const char* file, int line,
+               const char* condition, const std::string& message) {
+  std::fprintf(stderr, "%s failed: %s:%d: %s%s%s\n", kind, file, line,
+               condition, message.empty() ? "" : " ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mmlib::check_internal

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// mmlib invariant-checking macros (DESIGN.md "Correctness tooling").
+///
+/// MMLIB_CHECK(cond)        -- fatal in every build type. Checks internal
+///                             invariants whose violation means memory is
+///                             already suspect; recoverable conditions travel
+///                             through Status/Result instead.
+/// MMLIB_DCHECK(cond)       -- compiled out under NDEBUG (unless
+///                             MMLIB_FORCE_DCHECK is defined); for checks on
+///                             hot paths, e.g. per-element bounds.
+/// MMLIB_CHECK_EQ/NE/LT/LE/GT/GE and the MMLIB_DCHECK_* twins print both
+/// operand values on failure; operands must be streamable and are evaluated
+/// a second time on the failing path only.
+///
+/// All failure paths print `<kind> failed: file:line: condition message` to
+/// stderr and abort(), so violations surface in ctest and in sanitizer runs
+/// with a stack trace. Extra context streams into the macro:
+///
+///   MMLIB_CHECK(shape == other.shape) << "while merging " << name;
+
+namespace mmlib {
+
+/// True when MMLIB_DCHECK* are live in this build. Tests use this to decide
+/// whether to expect death.
+#if defined(NDEBUG) && !defined(MMLIB_FORCE_DCHECK)
+inline constexpr bool kDCheckEnabled = false;
+#else
+inline constexpr bool kDCheckEnabled = true;
+#endif
+
+namespace check_internal {
+
+/// Prints the failure report to stderr and aborts. Out-of-line so the macro
+/// expansion stays small.
+[[noreturn]] void CheckFail(const char* kind, const char* file, int line,
+                            const char* condition, const std::string& message);
+
+/// Temporary that collects streamed context and aborts in its destructor.
+/// Constructed only on the failing path.
+class FailureStream {
+ public:
+  FailureStream(const char* kind, const char* file, int line,
+                const char* condition)
+      : kind_(kind), file_(file), line_(line), condition_(condition) {}
+
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+
+  [[noreturn]] ~FailureStream() {
+    CheckFail(kind_, file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  FailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* kind_;
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace check_internal
+}  // namespace mmlib
+
+// The `while` form makes the macro a single statement that accepts streamed
+// context; the FailureStream destructor is [[noreturn]], so the loop body
+// runs at most once.
+#define MMLIB_CHECK(condition)                                               \
+  while (__builtin_expect(!(condition), 0))                                  \
+  ::mmlib::check_internal::FailureStream("MMLIB_CHECK", __FILE__, __LINE__,  \
+                                         #condition)
+
+#define MMLIB_CHECK_OP_(kind, op, a, b)                               \
+  while (__builtin_expect(!((a)op(b)), 0))                            \
+  ::mmlib::check_internal::FailureStream(kind, __FILE__, __LINE__,    \
+                                         #a " " #op " " #b)           \
+      << "(" << (a) << " vs " << (b) << ") "
+
+#define MMLIB_CHECK_EQ(a, b) MMLIB_CHECK_OP_("MMLIB_CHECK_EQ", ==, a, b)
+#define MMLIB_CHECK_NE(a, b) MMLIB_CHECK_OP_("MMLIB_CHECK_NE", !=, a, b)
+#define MMLIB_CHECK_LT(a, b) MMLIB_CHECK_OP_("MMLIB_CHECK_LT", <, a, b)
+#define MMLIB_CHECK_LE(a, b) MMLIB_CHECK_OP_("MMLIB_CHECK_LE", <=, a, b)
+#define MMLIB_CHECK_GT(a, b) MMLIB_CHECK_OP_("MMLIB_CHECK_GT", >, a, b)
+#define MMLIB_CHECK_GE(a, b) MMLIB_CHECK_OP_("MMLIB_CHECK_GE", >=, a, b)
+
+#if defined(NDEBUG) && !defined(MMLIB_FORCE_DCHECK)
+// Dead but compiled: operands stay odr-used (no unused-variable warnings)
+// and keep type-checking, yet are never evaluated at run time.
+#define MMLIB_DCHECK(condition)                                              \
+  while (false && !(condition))                                              \
+  ::mmlib::check_internal::FailureStream("MMLIB_DCHECK", __FILE__, __LINE__, \
+                                         #condition)
+#define MMLIB_DCHECK_OP_(kind, op, a, b)                              \
+  while (false && !((a)op(b)))                                        \
+  ::mmlib::check_internal::FailureStream(kind, __FILE__, __LINE__,    \
+                                         #a " " #op " " #b)
+#else
+#define MMLIB_DCHECK(condition)                                              \
+  while (__builtin_expect(!(condition), 0))                                  \
+  ::mmlib::check_internal::FailureStream("MMLIB_DCHECK", __FILE__, __LINE__, \
+                                         #condition)
+#define MMLIB_DCHECK_OP_(kind, op, a, b)                              \
+  while (__builtin_expect(!((a)op(b)), 0))                            \
+  ::mmlib::check_internal::FailureStream(kind, __FILE__, __LINE__,    \
+                                         #a " " #op " " #b)           \
+      << "(" << (a) << " vs " << (b) << ") "
+#endif
+
+#define MMLIB_DCHECK_EQ(a, b) MMLIB_DCHECK_OP_("MMLIB_DCHECK_EQ", ==, a, b)
+#define MMLIB_DCHECK_NE(a, b) MMLIB_DCHECK_OP_("MMLIB_DCHECK_NE", !=, a, b)
+#define MMLIB_DCHECK_LT(a, b) MMLIB_DCHECK_OP_("MMLIB_DCHECK_LT", <, a, b)
+#define MMLIB_DCHECK_LE(a, b) MMLIB_DCHECK_OP_("MMLIB_DCHECK_LE", <=, a, b)
+#define MMLIB_DCHECK_GT(a, b) MMLIB_DCHECK_OP_("MMLIB_DCHECK_GT", >, a, b)
+#define MMLIB_DCHECK_GE(a, b) MMLIB_DCHECK_OP_("MMLIB_DCHECK_GE", >=, a, b)

@@ -1,0 +1,155 @@
+#include "check/determinism_auditor.h"
+
+#include <utility>
+
+#include "check/check.h"
+#include "check/validators.h"
+
+namespace mmlib::check {
+
+namespace {
+
+const char* PassName(AuditEvent::Pass pass) {
+  return pass == AuditEvent::Pass::kForward ? "forward" : "backward";
+}
+
+}  // namespace
+
+std::string AuditDivergence::ToString() const {
+  return std::string(PassName(pass)) + " event #" + std::to_string(position) +
+         " (" + layer_name + ") of run " + std::to_string(run) +
+         " diverged: expected " + expected.ToHex() + ", got " +
+         actual.ToHex();
+}
+
+void DeterminismAuditor::BeginRun() {
+  MMLIB_CHECK(!run_active_) << "BeginRun while a run is already active";
+  run_active_ = true;
+  run_diverged_ = false;
+  cursor_ = 0;
+}
+
+Status DeterminismAuditor::EndRun() {
+  MMLIB_CHECK(run_active_) << "EndRun without BeginRun";
+  run_active_ = false;
+  const size_t run = completed_runs_;
+  ++completed_runs_;
+
+  if (run == 0) {
+    return Status::OK();  // Reference run: nothing to compare against.
+  }
+  if (run_diverged_) {
+    return Status::Corruption("determinism audit: " + divergence_->ToString());
+  }
+  if (cursor_ != reference_.size()) {
+    return Status::Corruption(
+        "determinism audit: run " + std::to_string(run) + " recorded " +
+        std::to_string(cursor_) + " events, reference has " +
+        std::to_string(reference_.size()));
+  }
+  return Status::OK();
+}
+
+void DeterminismAuditor::OnForward(const std::string& layer_name,
+                                   const Tensor& output) {
+  Record(AuditEvent::Pass::kForward, layer_name, output);
+}
+
+void DeterminismAuditor::OnBackward(const std::string& layer_name,
+                                    const Tensor& grad_input) {
+  if (options_.include_backward) {
+    Record(AuditEvent::Pass::kBackward, layer_name, grad_input);
+  }
+}
+
+void DeterminismAuditor::Record(AuditEvent::Pass pass,
+                                const std::string& layer_name,
+                                const Tensor& tensor) {
+  if (!run_active_) {
+    return;  // Observer attached outside an audited section; ignore.
+  }
+  const Digest digest = tensor.ContentHash();
+  if (completed_runs_ == 0) {
+    reference_.push_back(AuditEvent{pass, layer_name, digest});
+    return;
+  }
+  const size_t position = cursor_++;
+  if (run_diverged_) {
+    return;  // Only the first divergence of a run is reported.
+  }
+  const bool matches = position < reference_.size() &&
+                       reference_[position].pass == pass &&
+                       reference_[position].layer_name == layer_name &&
+                       reference_[position].digest == digest;
+  if (matches) {
+    return;
+  }
+  AuditDivergence divergence;
+  divergence.run = completed_runs_;
+  divergence.position = position;
+  divergence.pass = pass;
+  divergence.layer_name = layer_name;
+  if (position < reference_.size()) {
+    divergence.expected = reference_[position].digest;
+  }
+  divergence.actual = digest;
+  run_diverged_ = true;
+  if (!divergence_.has_value()) {
+    divergence_ = divergence;
+  }
+  MMLIB_CHECK(!options_.fatal)
+      << "determinism audit: " << divergence.ToString();
+}
+
+Result<Digest> DeterminismAuditor::ReferenceRoot() const {
+  if (completed_runs_ == 0 || reference_.empty()) {
+    return Status::FailedPrecondition(
+        "determinism audit: no completed reference run");
+  }
+  std::vector<Digest> leaves;
+  leaves.reserve(reference_.size());
+  for (const AuditEvent& event : reference_) {
+    leaves.push_back(event.digest);
+  }
+  MMLIB_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(std::move(leaves)));
+  return tree.root();
+}
+
+void DeterminismAuditor::Reset() {
+  reference_.clear();
+  divergence_.reset();
+  completed_runs_ = 0;
+  cursor_ = 0;
+  run_active_ = false;
+  run_diverged_ = false;
+}
+
+Status AuditDeterminism(nn::Model* model, const Tensor& input, uint64_t seed,
+                        size_t runs, DeterminismAuditOptions options) {
+  MMLIB_RETURN_IF_ERROR(ValidatePositive(static_cast<int64_t>(runs),
+                                         "AuditDeterminism runs")
+                            .WithContext("determinism audit"));
+  DeterminismAuditor auditor(options);
+  nn::ActivationObserver* previous = model->observer();
+  model->set_observer(&auditor);
+
+  auto run_once = [&]() -> Status {
+    nn::ExecutionContext ctx = nn::ExecutionContext::Deterministic(seed);
+    ctx.set_training(true);
+    model->ZeroGrad();
+    auditor.BeginRun();
+    MMLIB_ASSIGN_OR_RETURN(Tensor output, model->Forward(input, &ctx));
+    Tensor grad_output = Tensor::Full(output.shape(), 1.0f);
+    MMLIB_RETURN_IF_ERROR(model->Backward(grad_output, &ctx).status());
+    return auditor.EndRun();
+  };
+
+  Status status = Status::OK();
+  for (size_t r = 0; r < runs && status.ok(); ++r) {
+    status = run_once();
+  }
+  model->set_observer(previous);
+  return status;
+}
+
+}  // namespace mmlib::check

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hash/merkle_tree.h"
+#include "hash/sha256.h"
+#include "nn/model.h"
+#include "util/result.h"
+
+/// Determinism auditor (DESIGN.md "Correctness tooling").
+///
+/// The proxy-update and provenance approaches (paper Sections 3.2/3.3) only
+/// recover models correctly when deterministic training is bit-reproducible:
+/// replaying the captured provenance must reproduce every parameter byte
+/// (Figure 13). The auditor guards that property at layer granularity: it
+/// observes a model's forward/backward passes, hashes every layer output and
+/// input-gradient with the repo's SHA-256, and compares later runs against
+/// the first (reference) run as events stream in, failing fast at the first
+/// diverging layer instead of at the end-of-training parameter diff.
+namespace mmlib::check {
+
+struct DeterminismAuditOptions {
+  /// Hash backward-pass input gradients in addition to forward outputs.
+  bool include_backward = true;
+  /// Abort via MMLIB_CHECK on the first divergence instead of reporting it
+  /// through EndRun(); for harness runs where a divergence means every later
+  /// result is garbage.
+  bool fatal = false;
+};
+
+/// One observed event: the digest of a layer's forward output or backward
+/// input-gradient, in execution order.
+struct AuditEvent {
+  enum class Pass { kForward, kBackward };
+  Pass pass = Pass::kForward;
+  std::string layer_name;
+  Digest digest;
+};
+
+/// The first detected run-to-run divergence.
+struct AuditDivergence {
+  size_t run = 0;       ///< Index of the diverging run (reference is run 0).
+  size_t position = 0;  ///< Event position within the run.
+  AuditEvent::Pass pass = AuditEvent::Pass::kForward;
+  std::string layer_name;
+  Digest expected;
+  Digest actual;
+
+  /// "forward event #3 (conv1) of run 1 diverged: expected <hex>, got <hex>"
+  std::string ToString() const;
+};
+
+/// ActivationObserver that records a reference trace on its first run and
+/// verifies subsequent runs against it event by event.
+///
+/// Usage:
+///   DeterminismAuditor auditor;
+///   model.set_observer(&auditor);
+///   auditor.BeginRun();  /* run forward+backward */  s1 = auditor.EndRun();
+///   auditor.BeginRun();  /* run again            */  s2 = auditor.EndRun();
+///   // s2 is Corruption naming the first diverging layer, if any.
+class DeterminismAuditor : public nn::ActivationObserver {
+ public:
+  explicit DeterminismAuditor(DeterminismAuditOptions options = {})
+      : options_(options) {}
+
+  /// Starts recording a run. The first completed run becomes the reference.
+  void BeginRun();
+
+  /// Seals the current run and reports its verdict: OK for the reference run
+  /// and for byte-identical repeats; Corruption (first diverging layer, with
+  /// both digests) otherwise.
+  Status EndRun();
+
+  void OnForward(const std::string& layer_name, const Tensor& output) override;
+  void OnBackward(const std::string& layer_name,
+                  const Tensor& grad_input) override;
+
+  size_t completed_runs() const { return completed_runs_; }
+  const std::vector<AuditEvent>& reference_trace() const { return reference_; }
+
+  /// First divergence observed over all runs, if any.
+  const std::optional<AuditDivergence>& first_divergence() const {
+    return divergence_;
+  }
+
+  /// Merkle root over the reference-trace digests: a compact fingerprint of
+  /// the whole audited execution that can be persisted with provenance data
+  /// and compared across machines. Requires a completed reference run.
+  Result<Digest> ReferenceRoot() const;
+
+  /// Drops all recorded state; the next run becomes a new reference.
+  void Reset();
+
+ private:
+  void Record(AuditEvent::Pass pass, const std::string& layer_name,
+              const Tensor& tensor);
+
+  DeterminismAuditOptions options_;
+  std::vector<AuditEvent> reference_;
+  std::optional<AuditDivergence> divergence_;
+  size_t completed_runs_ = 0;
+  size_t cursor_ = 0;          // next event position in the active run
+  bool run_active_ = false;
+  bool run_diverged_ = false;  // divergence seen in the active run
+};
+
+/// Convenience audit: executes forward+backward on `model` `runs` times with
+/// identically seeded deterministic contexts (backward driven by an all-ones
+/// output gradient) and returns Corruption naming the first diverging layer.
+/// A deterministic build of mmlib must pass this for every model; the Fig. 13
+/// reproduction relies on it.
+Status AuditDeterminism(nn::Model* model, const Tensor& input, uint64_t seed,
+                        size_t runs = 2,
+                        DeterminismAuditOptions options = {});
+
+}  // namespace mmlib::check

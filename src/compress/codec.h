@@ -1,5 +1,4 @@
-#ifndef MMLIB_COMPRESS_CODEC_H_
-#define MMLIB_COMPRESS_CODEC_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -106,4 +105,3 @@ class Lz77HuffmanCodec : public Codec {
 
 }  // namespace mmlib
 
-#endif  // MMLIB_COMPRESS_CODEC_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_COMPRESS_HUFFMAN_H_
-#define MMLIB_COMPRESS_HUFFMAN_H_
+#pragma once
 
 #include "util/bytes.h"
 #include "util/result.h"
@@ -26,4 +25,3 @@ Result<Bytes> Decode(const Bytes& input,
 
 }  // namespace mmlib
 
-#endif  // MMLIB_COMPRESS_HUFFMAN_H_

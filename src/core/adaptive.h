@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_ADAPTIVE_H_
-#define MMLIB_CORE_ADAPTIVE_H_
+#pragma once
 
 #include <memory>
 
@@ -66,4 +65,3 @@ class AdaptiveSaveService : public SaveService {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_ADAPTIVE_H_

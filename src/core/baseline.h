@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_BASELINE_H_
-#define MMLIB_CORE_BASELINE_H_
+#pragma once
 
 #include "core/save_service.h"
 
@@ -20,4 +19,3 @@ class BaselineSaveService : public SaveService {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_BASELINE_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_CATALOG_H_
-#define MMLIB_CORE_CATALOG_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -64,4 +63,3 @@ class ModelCatalog {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_CATALOG_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_EVALUATE_H_
-#define MMLIB_CORE_EVALUATE_H_
+#pragma once
 
 #include <cstdint>
 
@@ -28,4 +27,3 @@ Result<EvaluationResult> EvaluateModel(nn::Model* model,
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_EVALUATE_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_EXPORT_H_
-#define MMLIB_CORE_EXPORT_H_
+#pragma once
 
 #include "json/json.h"
 #include "nn/model.h"
@@ -39,4 +38,3 @@ Result<nn::Model> ImportPortable(const PortableBundle& bundle);
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_EXPORT_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_MODEL_CODE_H_
-#define MMLIB_CORE_MODEL_CODE_H_
+#pragma once
 
 #include "json/json.h"
 #include "models/zoo.h"
@@ -26,4 +25,3 @@ Result<nn::Model> BuildModelFromCode(const json::Value& doc);
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_MODEL_CODE_H_

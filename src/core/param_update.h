@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_PARAM_UPDATE_H_
-#define MMLIB_CORE_PARAM_UPDATE_H_
+#pragma once
 
 #include "core/save_service.h"
 #include "hash/merkle_tree.h"
@@ -36,4 +35,3 @@ class ParamUpdateSaveService : public SaveService {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_PARAM_UPDATE_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_PROBE_H_
-#define MMLIB_CORE_PROBE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -70,4 +69,3 @@ Result<ProbeComparison> CheckReproducibility(nn::Model* model,
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_PROBE_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_PROVENANCE_H_
-#define MMLIB_CORE_PROVENANCE_H_
+#pragma once
 
 #include "compress/codec.h"
 #include "core/save_service.h"
@@ -41,4 +40,3 @@ class ProvenanceSaveService : public SaveService {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_PROVENANCE_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_RECOVER_H_
-#define MMLIB_CORE_RECOVER_H_
+#pragma once
 
 #include <list>
 #include <map>
@@ -98,4 +97,3 @@ class ModelRecoverer {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_RECOVER_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_SAVE_SERVICE_H_
-#define MMLIB_CORE_SAVE_SERVICE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -71,4 +70,3 @@ class SaveService {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_SAVE_SERVICE_H_

@@ -167,43 +167,66 @@ Result<nn::PhaseTimes> ImageTrainService::Train(nn::Model* model,
                                                    scheduler_seed);
   ctx.set_training(true);
 
-  data::DataLoader loader(dataset_, config_.loader);
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    loader.StartEpoch(static_cast<uint64_t>(epoch));
-    size_t batches = loader.BatchesPerEpoch();
-    if (config_.max_batches_per_epoch >= 0) {
-      batches = std::min(
-          batches, static_cast<size_t>(config_.max_batches_per_epoch));
-    }
-    for (size_t b = 0; b < batches; ++b) {
-      Stopwatch load_timer;
-      MMLIB_ASSIGN_OR_RETURN(data::Batch batch, loader.GetBatch(b));
-      ctx.times()->data_load_seconds += load_timer.ElapsedSeconds();
-
-      optimizer_->ZeroGrad();
-      Stopwatch forward_timer;
-      MMLIB_ASSIGN_OR_RETURN(Tensor logits, model->Forward(batch.images,
-                                                           &ctx));
-      MMLIB_ASSIGN_OR_RETURN(nn::LossResult loss,
-                             nn::SoftmaxCrossEntropy(logits, batch.labels));
-      ctx.times()->forward_seconds += forward_timer.ElapsedSeconds();
-      last_loss_ = loss.loss;
-
-      Stopwatch backward_timer;
-      MMLIB_RETURN_IF_ERROR(
-          model->Backward(loss.grad_logits, &ctx).status());
-      optimizer_->Step();
-      ctx.times()->backward_seconds += backward_timer.ElapsedSeconds();
-    }
-    // Step learning-rate schedule (part of the training logic; replayed
-    // deterministically on provenance recovery).
-    if (config_.lr_decay_gamma != 1.0 && config_.lr_decay_every_epochs > 0 &&
-        (epoch + 1) % config_.lr_decay_every_epochs == 0) {
-      optimizer_->SetLearningRate(
-          optimizer_->learning_rate() *
-          static_cast<float>(config_.lr_decay_gamma));
-    }
+  // Audited deterministic runs record per-layer digests; replaying the same
+  // provenance must reproduce the reference trace bit for bit (Fig. 13).
+  const bool audited = auditor_ != nullptr && deterministic;
+  nn::ActivationObserver* previous_observer = model->observer();
+  if (audited) {
+    auditor_->BeginRun();
+    model->set_observer(auditor_);
   }
+  auto finish_audit = [&](Status status) -> Status {
+    if (audited) {
+      model->set_observer(previous_observer);
+      Status audit_status = auditor_->EndRun();
+      if (status.ok()) {
+        status = audit_status;
+      }
+    }
+    return status;
+  };
+
+  auto run_epochs = [&]() -> Status {
+    data::DataLoader loader(dataset_, config_.loader);
+    for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      loader.StartEpoch(static_cast<uint64_t>(epoch));
+      size_t batches = loader.BatchesPerEpoch();
+      if (config_.max_batches_per_epoch >= 0) {
+        batches = std::min(
+            batches, static_cast<size_t>(config_.max_batches_per_epoch));
+      }
+      for (size_t b = 0; b < batches; ++b) {
+        Stopwatch load_timer;
+        MMLIB_ASSIGN_OR_RETURN(data::Batch batch, loader.GetBatch(b));
+        ctx.times()->data_load_seconds += load_timer.ElapsedSeconds();
+
+        optimizer_->ZeroGrad();
+        Stopwatch forward_timer;
+        MMLIB_ASSIGN_OR_RETURN(Tensor logits, model->Forward(batch.images,
+                                                             &ctx));
+        MMLIB_ASSIGN_OR_RETURN(nn::LossResult loss,
+                               nn::SoftmaxCrossEntropy(logits, batch.labels));
+        ctx.times()->forward_seconds += forward_timer.ElapsedSeconds();
+        last_loss_ = loss.loss;
+
+        Stopwatch backward_timer;
+        MMLIB_RETURN_IF_ERROR(
+            model->Backward(loss.grad_logits, &ctx).status());
+        optimizer_->Step();
+        ctx.times()->backward_seconds += backward_timer.ElapsedSeconds();
+      }
+      // Step learning-rate schedule (part of the training logic; replayed
+      // deterministically on provenance recovery).
+      if (config_.lr_decay_gamma != 1.0 && config_.lr_decay_every_epochs > 0 &&
+          (epoch + 1) % config_.lr_decay_every_epochs == 0) {
+        optimizer_->SetLearningRate(
+            optimizer_->learning_rate() *
+            static_cast<float>(config_.lr_decay_gamma));
+      }
+    }
+    return Status::OK();
+  };
+  MMLIB_RETURN_IF_ERROR(finish_audit(run_epochs()));
   return *ctx.times();
 }
 

@@ -1,10 +1,10 @@
-#ifndef MMLIB_CORE_TRAIN_SERVICE_H_
-#define MMLIB_CORE_TRAIN_SERVICE_H_
+#pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
 
+#include "check/determinism_auditor.h"
 #include "data/archive.h"
 #include "data/dataloader.h"
 #include "data/dataset.h"
@@ -108,6 +108,16 @@ class ImageTrainService : public TrainService {
   /// Loss observed in the most recent Train call (last batch).
   float last_loss() const { return last_loss_; }
 
+  /// Attaches a determinism auditor: every subsequent *deterministic* Train
+  /// call is recorded as one audit run (per-layer forward/backward digests).
+  /// The first audited call becomes the reference; a later call that should
+  /// be a bit-identical replay (e.g. provenance-based recovery, Fig. 13)
+  /// fails with Corruption at the first diverging layer. Pass nullptr to
+  /// detach. The auditor must outlive the service's Train calls.
+  void set_determinism_auditor(check::DeterminismAuditor* auditor) {
+    auditor_ = auditor;
+  }
+
  private:
   std::unique_ptr<data::Dataset> owned_dataset_;
   const data::Dataset* dataset_;
@@ -116,6 +126,7 @@ class ImageTrainService : public TrainService {
   nn::Model* bound_model_ = nullptr;
   Bytes pending_optimizer_state_;
   float last_loss_ = 0.0f;
+  check::DeterminismAuditor* auditor_ = nullptr;
 };
 
 /// Restores any registered TrainService implementation from its provenance
@@ -128,4 +139,3 @@ Result<std::unique_ptr<TrainService>> RestoreTrainService(
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_TRAIN_SERVICE_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_CORE_TYPES_H_
-#define MMLIB_CORE_TYPES_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -105,4 +104,3 @@ struct RecoverOptions {
 
 }  // namespace mmlib::core
 
-#endif  // MMLIB_CORE_TYPES_H_

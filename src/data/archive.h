@@ -1,5 +1,4 @@
-#ifndef MMLIB_DATA_ARCHIVE_H_
-#define MMLIB_DATA_ARCHIVE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -36,4 +35,3 @@ class DatasetArchiver {
 
 }  // namespace mmlib::data
 
-#endif  // MMLIB_DATA_ARCHIVE_H_

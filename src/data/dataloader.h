@@ -1,5 +1,4 @@
-#ifndef MMLIB_DATA_DATALOADER_H_
-#define MMLIB_DATA_DATALOADER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -62,4 +61,3 @@ class DataLoader {
 
 }  // namespace mmlib::data
 
-#endif  // MMLIB_DATA_DATALOADER_H_

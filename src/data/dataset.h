@@ -1,5 +1,4 @@
-#ifndef MMLIB_DATA_DATASET_H_
-#define MMLIB_DATA_DATASET_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -122,4 +121,3 @@ class InMemoryDataset : public Dataset {
 
 }  // namespace mmlib::data
 
-#endif  // MMLIB_DATA_DATASET_H_

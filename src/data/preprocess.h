@@ -1,5 +1,4 @@
-#ifndef MMLIB_DATA_PREPROCESS_H_
-#define MMLIB_DATA_PREPROCESS_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -54,4 +53,3 @@ class Preprocessor {
 
 }  // namespace mmlib::data
 
-#endif  // MMLIB_DATA_PREPROCESS_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_DIST_FLOW_H_
-#define MMLIB_DIST_FLOW_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -146,4 +145,3 @@ class EvaluationFlow {
 
 }  // namespace mmlib::dist
 
-#endif  // MMLIB_DIST_FLOW_H_

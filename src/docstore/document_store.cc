@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "check/validators.h"
 #include "util/strings.h"
 
 namespace mmlib::docstore {
@@ -39,19 +40,8 @@ Status WriteWholeFile(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
-bool IsSafeName(const std::string& name) {
-  if (name.empty() || name.size() > 200) {
-    return false;
-  }
-  for (char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
-                    c == '.';
-    if (!ok || name == "." || name == "..") {
-      return false;
-    }
-  }
-  return true;
+Status ValidateDocName(const std::string& name, std::string_view what) {
+  return check::ValidateResourceName(name, /*allow_dot=*/true, what);
 }
 
 }  // namespace
@@ -153,9 +143,8 @@ Result<std::unique_ptr<PersistentDocumentStore>> PersistentDocumentStore::Open(
 
 Result<std::string> PersistentDocumentStore::PathFor(
     const std::string& collection, const std::string& id) const {
-  if (!IsSafeName(collection) || !IsSafeName(id)) {
-    return Status::InvalidArgument("unsafe collection or id name");
-  }
+  MMLIB_RETURN_IF_ERROR(ValidateDocName(collection, "collection"));
+  MMLIB_RETURN_IF_ERROR(ValidateDocName(id, "document id"));
   return root_ + "/" + collection + "/" + id + ".json";
 }
 
@@ -164,9 +153,7 @@ Result<std::string> PersistentDocumentStore::Insert(
   if (!doc.is_object()) {
     return Status::InvalidArgument("documents must be JSON objects");
   }
-  if (!IsSafeName(collection)) {
-    return Status::InvalidArgument("unsafe collection name");
-  }
+  MMLIB_RETURN_IF_ERROR(ValidateDocName(collection, "collection"));
   std::error_code ec;
   std::filesystem::create_directories(root_ + "/" + collection, ec);
   if (ec) {
@@ -199,9 +186,7 @@ Status PersistentDocumentStore::Delete(const std::string& collection,
 Result<std::vector<std::string>> PersistentDocumentStore::ListIds(
     const std::string& collection) {
   std::vector<std::string> ids;
-  if (!IsSafeName(collection)) {
-    return Status::InvalidArgument("unsafe collection name");
-  }
+  MMLIB_RETURN_IF_ERROR(ValidateDocName(collection, "collection"));
   const std::string dir = root_ + "/" + collection;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {

@@ -1,5 +1,4 @@
-#ifndef MMLIB_DOCSTORE_DOCUMENT_STORE_H_
-#define MMLIB_DOCSTORE_DOCUMENT_STORE_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -131,4 +130,3 @@ class RemoteDocumentStore : public DocumentStore {
 
 }  // namespace mmlib::docstore
 
-#endif  // MMLIB_DOCSTORE_DOCUMENT_STORE_H_

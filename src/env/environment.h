@@ -1,5 +1,4 @@
-#ifndef MMLIB_ENV_ENVIRONMENT_H_
-#define MMLIB_ENV_ENVIRONMENT_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -44,4 +43,3 @@ constexpr const char* kMmlibVersion = "mmlib++ 1.0.0";
 
 }  // namespace mmlib::env
 
-#endif  // MMLIB_ENV_ENVIRONMENT_H_

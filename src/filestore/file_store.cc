@@ -1,27 +1,10 @@
 #include "filestore/file_store.h"
 
+#include "check/validators.h"
 #include <filesystem>
 #include <fstream>
 
 namespace mmlib::filestore {
-
-namespace {
-
-bool IsSafeId(const std::string& id) {
-  if (id.empty() || id.size() > 200) {
-    return false;
-  }
-  for (char c : id) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '-' || c == '_';
-    if (!ok) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 InMemoryFileStore::InMemoryFileStore() : id_generator_(0xf17e) {}
 
@@ -76,9 +59,8 @@ Result<std::unique_ptr<LocalDirFileStore>> LocalDirFileStore::Open(
 }
 
 Result<std::string> LocalDirFileStore::PathFor(const std::string& id) const {
-  if (!IsSafeId(id)) {
-    return Status::InvalidArgument("unsafe file id");
-  }
+  MMLIB_RETURN_IF_ERROR(
+      check::ValidateResourceName(id, /*allow_dot=*/false, "file id"));
   return root_ + "/" + id + ".bin";
 }
 
@@ -107,6 +89,11 @@ Result<Bytes> LocalDirFileStore::LoadFile(const std::string& id) {
   in.seekg(0, std::ios::end);
   const std::streamsize size = in.tellg();
   in.seekg(0, std::ios::beg);
+  if (size < 0) {
+    // tellg() reports -1 on failure; without this check the cast below
+    // requests a SIZE_MAX-byte allocation.
+    return Status::IoError("cannot determine size of " + path);
+  }
   Bytes content(static_cast<size_t>(size));
   in.read(reinterpret_cast<char*>(content.data()), size);
   if (!in) {

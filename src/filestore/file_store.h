@@ -1,5 +1,4 @@
-#ifndef MMLIB_FILESTORE_FILE_STORE_H_
-#define MMLIB_FILESTORE_FILE_STORE_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -103,4 +102,3 @@ class RemoteFileStore : public FileStore {
 
 }  // namespace mmlib::filestore
 
-#endif  // MMLIB_FILESTORE_FILE_STORE_H_

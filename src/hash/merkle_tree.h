@@ -1,5 +1,4 @@
-#ifndef MMLIB_HASH_MERKLE_TREE_H_
-#define MMLIB_HASH_MERKLE_TREE_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -70,4 +69,3 @@ class MerkleTree {
 
 }  // namespace mmlib
 
-#endif  // MMLIB_HASH_MERKLE_TREE_H_

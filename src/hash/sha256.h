@@ -1,5 +1,4 @@
-#ifndef MMLIB_HASH_SHA256_H_
-#define MMLIB_HASH_SHA256_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -69,4 +68,3 @@ uint32_t Crc32(const Bytes& data);
 
 }  // namespace mmlib
 
-#endif  // MMLIB_HASH_SHA256_H_

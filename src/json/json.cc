@@ -1,6 +1,6 @@
 #include "json/json.h"
 
-#include <cassert>
+#include "check/check.h"
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -63,12 +63,12 @@ const Value* Value::FindMember(std::string_view key) const {
 }
 
 void Value::Set(std::string key, Value value) {
-  assert(is_object());
+  MMLIB_CHECK(is_object()) << "Set(\"" << key << "\") on non-object JSON value";
   object_[std::move(key)] = std::move(value);
 }
 
 void Value::Append(Value value) {
-  assert(is_array());
+  MMLIB_CHECK(is_array()) << "Append on non-array JSON value";
   array_.push_back(std::move(value));
 }
 

@@ -1,5 +1,4 @@
-#ifndef MMLIB_JSON_JSON_H_
-#define MMLIB_JSON_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -114,4 +113,3 @@ Result<Value> Parse(std::string_view text);
 
 }  // namespace mmlib::json
 
-#endif  // MMLIB_JSON_JSON_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_MODELS_BUILDERS_H_
-#define MMLIB_MODELS_BUILDERS_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -49,4 +48,3 @@ Result<nn::Model> BuildGoogLeNet(const ModelConfig& config);
 
 }  // namespace mmlib::models::internal
 
-#endif  // MMLIB_MODELS_BUILDERS_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_MODELS_ZOO_H_
-#define MMLIB_MODELS_ZOO_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -75,4 +74,3 @@ const std::vector<Table2Row>& Table2Reference();
 
 }  // namespace mmlib::models
 
-#endif  // MMLIB_MODELS_ZOO_H_

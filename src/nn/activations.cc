@@ -1,5 +1,6 @@
 #include "nn/activations.h"
 
+#include "check/validators.h"
 #include <cmath>
 
 namespace mmlib::nn {
@@ -7,9 +8,7 @@ namespace mmlib::nn {
 Result<Tensor> ReLU::Forward(const std::vector<const Tensor*>& inputs,
                              ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("relu expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   cached_input_ = *inputs[0];
   Tensor y(cached_input_.shape());
   for (int64_t i = 0; i < y.numel(); ++i) {
@@ -41,9 +40,7 @@ Result<std::vector<Tensor>> ReLU::Backward(const Tensor& grad_output,
 Result<Tensor> Sigmoid::Forward(const std::vector<const Tensor*>& inputs,
                                 ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("sigmoid expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   Tensor y(x.shape());
   for (int64_t i = 0; i < x.numel(); ++i) {
@@ -69,9 +66,7 @@ Result<std::vector<Tensor>> Sigmoid::Backward(const Tensor& grad_output,
 Result<Tensor> Tanh::Forward(const std::vector<const Tensor*>& inputs,
                              ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("tanh expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   Tensor y(x.shape());
   for (int64_t i = 0; i < x.numel(); ++i) {
@@ -96,9 +91,7 @@ Result<std::vector<Tensor>> Tanh::Backward(const Tensor& grad_output,
 
 Result<Tensor> Dropout::Forward(const std::vector<const Tensor*>& inputs,
                                 ExecutionContext* ctx) {
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("dropout expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   if (!ctx->training() || p_ <= 0.0f) {
     mask_.clear();
@@ -135,9 +128,7 @@ Result<std::vector<Tensor>> Dropout::Backward(const Tensor& grad_output,
 Result<Tensor> Flatten::Forward(const std::vector<const Tensor*>& inputs,
                                 ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("flatten expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   input_shape_ = x.shape();
   const int64_t batch = x.shape().dim(0);
@@ -156,9 +147,9 @@ Result<std::vector<Tensor>> Flatten::Backward(const Tensor& grad_output,
 Result<Tensor> Add::Forward(const std::vector<const Tensor*>& inputs,
                             ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != arity_ || inputs.empty()) {
-    return Status::InvalidArgument("add " + name_ + ": wrong input count");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, arity_, name_));
+  MMLIB_RETURN_IF_ERROR(
+      check::ValidatePositive(static_cast<int64_t>(arity_), name_));
   Tensor y = *inputs[0];
   for (size_t i = 1; i < inputs.size(); ++i) {
     if (inputs[i]->shape() != y.shape()) {
@@ -178,9 +169,9 @@ Result<std::vector<Tensor>> Add::Backward(const Tensor& grad_output,
 Result<Tensor> Concat::Forward(const std::vector<const Tensor*>& inputs,
                                ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != arity_ || inputs.empty()) {
-    return Status::InvalidArgument("concat " + name_ + ": wrong input count");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, arity_, name_));
+  MMLIB_RETURN_IF_ERROR(
+      check::ValidatePositive(static_cast<int64_t>(arity_), name_));
   const Shape& first = inputs[0]->shape();
   if (first.rank() != 4) {
     return Status::InvalidArgument("concat " + name_ + ": expects NCHW");

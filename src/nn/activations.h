@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_ACTIVATIONS_H_
-#define MMLIB_NN_ACTIVATIONS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -132,4 +131,3 @@ class Concat : public Layer {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_ACTIVATIONS_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_ADAM_H_
-#define MMLIB_NN_ADAM_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -61,4 +60,3 @@ class AdamOptimizer : public Optimizer {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_ADAM_H_

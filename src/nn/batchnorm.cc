@@ -1,5 +1,6 @@
 #include "nn/batchnorm.h"
 
+#include "check/validators.h"
 #include <cmath>
 
 namespace mmlib::nn {
@@ -20,9 +21,7 @@ BatchNorm2d::BatchNorm2d(std::string name, int64_t channels, float momentum,
 
 Result<Tensor> BatchNorm2d::Forward(const std::vector<const Tensor*>& inputs,
                                     ExecutionContext* ctx) {
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("batchnorm expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   if (x.shape().rank() != 4 || x.shape().dim(1) != channels_) {
     return Status::InvalidArgument("batchnorm " + name_ +

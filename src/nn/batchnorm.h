@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_BATCHNORM_H_
-#define MMLIB_NN_BATCHNORM_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -38,4 +37,3 @@ class BatchNorm2d : public Layer {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_BATCHNORM_H_

@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "check/validators.h"
 #include <cmath>
 #include <cstring>
 
@@ -50,9 +51,7 @@ void Conv2d::GatherPatch(const float* input, int64_t height, int64_t width,
 
 Result<Tensor> Conv2d::Forward(const std::vector<const Tensor*>& inputs,
                                ExecutionContext* ctx) {
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("conv2d expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   if (x.shape().rank() != 4 || x.shape().dim(1) != in_channels_) {
     return Status::InvalidArgument("conv2d " + name_ + ": bad input shape " +

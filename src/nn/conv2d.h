@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_CONV2D_H_
-#define MMLIB_NN_CONV2D_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -54,4 +53,3 @@ class Conv2d : public Layer {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_CONV2D_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_EXECUTION_CONTEXT_H_
-#define MMLIB_NN_EXECUTION_CONTEXT_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -87,4 +86,3 @@ class ExecutionContext {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_EXECUTION_CONTEXT_H_

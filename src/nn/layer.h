@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_LAYER_H_
-#define MMLIB_NN_LAYER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -106,4 +105,3 @@ float AccumulateDot(const float* a, const float* b, size_t n,
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_LAYER_H_

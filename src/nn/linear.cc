@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "check/validators.h"
 #include <cmath>
 
 namespace mmlib::nn {
@@ -18,9 +19,7 @@ Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
 
 Result<Tensor> Linear::Forward(const std::vector<const Tensor*>& inputs,
                                ExecutionContext* ctx) {
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("linear expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   if (x.shape().rank() != 2 || x.shape().dim(1) != in_features_) {
     return Status::InvalidArgument("linear " + name_ + ": bad input shape " +
@@ -46,10 +45,9 @@ Result<Tensor> Linear::Forward(const std::vector<const Tensor*>& inputs,
 Result<std::vector<Tensor>> Linear::Backward(const Tensor& grad_output,
                                              ExecutionContext* ctx) {
   const int64_t batch = cached_input_.shape().dim(0);
-  if (grad_output.shape() != Shape{batch, out_features_}) {
-    return Status::InvalidArgument("linear " + name_ +
-                                   ": bad grad_output shape");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateShapesMatch(
+      grad_output.shape(), Shape{batch, out_features_},
+      "linear " + name_ + " grad_output"));
   const float* weight = params_[0].value.data();
   float* grad_weight = params_[0].grad.data();
   float* grad_bias = params_[1].grad.data();

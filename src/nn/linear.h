@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_LINEAR_H_
-#define MMLIB_NN_LINEAR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -33,4 +32,3 @@ class Linear : public Layer {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_LINEAR_H_

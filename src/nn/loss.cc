@@ -1,14 +1,18 @@
 #include "nn/loss.h"
 
+#include "check/validators.h"
 #include <cmath>
 
 namespace mmlib::nn {
 
 Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
                                        const std::vector<int64_t>& labels) {
-  if (logits.shape().rank() != 2) {
-    return Status::InvalidArgument("logits must be [N, C]");
-  }
+  MMLIB_RETURN_IF_ERROR(
+      check::ValidateRank(logits.shape(), 2, "SoftmaxCrossEntropy logits"));
+  // A single NaN/Inf logit silently poisons the loss and every parameter on
+  // the next optimizer step; reject it here, at the training-loop boundary.
+  MMLIB_RETURN_IF_ERROR(
+      check::ValidateAllFinite(logits, "SoftmaxCrossEntropy logits"));
   const int64_t batch = logits.shape().dim(0);
   const int64_t classes = logits.shape().dim(1);
   if (static_cast<int64_t>(labels.size()) != batch) {
@@ -20,10 +24,8 @@ Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
   double total_loss = 0.0;
   for (int64_t n = 0; n < batch; ++n) {
     const int64_t label = labels[n];
-    if (label < 0 || label >= classes) {
-      return Status::InvalidArgument("label out of range: " +
-                                     std::to_string(label));
-    }
+    MMLIB_RETURN_IF_ERROR(
+        check::ValidateIndex(label, classes, "SoftmaxCrossEntropy label"));
     const float* row = logits.data() + n * classes;
     float* grad = result.grad_logits.data() + n * classes;
     float max_logit = row[0];
@@ -50,9 +52,8 @@ Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
 
 Result<float> Accuracy(const Tensor& logits,
                        const std::vector<int64_t>& labels) {
-  if (logits.shape().rank() != 2) {
-    return Status::InvalidArgument("logits must be [N, C]");
-  }
+  MMLIB_RETURN_IF_ERROR(
+      check::ValidateRank(logits.shape(), 2, "Accuracy logits"));
   const int64_t batch = logits.shape().dim(0);
   const int64_t classes = logits.shape().dim(1);
   if (static_cast<int64_t>(labels.size()) != batch) {

@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_LOSS_H_
-#define MMLIB_NN_LOSS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -27,4 +26,3 @@ Result<float> Accuracy(const Tensor& logits,
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_LOSS_H_

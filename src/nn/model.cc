@@ -1,16 +1,16 @@
 #include "nn/model.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace mmlib::nn {
 
 int64_t Model::AddNode(std::unique_ptr<Layer> layer,
                        std::vector<int64_t> inputs) {
-  assert(layer != nullptr);
+  MMLIB_CHECK(layer != nullptr) << "AddNode with null layer";
   for (int64_t id : inputs) {
-    assert(id == kInputNode ||
-           (id >= 0 && id < static_cast<int64_t>(nodes_.size())));
-    (void)id;
+    MMLIB_CHECK(id == kInputNode ||
+                (id >= 0 && id < static_cast<int64_t>(nodes_.size())))
+        << "AddNode input id " << id << " does not reference an earlier node";
   }
   nodes_.push_back(Node{std::move(layer), std::move(inputs)});
   return static_cast<int64_t>(nodes_.size()) - 1;
@@ -226,7 +226,7 @@ Bytes Model::SerializeLayerSubset(
   BytesWriter writer;
   writer.WriteU64(layer_indices.size());
   for (size_t i : layer_indices) {
-    assert(i < nodes_.size());
+    MMLIB_CHECK_LT(i, nodes_.size()) << "SerializeLayerSubset: bad node index";
     writer.WriteString(nodes_[i].layer->name());
     nodes_[i].layer->SerializeParams(&writer);
   }

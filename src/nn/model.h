@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_MODEL_H_
-#define MMLIB_NN_MODEL_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -118,6 +117,7 @@ class Model {
 
   /// Observer receiving activations/gradients; may be nullptr.
   void set_observer(ActivationObserver* observer) { observer_ = observer; }
+  ActivationObserver* observer() const { return observer_; }
 
  private:
   struct Node {
@@ -134,4 +134,3 @@ class Model {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_MODEL_H_

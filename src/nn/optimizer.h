@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_OPTIMIZER_H_
-#define MMLIB_NN_OPTIMIZER_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -82,4 +81,3 @@ class SgdOptimizer : public Optimizer {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_OPTIMIZER_H_

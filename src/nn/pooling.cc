@@ -1,5 +1,6 @@
 #include "nn/pooling.h"
 
+#include "check/validators.h"
 #include <limits>
 
 namespace mmlib::nn {
@@ -14,9 +15,7 @@ MaxPool2d::MaxPool2d(std::string name, int64_t kernel_size, int64_t stride,
 Result<Tensor> MaxPool2d::Forward(const std::vector<const Tensor*>& inputs,
                                   ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("maxpool expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   if (x.shape().rank() != 4) {
     return Status::InvalidArgument("maxpool " + name_ + ": bad input shape");
@@ -95,9 +94,7 @@ AvgPool2d::AvgPool2d(std::string name, int64_t kernel_size, int64_t stride,
 Result<Tensor> AvgPool2d::Forward(const std::vector<const Tensor*>& inputs,
                                   ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("avgpool expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   if (x.shape().rank() != 4) {
     return Status::InvalidArgument("avgpool " + name_ + ": bad input shape");
@@ -188,9 +185,7 @@ Result<std::vector<Tensor>> AvgPool2d::Backward(const Tensor& grad_output,
 Result<Tensor> GlobalAvgPool::Forward(const std::vector<const Tensor*>& inputs,
                                       ExecutionContext* ctx) {
   (void)ctx;
-  if (inputs.size() != 1) {
-    return Status::InvalidArgument("global_avg_pool expects one input");
-  }
+  MMLIB_RETURN_IF_ERROR(check::ValidateArity(inputs, 1, name_));
   const Tensor& x = *inputs[0];
   if (x.shape().rank() != 4) {
     return Status::InvalidArgument("global_avg_pool " + name_ +

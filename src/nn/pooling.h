@@ -1,5 +1,4 @@
-#ifndef MMLIB_NN_POOLING_H_
-#define MMLIB_NN_POOLING_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -68,4 +67,3 @@ class GlobalAvgPool : public Layer {
 
 }  // namespace mmlib::nn
 
-#endif  // MMLIB_NN_POOLING_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_SIMNET_NETWORK_H_
-#define MMLIB_SIMNET_NETWORK_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -61,4 +60,3 @@ class Network {
 
 }  // namespace mmlib::simnet
 
-#endif  // MMLIB_SIMNET_NETWORK_H_

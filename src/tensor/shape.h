@@ -1,5 +1,4 @@
-#ifndef MMLIB_TENSOR_SHAPE_H_
-#define MMLIB_TENSOR_SHAPE_H_
+#pragma once
 
 #include <cstdint>
 #include <initializer_list>
@@ -34,4 +33,3 @@ class Shape {
 
 }  // namespace mmlib
 
-#endif  // MMLIB_TENSOR_SHAPE_H_

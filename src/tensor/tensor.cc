@@ -1,6 +1,6 @@
 #include "tensor/tensor.h"
 
-#include <cassert>
+#include "check/check.h"
 #include <cmath>
 #include <cstring>
 
@@ -12,7 +12,8 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  assert(static_cast<int64_t>(data_.size()) == shape_.numel());
+  MMLIB_CHECK_EQ(static_cast<int64_t>(data_.size()), shape_.numel())
+      << "tensor data size does not match shape " << shape_.ToString();
 }
 
 Tensor Tensor::Full(Shape shape, float value) {
@@ -44,14 +45,18 @@ void Tensor::Fill(float value) {
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
-  assert(shape_ == other.shape_);
+  MMLIB_CHECK(shape_ == other.shape_)
+      << "AddInPlace: shape mismatch " << shape_.ToString() << " vs "
+      << other.shape_.ToString();
   for (size_t i = 0; i < data_.size(); ++i) {
     data_[i] += other.data_[i];
   }
 }
 
 void Tensor::SubInPlace(const Tensor& other) {
-  assert(shape_ == other.shape_);
+  MMLIB_CHECK(shape_ == other.shape_)
+      << "SubInPlace: shape mismatch " << shape_.ToString() << " vs "
+      << other.shape_.ToString();
   for (size_t i = 0; i < data_.size(); ++i) {
     data_[i] -= other.data_[i];
   }
@@ -64,7 +69,9 @@ void Tensor::MulScalarInPlace(float s) {
 }
 
 void Tensor::AddScaledInPlace(const Tensor& other, float s) {
-  assert(shape_ == other.shape_);
+  MMLIB_CHECK(shape_ == other.shape_)
+      << "AddScaledInPlace: shape mismatch " << shape_.ToString() << " vs "
+      << other.shape_.ToString();
   for (size_t i = 0; i < data_.size(); ++i) {
     data_[i] += other.data_[i] * s;
   }
@@ -95,7 +102,9 @@ bool Tensor::AllClose(const Tensor& other, float tolerance) const {
 }
 
 float Tensor::MaxAbsDiff(const Tensor& other) const {
-  assert(shape_ == other.shape_);
+  MMLIB_CHECK(shape_ == other.shape_)
+      << "MaxAbsDiff: shape mismatch " << shape_.ToString() << " vs "
+      << other.shape_.ToString();
   float max_diff = 0.0f;
   for (size_t i = 0; i < data_.size(); ++i) {
     max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));

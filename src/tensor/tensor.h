@@ -1,10 +1,10 @@
-#ifndef MMLIB_TENSOR_TENSOR_H_
-#define MMLIB_TENSOR_TENSOR_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "hash/sha256.h"
 #include "tensor/shape.h"
 #include "util/bytes.h"
@@ -41,8 +41,14 @@ class Tensor {
 
   const float* data() const { return data_.data(); }
   float* data() { return data_.data(); }
-  float at(size_t i) const { return data_[i]; }
-  float& at(size_t i) { return data_[i]; }
+  float at(size_t i) const {
+    MMLIB_DCHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  float& at(size_t i) {
+    MMLIB_DCHECK_LT(i, data_.size());
+    return data_[i];
+  }
 
   /// Elementwise in-place operations.
   void Fill(float value);
@@ -104,4 +110,3 @@ float SumKahan(const float* values, size_t n);
 
 }  // namespace mmlib
 
-#endif  // MMLIB_TENSOR_TENSOR_H_

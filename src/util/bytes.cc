@@ -39,11 +39,16 @@ void BytesWriter::WriteBlob(const uint8_t* data, size_t size) {
 }
 
 void BytesWriter::WriteRaw(const uint8_t* data, size_t size) {
+  if (size == 0) {
+    return;  // `data` may be null for empty payloads
+  }
   buffer_.insert(buffer_.end(), data, data + size);
 }
 
 Status BytesReader::CheckAvailable(size_t n) const {
-  if (offset_ + n > size_) {
+  // Phrased as a subtraction: `offset_ + n` could wrap for a corrupt
+  // length prefix and slip past the check.
+  if (n > size_ - offset_) {
     return Status::Corruption("truncated input: need " + std::to_string(n) +
                               " bytes, have " +
                               std::to_string(size_ - offset_));
@@ -113,7 +118,9 @@ Result<Bytes> BytesReader::ReadBlob() {
 
 Status BytesReader::ReadRaw(uint8_t* out, size_t size) {
   MMLIB_RETURN_IF_ERROR(CheckAvailable(size));
-  std::memcpy(out, data_ + offset_, size);
+  if (size != 0) {  // `out` may be null for empty payloads
+    std::memcpy(out, data_ + offset_, size);
+  }
   offset_ += size;
   return Status::OK();
 }

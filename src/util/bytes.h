@@ -1,5 +1,4 @@
-#ifndef MMLIB_UTIL_BYTES_H_
-#define MMLIB_UTIL_BYTES_H_
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -87,4 +86,3 @@ std::string BytesToString(const Bytes& b);
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_BYTES_H_

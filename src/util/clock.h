@@ -1,5 +1,4 @@
-#ifndef MMLIB_UTIL_CLOCK_H_
-#define MMLIB_UTIL_CLOCK_H_
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -64,4 +63,3 @@ class Stopwatch {
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_CLOCK_H_

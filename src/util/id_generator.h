@@ -1,5 +1,4 @@
-#ifndef MMLIB_UTIL_ID_GENERATOR_H_
-#define MMLIB_UTIL_ID_GENERATOR_H_
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -27,4 +26,3 @@ class IdGenerator {
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_ID_GENERATOR_H_

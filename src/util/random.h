@@ -1,5 +1,4 @@
-#ifndef MMLIB_UTIL_RANDOM_H_
-#define MMLIB_UTIL_RANDOM_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -59,4 +58,3 @@ class Rng {
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_RANDOM_H_

@@ -1,10 +1,9 @@
-#ifndef MMLIB_UTIL_RESULT_H_
-#define MMLIB_UTIL_RESULT_H_
+#pragma once
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "check/check.h"
 #include "util/status.h"
 
 namespace mmlib {
@@ -17,7 +16,7 @@ namespace mmlib {
 ///   if (!r.ok()) return r.status();
 ///   int v = r.value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit to allow `return value;`).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -25,10 +24,8 @@ class Result {
   /// Constructs a Result holding an error (implicit to allow
   /// `return Status::NotFound(...)`). Must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
-    if (status_.ok()) {
-      status_ = Status::Internal("Result constructed from OK status");
-    }
+    MMLIB_CHECK(!status_.ok())
+        << "Result constructed from OK status without value";
   }
 
   bool ok() const { return value_.has_value(); }
@@ -38,15 +35,15 @@ class Result {
 
   /// Returns the held value. Must only be called when ok().
   const T& value() const& {
-    assert(ok());
+    CheckHoldsValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHoldsValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHoldsValue();
     return std::move(*value_);
   }
 
@@ -61,10 +58,13 @@ class Result {
   }
 
  private:
+  void CheckHoldsValue() const {
+    MMLIB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+  }
+
   Status status_;
   std::optional<T> value_;
 };
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_RESULT_H_

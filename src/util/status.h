@@ -1,5 +1,4 @@
-#ifndef MMLIB_UTIL_STATUS_H_
-#define MMLIB_UTIL_STATUS_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -29,7 +28,7 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// A Status holds the outcome of an operation that can fail: either OK or an
 /// error code plus a message. Statuses are cheap to copy in the OK case.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -117,4 +116,3 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_UTIL_STRINGS_H_
-#define MMLIB_UTIL_STRINGS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -37,4 +36,3 @@ std::string PadRight(std::string_view s, size_t width);
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_STRINGS_H_

@@ -1,5 +1,4 @@
-#ifndef MMLIB_UTIL_TABLE_PRINTER_H_
-#define MMLIB_UTIL_TABLE_PRINTER_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -27,4 +26,3 @@ class TablePrinter {
 
 }  // namespace mmlib
 
-#endif  // MMLIB_UTIL_TABLE_PRINTER_H_

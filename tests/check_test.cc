@@ -1,0 +1,183 @@
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "check/validators.h"
+#include "nn/loss.h"
+#include "tensor/tensor.h"
+#include "util/result.h"
+
+namespace mmlib {
+namespace {
+
+// ---------------------------------------------------------------- MMLIB_CHECK
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  MMLIB_CHECK(1 + 1 == 2);
+  MMLIB_CHECK(true) << "message is not evaluated on success";
+  MMLIB_CHECK_EQ(4, 4);
+  MMLIB_CHECK_NE(4, 5);
+  MMLIB_CHECK_LT(1, 2);
+  MMLIB_CHECK_LE(2, 2);
+  MMLIB_CHECK_GT(3, 2);
+  MMLIB_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithConditionText) {
+  EXPECT_DEATH(MMLIB_CHECK(1 == 2), "MMLIB_CHECK failed.*1 == 2");
+}
+
+TEST(CheckDeathTest, StreamedContextAppearsInMessage) {
+  const int x = 41;
+  EXPECT_DEATH(MMLIB_CHECK(x == 42) << "x was " << x,
+               "MMLIB_CHECK failed.*x == 42.*x was 41");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 7;
+  EXPECT_DEATH(MMLIB_CHECK_EQ(lhs, rhs), "lhs == rhs.*3 vs 7");
+  EXPECT_DEATH(MMLIB_CHECK_LT(rhs, lhs), "rhs < lhs.*7 vs 3");
+}
+
+TEST(CheckTest, SuccessDoesNotEvaluateStreamedOperands) {
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 0;
+  };
+  MMLIB_CHECK(true) << "side effect " << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+// --------------------------------------------------------------- MMLIB_DCHECK
+
+TEST(CheckTest, DcheckConditionNotEvaluatedWhenDisabled) {
+  int evaluations = 0;
+  auto probe = [&]() {
+    ++evaluations;
+    return true;
+  };
+  MMLIB_DCHECK(probe());
+  EXPECT_EQ(evaluations, kDCheckEnabled ? 1 : 0);
+}
+
+TEST(CheckDeathTest, DcheckMatchesBuildMode) {
+  if (kDCheckEnabled) {
+    EXPECT_DEATH(MMLIB_DCHECK(false), "MMLIB_DCHECK failed");
+    EXPECT_DEATH(MMLIB_DCHECK_EQ(1, 2), "MMLIB_DCHECK_EQ failed");
+  } else {
+    // Compiled out: must be a no-op in release builds.
+    MMLIB_DCHECK(false);
+    MMLIB_DCHECK_EQ(1, 2);
+  }
+}
+
+// ------------------------------------------------------- Result enforcement
+
+TEST(CheckDeathTest, ValueOnErrorResultAborts) {
+  Result<int> error = Status::NotFound("missing thing");
+  EXPECT_DEATH(error.value(), "value\\(\\) on error Result.*missing thing");
+}
+
+TEST(CheckDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>(Status::OK()),
+               "Result constructed from OK status");
+}
+
+// ------------------------------------------------------------------ validators
+
+TEST(ValidatorsTest, ShapesMatch) {
+  EXPECT_TRUE(check::ValidateShapesMatch(Shape{2, 3}, Shape{2, 3}, "t").ok());
+  const Status mismatch =
+      check::ValidateShapesMatch(Shape{2, 3}, Shape{3, 2}, "merge");
+  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch.message().find("[2, 3]"), std::string::npos);
+  EXPECT_NE(mismatch.message().find("[3, 2]"), std::string::npos);
+  EXPECT_NE(mismatch.message().find("merge"), std::string::npos);
+}
+
+TEST(ValidatorsTest, SameShapeComparesTensors) {
+  Tensor a(Shape{2, 2});
+  Tensor b(Shape{2, 2});
+  Tensor c(Shape{4});
+  EXPECT_TRUE(check::ValidateSameShape(a, b, "t").ok());
+  EXPECT_FALSE(check::ValidateSameShape(a, c, "t").ok());
+}
+
+TEST(ValidatorsTest, RankEdgeCases) {
+  EXPECT_TRUE(check::ValidateRank(Shape{}, 0, "scalar").ok());
+  EXPECT_TRUE(check::ValidateRank(Shape{1, 2, 3, 4}, 4, "nchw").ok());
+  EXPECT_EQ(check::ValidateRank(Shape{1}, 2, "matrix").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidatorsTest, IndexBounds) {
+  EXPECT_TRUE(check::ValidateIndex(0, 1, "i").ok());
+  EXPECT_TRUE(check::ValidateIndex(9, 10, "i").ok());
+  EXPECT_EQ(check::ValidateIndex(10, 10, "i").code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(check::ValidateIndex(-1, 10, "i").code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(check::ValidateIndex(0, 0, "i").code(), StatusCode::kOutOfRange);
+}
+
+TEST(ValidatorsTest, Positive) {
+  EXPECT_TRUE(check::ValidatePositive(1, "n").ok());
+  EXPECT_FALSE(check::ValidatePositive(0, "n").ok());
+  EXPECT_FALSE(check::ValidatePositive(-3, "n").ok());
+}
+
+TEST(ValidatorsTest, AllFiniteAcceptsNormalValues) {
+  Tensor t(Shape{2, 2}, {0.0f, -1.5f, 3.25f, 1e30f});
+  EXPECT_TRUE(check::ValidateAllFinite(t, "weights").ok());
+  EXPECT_TRUE(check::ValidateAllFinite(Tensor(), "empty").ok());
+}
+
+TEST(ValidatorsTest, AllFiniteReportsFirstOffendingIndex) {
+  Tensor t(Shape{4}, {1.0f, 2.0f, std::nanf(""), 4.0f});
+  const Status status = check::ValidateAllFinite(t, "logits");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("flat index 2"), std::string::npos);
+
+  Tensor inf(Shape{2}, {std::numeric_limits<float>::infinity(), 0.0f});
+  EXPECT_FALSE(check::ValidateAllFinite(inf, "grad").ok());
+}
+
+TEST(ValidatorsTest, ArityCountsAndNullChecksInputs) {
+  Tensor t(Shape{1});
+  const std::vector<const Tensor*> one = {&t};
+  const std::vector<const Tensor*> two = {&t, &t};
+  const std::vector<const Tensor*> with_null = {&t, nullptr};
+  EXPECT_TRUE(check::ValidateArity(one, 1, "relu").ok());
+  EXPECT_TRUE(check::ValidateArity(two, 2, "add").ok());
+  EXPECT_FALSE(check::ValidateArity(two, 1, "relu").ok());
+  EXPECT_FALSE(check::ValidateArity({}, 1, "relu").ok());
+  EXPECT_FALSE(check::ValidateArity(with_null, 2, "add").ok());
+}
+
+TEST(ValidatorsTest, ResourceNames) {
+  EXPECT_TRUE(check::ValidateResourceName("model-7_v2", false, "id").ok());
+  EXPECT_TRUE(check::ValidateResourceName("doc.json", true, "id").ok());
+  EXPECT_FALSE(check::ValidateResourceName("doc.json", false, "id").ok());
+  EXPECT_FALSE(check::ValidateResourceName("", false, "id").ok());
+  EXPECT_FALSE(check::ValidateResourceName("..", true, "id").ok());
+  EXPECT_FALSE(check::ValidateResourceName(".", true, "id").ok());
+  EXPECT_FALSE(check::ValidateResourceName("a/b", true, "id").ok());
+  EXPECT_FALSE(
+      check::ValidateResourceName(std::string(201, 'a'), false, "id").ok());
+}
+
+// The validators back the module boundaries: a malformed call must produce a
+// Status, not UB. Exercise one real call path per adopting module.
+TEST(ValidatorsTest, AdoptedAtModuleBoundaries) {
+  Tensor bad_logits(Shape{2, 3}, {1.0f, 2.0f, 3.0f,
+                                  std::nanf(""), 5.0f, 6.0f});
+  EXPECT_FALSE(nn::SoftmaxCrossEntropy(bad_logits, {0, 1}).ok());
+}
+
+}  // namespace
+}  // namespace mmlib

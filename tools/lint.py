@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""mmlib repository lint.
+
+Enforces repo-specific correctness rules that generic tooling does not know
+about (see DESIGN.md "Correctness tooling"):
+
+  no-raw-rand        rand()/srand()/std::random_device are forbidden outside
+                     src/util/random.* -- all randomness must flow through the
+                     seeded, platform-deterministic mmlib::Rng so training
+                     stays reproducible (paper Section 2.3).
+  no-assert          assert( is forbidden in library code under src/ -- use
+                     MMLIB_CHECK / MMLIB_DCHECK from src/check/check.h, which
+                     survive NDEBUG builds and print formatted context.
+  pragma-once        every header must start its guard with #pragma once.
+  no-iostream        <iostream> is forbidden in the src/ library target; it
+                     drags in static init-order hazards and stdio interleaving.
+                     Use <cstdio> or util/strings.h. (bench/, examples/ and
+                     tests/ may use it.)
+  nodiscard-result   src/util/result.h and src/util/status.h must declare
+                     Result/Status [[nodiscard]] so the compiler flags every
+                     discarded error at the call site.
+
+Usage:
+  python3 tools/lint.py            # lint the whole repo, exit non-zero on findings
+  python3 tools/lint.py FILE...    # lint specific files only
+  python3 tools/lint.py --list-rules
+
+A finding on a specific line can be suppressed with a trailing
+`// lint:allow(<rule-id>)` comment; use sparingly and say why.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CPP_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+# Directories scanned for C++ sources, relative to the repo root.
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+
+def is_header(path: Path) -> bool:
+    return path.suffix in {".h", ".hpp"}
+
+
+def in_dir(relpath: Path, dirname: str) -> bool:
+    return relpath.parts and relpath.parts[0] == dirname
+
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+RAW_RAND_RE = re.compile(r"(?<![\w:])(?:std::)?(?:s?rand(?:om)?\s*\(|random_device)")
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+NODISCARD_CLASS_RE = {
+    "src/util/result.h": re.compile(r"class\s+\[\[nodiscard\]\]\s+Result"),
+    "src/util/status.h": re.compile(r"class\s+\[\[nodiscard\]\]\s+Status"),
+}
+
+
+def strip_noncode(line: str) -> str:
+    """Removes string literals and // comments so rules match code only."""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+RULES = {}
+
+
+def rule(rule_id, doc):
+    def wrap(fn):
+        RULES[rule_id] = (fn, doc)
+        return fn
+
+    return wrap
+
+
+@rule("no-raw-rand", "rand()/srand()/std::random_device outside src/util/random")
+def check_raw_rand(relpath, text, findings):
+    rel = relpath.as_posix()
+    if rel.startswith("src/util/random"):
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        if RAW_RAND_RE.search(strip_noncode(line)):
+            findings.append(
+                Finding(rel, i, "no-raw-rand",
+                        "use the seeded mmlib::Rng from util/random.h; raw "
+                        "rand()/std::random_device breaks reproducibility"))
+
+
+@rule("no-assert", "assert( in src/ library code (use MMLIB_CHECK/MMLIB_DCHECK)")
+def check_assert(relpath, text, findings):
+    if not in_dir(relpath, "src"):
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        if ASSERT_RE.search(strip_noncode(line)):
+            findings.append(
+                Finding(relpath.as_posix(), i, "no-assert",
+                        "use MMLIB_CHECK/MMLIB_DCHECK from check/check.h "
+                        "instead of assert()"))
+
+
+@rule("pragma-once", "headers must contain #pragma once")
+def check_pragma_once(relpath, text, findings):
+    if not is_header(relpath):
+        return
+    if not PRAGMA_ONCE_RE.search(text):
+        findings.append(
+            Finding(relpath.as_posix(), 1, "pragma-once",
+                    "header is missing #pragma once"))
+
+
+@rule("no-iostream", "<iostream> in the src/ library target")
+def check_iostream(relpath, text, findings):
+    if not in_dir(relpath, "src"):
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        if IOSTREAM_RE.search(strip_noncode(line)):
+            findings.append(
+                Finding(relpath.as_posix(), i, "no-iostream",
+                        "library code must not include <iostream>; use "
+                        "<cstdio>, <sstream>, or util/strings.h"))
+
+
+@rule("nodiscard-result", "Result/Status must be declared [[nodiscard]]")
+def check_nodiscard(relpath, text, findings):
+    rel = relpath.as_posix()
+    pattern = NODISCARD_CLASS_RE.get(rel)
+    if pattern is None:
+        return
+    if not pattern.search(text):
+        findings.append(
+            Finding(rel, 1, "nodiscard-result",
+                    "error-carrying class lost its [[nodiscard]] annotation; "
+                    "discarded Result/Status would go unnoticed"))
+
+
+def lint_file(path: Path, findings):
+    try:
+        relpath = path.resolve().relative_to(REPO_ROOT)
+    except ValueError:
+        relpath = path
+    text = path.read_text(encoding="utf-8", errors="replace")
+
+    file_findings = []
+    for fn, _doc in RULES.values():
+        fn(relpath, text, file_findings)
+
+    # Honor line-scoped `// lint:allow(rule-id)` suppressions.
+    lines = text.splitlines()
+    for f in file_findings:
+        line_text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        allows = set(ALLOW_RE.findall(line_text))
+        if f.rule not in allows:
+            findings.append(f)
+
+
+def collect_files(args_paths):
+    if args_paths:
+        files = []
+        for arg in args_paths:
+            p = Path(arg)
+            if p.is_dir():
+                files.extend(sorted(f for f in p.rglob("*") if f.suffix in CPP_SUFFIXES))
+            elif p.exists():
+                files.append(p)
+            else:
+                sys.exit(f"lint: no such file or directory: {arg}")
+        return [f for f in files if f.suffix in CPP_SUFFIXES]
+    files = []
+    for d in SCAN_DIRS:
+        root = REPO_ROOT / d
+        if root.is_dir():
+            files.extend(sorted(f for f in root.rglob("*") if f.suffix in CPP_SUFFIXES))
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: whole repo)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule_id, (_fn, doc) in sorted(RULES.items()):
+            print(f"{rule_id:18} {doc}")
+        return 0
+
+    findings = []
+    files = collect_files(args.paths)
+    for f in files:
+        lint_file(f, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
