@@ -1,0 +1,206 @@
+/// Thread-pool scaling microbenchmark: sweeps MMLIB-style pool sizes over
+/// the three parallelized pipelines (conv forward, Merkle-leaf hashing,
+/// chunked codec encode), verifies that every result is bit-identical to
+/// the 1-thread run (the deterministic-chunking contract), and writes the
+/// measurements to BENCH_parallel.json.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "compress/chunked.h"
+#include "json/json.h"
+#include "models/zoo.h"
+#include "nn/conv2d.h"
+#include "util/clock.h"
+#include "util/thread_pool.h"
+
+using namespace mmlib;
+
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+struct Measurement {
+  size_t threads = 0;
+  double seconds_per_op = 0.0;
+  bool bit_identical = false;
+};
+
+struct Section {
+  std::string name;
+  std::vector<Measurement> results;
+};
+
+/// Median-of-runs timing for one operation.
+template <typename Fn>
+double TimeOp(int reps, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+Section BenchConvForward() {
+  Rng rng(1);
+  nn::Conv2d conv("bench", 8, 16, 3, 1, 1, 1, &rng);
+  Rng input_rng(2);
+  const Tensor input =
+      Tensor::Gaussian(Shape{8, 8, 32, 32}, 1.0f, &input_rng);
+
+  Section section{"conv_forward", {}};
+  Tensor reference;
+  for (size_t threads : kThreadSweep) {
+    util::ThreadPool pool(threads);
+    nn::ExecutionContext ctx = nn::ExecutionContext::Deterministic(3);
+    ctx.set_pool(&pool);
+    Tensor output;
+    const double seconds = TimeOp(5, [&] {
+      output = conv.Forward({&input}, &ctx).value();
+    });
+    if (threads == 1) {
+      reference = output;
+    }
+    const bool identical =
+        output.shape() == reference.shape() &&
+        std::memcmp(output.data(), reference.data(),
+                    static_cast<size_t>(output.numel()) * sizeof(float)) == 0;
+    section.results.push_back({threads, seconds, identical});
+  }
+  return section;
+}
+
+Section BenchMerkleBuild() {
+  models::ModelConfig config =
+      models::DefaultConfig(models::Architecture::kMobileNetV2);
+  config.channel_divisor = 4;
+  config.image_size = 56;
+  config.num_classes = 250;
+  config.init_seed = 4;
+  nn::Model model = models::BuildModel(config).value();
+
+  Section section{"merkle_build", {}};
+  Digest reference;
+  for (size_t threads : kThreadSweep) {
+    util::ThreadPool pool(threads);
+    Digest root;
+    const double seconds = TimeOp(5, [&] {
+      root = model.BuildMerkleTree(&pool).value().root();
+    });
+    if (threads == 1) {
+      reference = root;
+    }
+    section.results.push_back({threads, seconds, root == reference});
+  }
+  return section;
+}
+
+Section BenchCodecEncode() {
+  // Compressible payload shaped like a serialized parameter snapshot.
+  Bytes payload(4 * 1024 * 1024);
+  Rng rng(5);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(rng.NextBelow(29));
+  }
+  constexpr size_t kChunkSize = 256 * 1024;
+
+  Section section{"codec_encode", {}};
+  Bytes reference;
+  for (size_t threads : kThreadSweep) {
+    util::ThreadPool pool(threads);
+    Bytes frame;
+    const double seconds = TimeOp(3, [&] {
+      frame =
+          ChunkedFrame(payload, CodecKind::kLz77, kChunkSize, &pool).value();
+    });
+    if (threads == 1) {
+      reference = frame;
+    }
+    section.results.push_back({threads, seconds, frame == reference});
+  }
+  return section;
+}
+
+json::Value SectionToJson(const Section& section) {
+  json::Value results = json::Value::MakeArray();
+  const double base = section.results.front().seconds_per_op;
+  for (const Measurement& m : section.results) {
+    json::Value row = json::Value::MakeObject();
+    row.Set("threads", static_cast<int64_t>(m.threads));
+    row.Set("seconds_per_op", m.seconds_per_op);
+    row.Set("speedup", m.seconds_per_op > 0 ? base / m.seconds_per_op : 0.0);
+    row.Set("bit_identical", m.bit_identical);
+    results.Append(std::move(row));
+  }
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("name", section.name);
+  doc.Set("results", std::move(results));
+  return doc;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "micro_parallel", "Thread-pool scaling of the parallel pipelines",
+      "Deterministic chunking: chunk boundaries depend only on the problem\n"
+      "size, so every pool size must produce bit-identical results; the\n"
+      "sweep verifies that while measuring throughput (DESIGN.md\n"
+      "\"Threading model\").");
+
+  const size_t hardware_threads = util::ThreadPool::DefaultThreadCount();
+  std::printf("hardware/default threads: %zu\n\n", hardware_threads);
+
+  const std::vector<Section> sections = {
+      BenchConvForward(), BenchMerkleBuild(), BenchCodecEncode()};
+
+  TablePrinter table(
+      {"section", "threads", "sec/op", "speedup", "bit-identical"});
+  json::Value section_array = json::Value::MakeArray();
+  for (const Section& section : sections) {
+    const double base = section.results.front().seconds_per_op;
+    for (const Measurement& m : section.results) {
+      char sec_buf[32];
+      char speedup_buf[32];
+      std::snprintf(sec_buf, sizeof(sec_buf), "%.6f", m.seconds_per_op);
+      std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx",
+                    m.seconds_per_op > 0 ? base / m.seconds_per_op : 0.0);
+      table.AddRow({section.name, std::to_string(m.threads), sec_buf,
+                    speedup_buf, m.bit_identical ? "yes" : "NO"});
+    }
+    section_array.Append(SectionToJson(section));
+  }
+  table.Print(std::cout);
+
+  bool all_identical = true;
+  for (const Section& section : sections) {
+    for (const Measurement& m : section.results) {
+      all_identical = all_identical && m.bit_identical;
+    }
+  }
+
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("bench", "micro_parallel");
+  doc.Set("hardware_threads", static_cast<int64_t>(hardware_threads));
+  doc.Set("all_bit_identical", all_identical);
+  doc.Set("sections", std::move(section_array));
+  const std::string json_text = doc.DumpPretty();
+  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out != nullptr) {
+    std::fwrite(json_text.data(), 1, json_text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_parallel.json\n");
+  }
+
+  std::printf("all results bit-identical across pool sizes: %s\n",
+              all_identical ? "yes" : "NO");
+  return all_identical ? 0 : 1;
+}

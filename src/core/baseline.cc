@@ -5,12 +5,14 @@ namespace mmlib::core {
 Result<SaveResult> BaselineSaveService::SaveModel(const SaveRequest& request) {
   CostMeter meter(backends_);
 
-  // Extract: serialize the full parameter snapshot.
+  // Extract: serialize the full parameter snapshot and encode it as a
+  // chunked frame (parallel, thread-count-independent bytes).
   Bytes params = request.model->SerializeParams();
+  MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(params));
 
   // Persist: parameters to the file store, metadata to the document store.
   MMLIB_ASSIGN_OR_RETURN(std::string params_file,
-                         backends_.files->SaveFile(params));
+                         backends_.files->SaveFile(encoded));
   MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request));
   doc.Set("params_file", params_file);
   MMLIB_ASSIGN_OR_RETURN(std::string model_id,

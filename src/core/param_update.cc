@@ -14,8 +14,9 @@ Result<SaveResult> ParamUpdateSaveService::SaveModel(
   if (request.base_model_id.empty()) {
     // Initial model: full snapshot, exactly like the baseline approach.
     Bytes params = request.model->SerializeParams();
+    MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(params));
     MMLIB_ASSIGN_OR_RETURN(std::string params_file,
-                           backends_.files->SaveFile(params));
+                           backends_.files->SaveFile(encoded));
     doc.Set("params_file", params_file);
   } else {
     // Derived model: load only the base's Merkle tree and save the layers
@@ -38,8 +39,9 @@ Result<SaveResult> ParamUpdateSaveService::SaveModel(
 
     Bytes update =
         request.model->SerializeLayerSubset(diff.changed_leaves);
+    MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(update));
     MMLIB_ASSIGN_OR_RETURN(std::string update_file,
-                           backends_.files->SaveFile(update));
+                           backends_.files->SaveFile(encoded));
     doc.Set("update_file", update_file);
   }
 

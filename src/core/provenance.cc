@@ -13,8 +13,9 @@ Result<SaveResult> ProvenanceSaveService::SaveModel(
   if (request.base_model_id.empty()) {
     // Initial model: full snapshot, exactly like the baseline approach.
     Bytes params = request.model->SerializeParams();
+    MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(params));
     MMLIB_ASSIGN_OR_RETURN(std::string params_file,
-                           backends_.files->SaveFile(params));
+                           backends_.files->SaveFile(encoded));
     doc.Set("params_file", params_file);
   } else {
     if (request.provenance == nullptr ||

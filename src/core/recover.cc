@@ -1,5 +1,6 @@
 #include "core/recover.h"
 
+#include "compress/chunked.h"
 #include "core/model_code.h"
 #include "core/train_service.h"
 #include "data/archive.h"
@@ -10,6 +11,16 @@ namespace mmlib::core {
 namespace {
 
 constexpr int kMaxChainDepth = 4096;
+
+/// Parameter payloads written by current save services are chunked frames;
+/// payloads from before the chunked container are raw serializations.
+/// Auto-detect and decode accordingly.
+Result<Bytes> DecodeParamsPayload(Bytes raw, util::ThreadPool* pool) {
+  if (IsChunkedFrame(raw)) {
+    return ChunkedUnframe(raw, pool);
+  }
+  return raw;
+}
 
 /// Times a region including any simulated network transfer time.
 class PhaseTimer {
@@ -123,8 +134,11 @@ Result<nn::Model> ModelRecoverer::RecoverInternal(const std::string& id,
     MMLIB_ASSIGN_OR_RETURN(std::string code_id, doc.GetString("code_doc"));
     MMLIB_ASSIGN_OR_RETURN(json::Value code_doc,
                            backends_.docs->Get(kCodeCollection, code_id));
-    MMLIB_ASSIGN_OR_RETURN(Bytes params,
+    MMLIB_ASSIGN_OR_RETURN(Bytes params_raw,
                            backends_.files->LoadFile(params_file));
+    MMLIB_ASSIGN_OR_RETURN(
+        Bytes params,
+        DecodeParamsPayload(std::move(params_raw), backends_.pool));
     breakdown->load_seconds += load_timer.Stop();
 
     PhaseTimer recover_timer(backends_.network);
@@ -153,8 +167,11 @@ Result<nn::Model> ModelRecoverer::RecoverInternal(const std::string& id,
     PhaseTimer load_timer(backends_.network);
     MMLIB_ASSIGN_OR_RETURN(std::string update_file,
                            doc.GetString("update_file"));
-    MMLIB_ASSIGN_OR_RETURN(Bytes update,
+    MMLIB_ASSIGN_OR_RETURN(Bytes update_raw,
                            backends_.files->LoadFile(update_file));
+    MMLIB_ASSIGN_OR_RETURN(
+        Bytes update,
+        DecodeParamsPayload(std::move(update_raw), backends_.pool));
     breakdown->load_seconds += load_timer.Stop();
 
     PhaseTimer recover_timer(backends_.network);

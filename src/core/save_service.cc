@@ -1,6 +1,13 @@
 #include "core/save_service.h"
 
+#include "compress/chunked.h"
+
 namespace mmlib::core {
+
+Result<Bytes> SaveService::EncodeParams(const Bytes& params) const {
+  return ChunkedFrame(params, params_codec_, kDefaultChunkSize,
+                      backends_.pool);
+}
 
 Result<std::string> SaveService::SaveEnvironment(
     const env::EnvironmentInfo& info) {
@@ -38,7 +45,8 @@ Result<json::Value> SaveService::MakeModelDoc(const SaveRequest& request,
   // checksum, and the persisted tree lets any later parameter-update save
   // find this model's changed layers without recovering its parameters
   // (paper Section 3.2).
-  MMLIB_ASSIGN_OR_RETURN(MerkleTree tree, request.model->BuildMerkleTree());
+  MMLIB_ASSIGN_OR_RETURN(MerkleTree tree,
+                         request.model->BuildMerkleTree(backends_.pool));
   MMLIB_ASSIGN_OR_RETURN(std::string merkle_file,
                          backends_.files->SaveFile(tree.Serialize()));
   doc.Set("merkle_file", merkle_file);

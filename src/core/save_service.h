@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "compress/codec.h"
 #include "core/train_service.h"
 #include "core/types.h"
 #include "hash/merkle_tree.h"
@@ -51,7 +52,18 @@ class SaveService {
 
   const StorageBackends& backends() const { return backends_; }
 
+  /// Codec for parameter payloads. Snapshots and updates are written as
+  /// chunked frames (see compress/chunked.h) encoded in parallel on the
+  /// backends' pool; identity by default, so the payload bytes stay
+  /// uncompressed but gain per-chunk checksums. The frame bytes are
+  /// identical for every pool size.
+  void set_params_codec(CodecKind kind) { params_codec_ = kind; }
+  CodecKind params_codec() const { return params_codec_; }
+
  protected:
+  /// Encodes a parameter payload into a chunked frame with `params_codec()`.
+  Result<Bytes> EncodeParams(const Bytes& params) const;
+
   /// Persists the environment document; returns its id.
   Result<std::string> SaveEnvironment(const env::EnvironmentInfo& info);
 
@@ -66,6 +78,7 @@ class SaveService {
                                    MerkleTree* tree_out = nullptr);
 
   StorageBackends backends_;
+  CodecKind params_codec_ = CodecKind::kIdentity;
 };
 
 }  // namespace mmlib::core

@@ -166,6 +166,9 @@ Result<nn::PhaseTimes> ImageTrainService::Train(nn::Model* model,
           : nn::ExecutionContext::NonDeterministic(config_.seed,
                                                    scheduler_seed);
   ctx.set_training(true);
+  if (pool_ != nullptr) {
+    ctx.set_pool(pool_);
+  }
 
   // Audited deterministic runs record per-layer digests; replaying the same
   // provenance must reproduce the reference trace bit for bit (Fig. 13).

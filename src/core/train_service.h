@@ -118,6 +118,12 @@ class ImageTrainService : public TrainService {
     auditor_ = auditor;
   }
 
+  /// Thread pool used by the training ExecutionContexts; the process-wide
+  /// pool when unset. Deterministic chunking makes the choice pure
+  /// performance configuration — audited replays are bit-identical for any
+  /// pool size. The pool must outlive the service's Train calls.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
  private:
   std::unique_ptr<data::Dataset> owned_dataset_;
   const data::Dataset* dataset_;
@@ -127,6 +133,7 @@ class ImageTrainService : public TrainService {
   Bytes pending_optimizer_state_;
   float last_loss_ = 0.0f;
   check::DeterminismAuditor* auditor_ = nullptr;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 /// Restores any registered TrainService implementation from its provenance

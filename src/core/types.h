@@ -8,6 +8,10 @@
 #include "simnet/network.h"
 #include "util/clock.h"
 
+namespace mmlib::util {
+class ThreadPool;
+}
+
 namespace mmlib::core {
 
 /// Document collections used by all approaches.
@@ -29,6 +33,9 @@ struct StorageBackends {
   docstore::DocumentStore* docs = nullptr;
   filestore::FileStore* files = nullptr;
   simnet::Network* network = nullptr;
+  /// Pool for parallel payload encoding/decoding and Merkle-leaf hashing;
+  /// the process-wide pool when null.
+  util::ThreadPool* pool = nullptr;
 
   size_t TotalStoredBytes() const {
     return docs->TotalStoredBytes() + files->TotalStoredBytes();

@@ -1,10 +1,26 @@
 #include "nn/conv2d.h"
 
 #include "check/validators.h"
+#include "util/thread_pool.h"
 #include <cmath>
 #include <cstring>
 
 namespace mmlib::nn {
+
+namespace {
+
+/// Upper bound on forward chunks: enough slack for 16-way pools while
+/// keeping per-chunk setup (patch buffer allocation) negligible.
+constexpr int64_t kMaxForwardChunks = 64;
+
+/// Upper bound on backward chunks. Backward chunks each carry a
+/// weight-gradient scratch buffer of the full weight size, so the count
+/// also caps scratch memory. Must be a constant (never the thread count):
+/// chunk boundaries feed the fixed-order gradient reduction, and results
+/// must not change with the pool size.
+constexpr int64_t kMaxBackwardChunks = 8;
+
+}  // namespace
 
 Conv2d::Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
                int64_t kernel_size, int64_t stride, int64_t padding,
@@ -67,64 +83,84 @@ Result<Tensor> Conv2d::Forward(const std::vector<const Tensor*>& inputs,
     return Status::InvalidArgument("conv2d " + name_ +
                                    ": input too small for kernel");
   }
+  cached_out_h_ = out_h;
+  cached_out_w_ = out_w;
+  has_forward_ = true;
 
   Tensor y(Shape{batch, out_channels_, out_h, out_w});
   const float* weight = params_[0].value.data();
   const int64_t patch_size = group_in_ * kernel_size_ * kernel_size_;
   const bool fast_det = kernel_size_ == 1 && padding_ == 0;
-  std::vector<float> patch(patch_size);
 
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t g = 0; g < groups_; ++g) {
-      for (int64_t oy = 0; oy < out_h; ++oy) {
-        for (int64_t ox = 0; ox < out_w; ++ox) {
-          GatherPatch(x.data(), height, width, n, g, oy, ox, patch.data());
-          for (int64_t oc = 0; oc < group_out_; ++oc) {
-            const int64_t out_channel = g * group_out_ + oc;
-            const float* wrow = weight + out_channel * patch_size;
-            y.data()[((n * out_channels_ + out_channel) * out_h + oy) * out_w +
-                     ox] =
-                AccumulateDot(wrow, patch.data(), patch_size, fast_det, ctx);
+  // Shard over (sample, group): every task writes a disjoint channel block
+  // of y, and each output element is a complete fixed-order AccumulateDot,
+  // so results are bit-identical for any chunking and any thread count.
+  const int64_t tasks = batch * groups_;
+  const int64_t grain = util::GrainForMaxChunks(tasks, kMaxForwardChunks);
+  const bool deterministic = ctx->deterministic();
+  const uint64_t epoch = ctx->NextParallelEpoch();
+  util::ParallelFor(
+      ctx->pool(), tasks, grain,
+      [&](int64_t begin, int64_t end, size_t chunk_index) {
+        std::vector<float> patch(patch_size);
+        Rng scheduler(ctx->ChunkSchedulerSeed(epoch, chunk_index));
+        for (int64_t t = begin; t < end; ++t) {
+          const int64_t n = t / groups_;
+          const int64_t g = t % groups_;
+          for (int64_t oy = 0; oy < out_h; ++oy) {
+            for (int64_t ox = 0; ox < out_w; ++ox) {
+              GatherPatch(x.data(), height, width, n, g, oy, ox, patch.data());
+              for (int64_t oc = 0; oc < group_out_; ++oc) {
+                const int64_t out_channel = g * group_out_ + oc;
+                const float* wrow = weight + out_channel * patch_size;
+                y.data()[((n * out_channels_ + out_channel) * out_h + oy) *
+                             out_w +
+                         ox] =
+                    AccumulateDotKernel(wrow, patch.data(), patch_size,
+                                        fast_det, deterministic, &scheduler);
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
   return y;
 }
 
 Result<std::vector<Tensor>> Conv2d::Backward(const Tensor& grad_output,
                                              ExecutionContext* ctx) {
+  if (!has_forward_) {
+    return Status::InvalidArgument("conv2d " + name_ +
+                                   ": Backward called before Forward");
+  }
   const Tensor& x = cached_input_;
   const int64_t batch = x.shape().dim(0);
   const int64_t height = x.shape().dim(2);
   const int64_t width = x.shape().dim(3);
-  const int64_t out_h = grad_output.shape().dim(2);
-  const int64_t out_w = grad_output.shape().dim(3);
+  const int64_t out_h = cached_out_h_;
+  const int64_t out_w = cached_out_w_;
+  MMLIB_RETURN_IF_ERROR(check::ValidateShapesMatch(
+      grad_output.shape(), Shape{batch, out_channels_, out_h, out_w},
+      "conv2d " + name_ + " grad_output"));
   const int64_t patch_size = group_in_ * kernel_size_ * kernel_size_;
   const bool fast_det = kernel_size_ == 1 && padding_ == 0;
 
   const float* weight = params_[0].value.data();
   float* grad_weight = params_[0].grad.data();
+  const size_t gw_numel = static_cast<size_t>(params_[0].grad.numel());
   Tensor grad_input(x.shape());
 
+  const bool deterministic = ctx->deterministic();
   // Weight gradients accumulate across every output position — on parallel
   // devices this is the classic source of convolution-backward
-  // nondeterminism (atomic reduction order). Spatial kernels have no cheap
-  // deterministic implementation: in deterministic mode they use
-  // compensated accumulation with a per-element compensation buffer, which
-  // costs extra time (paper Section 4.5).
-  const bool compensated_weight_grad = ctx->deterministic() && !fast_det;
-  std::vector<float> weight_grad_compensation;
-  if (compensated_weight_grad) {
-    weight_grad_compensation.assign(
-        static_cast<size_t>(params_[0].grad.numel()), 0.0f);
-  }
+  // nondeterminism (atomic reduction order). Here every chunk accumulates
+  // into its own scratch buffer (compensated for spatial kernels in
+  // deterministic mode, paper Section 4.5) and the scratch buffers are
+  // reduced in fixed chunk-index order below, so the result never depends
+  // on the thread count.
+  const bool compensated_weight_grad = deterministic && !fast_det;
 
-  std::vector<float> patch(patch_size);
-  std::vector<float> grad_patch(patch_size);
-  std::vector<float> gout_vec(group_out_);
-  // Weight transposed within each group: [patch_size][group_out].
+  // Weight transposed within each group: [patch_size][group_out]. Shared
+  // read-only by all chunks.
   std::vector<float> weight_t(static_cast<size_t>(groups_) * patch_size *
                               group_out_);
   for (int64_t g = 0; g < groups_; ++g) {
@@ -136,70 +172,106 @@ Result<std::vector<Tensor>> Conv2d::Backward(const Tensor& grad_output,
     }
   }
 
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t g = 0; g < groups_; ++g) {
-      for (int64_t oy = 0; oy < out_h; ++oy) {
-        for (int64_t ox = 0; ox < out_w; ++ox) {
-          GatherPatch(x.data(), height, width, n, g, oy, ox, patch.data());
-          for (int64_t oc = 0; oc < group_out_; ++oc) {
-            const int64_t out_channel = g * group_out_ + oc;
-            gout_vec[oc] =
-                grad_output
-                    .data()[((n * out_channels_ + out_channel) * out_h + oy) *
-                                out_w +
-                            ox];
-          }
-          // Parameter gradients: grad_W[oc] += gout[oc] * patch.
-          for (int64_t oc = 0; oc < group_out_; ++oc) {
-            const float gv = gout_vec[oc];
-            if (gv == 0.0f) {
-              continue;
-            }
-            const int64_t row_offset = (g * group_out_ + oc) * patch_size;
-            float* gwrow = grad_weight + row_offset;
-            if (compensated_weight_grad) {
-              float* comp = weight_grad_compensation.data() + row_offset;
-              for (int64_t j = 0; j < patch_size; ++j) {
-                const float y = gv * patch[j] - comp[j];
-                const float t = gwrow[j] + y;
-                comp[j] = (t - gwrow[j]) - y;
-                gwrow[j] = t;
-              }
-            } else {
-              for (int64_t j = 0; j < patch_size; ++j) {
-                gwrow[j] += gv * patch[j];
-              }
-            }
-          }
-          // Input gradients: grad_patch[j] = W^T[j] . gout.
-          for (int64_t j = 0; j < patch_size; ++j) {
-            grad_patch[j] = AccumulateDot(
-                weight_t.data() + (g * patch_size + j) * group_out_,
-                gout_vec.data(), group_out_, fast_det, ctx);
-          }
-          // Scatter grad_patch back to grad_input.
-          const int64_t base_y = oy * stride_ - padding_;
-          const int64_t base_x = ox * stride_ - padding_;
-          int64_t idx = 0;
-          for (int64_t c = 0; c < group_in_; ++c) {
-            const int64_t channel = g * group_in_ + c;
-            float* plane = grad_input.data() +
-                           ((n * in_channels_ + channel) * height) * width;
-            for (int64_t ky = 0; ky < kernel_size_; ++ky) {
-              const int64_t yy = base_y + ky;
-              for (int64_t kx = 0; kx < kernel_size_; ++kx) {
-                const int64_t xx = base_x + kx;
-                if (yy >= 0 && yy < height && xx >= 0 && xx < width) {
-                  plane[yy * width + xx] += grad_patch[idx];
+  const int64_t grain = util::GrainForMaxChunks(batch, kMaxBackwardChunks);
+  const size_t num_chunks =
+      static_cast<size_t>(util::NumChunks(batch, grain));
+  std::vector<float> weight_grad_scratch(num_chunks * gw_numel, 0.0f);
+  const uint64_t epoch = ctx->NextParallelEpoch();
+  util::ParallelFor(
+      ctx->pool(), batch, grain,
+      [&](int64_t n_begin, int64_t n_end, size_t chunk_index) {
+        std::vector<float> patch(patch_size);
+        std::vector<float> grad_patch(patch_size);
+        std::vector<float> gout_vec(group_out_);
+        std::vector<float> compensation;
+        if (compensated_weight_grad) {
+          compensation.assign(gw_numel, 0.0f);
+        }
+        float* gw_chunk = weight_grad_scratch.data() + chunk_index * gw_numel;
+        Rng scheduler(ctx->ChunkSchedulerSeed(epoch, chunk_index));
+        for (int64_t n = n_begin; n < n_end; ++n) {
+          for (int64_t g = 0; g < groups_; ++g) {
+            for (int64_t oy = 0; oy < out_h; ++oy) {
+              for (int64_t ox = 0; ox < out_w; ++ox) {
+                GatherPatch(x.data(), height, width, n, g, oy, ox,
+                            patch.data());
+                for (int64_t oc = 0; oc < group_out_; ++oc) {
+                  const int64_t out_channel = g * group_out_ + oc;
+                  gout_vec[oc] =
+                      grad_output.data()[((n * out_channels_ + out_channel) *
+                                              out_h +
+                                          oy) *
+                                             out_w +
+                                         ox];
                 }
-                ++idx;
+                // Parameter gradients: grad_W[oc] += gout[oc] * patch,
+                // accumulated into this chunk's private scratch.
+                for (int64_t oc = 0; oc < group_out_; ++oc) {
+                  const float gv = gout_vec[oc];
+                  if (gv == 0.0f) {
+                    continue;
+                  }
+                  const int64_t row_offset =
+                      (g * group_out_ + oc) * patch_size;
+                  float* gwrow = gw_chunk + row_offset;
+                  if (compensated_weight_grad) {
+                    float* comp = compensation.data() + row_offset;
+                    for (int64_t j = 0; j < patch_size; ++j) {
+                      const float y = gv * patch[j] - comp[j];
+                      const float t = gwrow[j] + y;
+                      comp[j] = (t - gwrow[j]) - y;
+                      gwrow[j] = t;
+                    }
+                  } else {
+                    for (int64_t j = 0; j < patch_size; ++j) {
+                      gwrow[j] += gv * patch[j];
+                    }
+                  }
+                }
+                // Input gradients: grad_patch[j] = W^T[j] . gout.
+                for (int64_t j = 0; j < patch_size; ++j) {
+                  grad_patch[j] = AccumulateDotKernel(
+                      weight_t.data() + (g * patch_size + j) * group_out_,
+                      gout_vec.data(), group_out_, fast_det, deterministic,
+                      &scheduler);
+                }
+                // Scatter grad_patch back to grad_input; sample n belongs
+                // to exactly one chunk, so these writes are disjoint.
+                const int64_t base_y = oy * stride_ - padding_;
+                const int64_t base_x = ox * stride_ - padding_;
+                int64_t idx = 0;
+                for (int64_t c = 0; c < group_in_; ++c) {
+                  const int64_t channel = g * group_in_ + c;
+                  float* plane =
+                      grad_input.data() +
+                      ((n * in_channels_ + channel) * height) * width;
+                  for (int64_t ky = 0; ky < kernel_size_; ++ky) {
+                    const int64_t yy = base_y + ky;
+                    for (int64_t kx = 0; kx < kernel_size_; ++kx) {
+                      const int64_t xx = base_x + kx;
+                      if (yy >= 0 && yy < height && xx >= 0 && xx < width) {
+                        plane[yy * width + xx] += grad_patch[idx];
+                      }
+                      ++idx;
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
+      });
+
+  // Fixed-order reduction of the per-chunk weight gradients; chunk
+  // boundaries are thread-count independent, so this sum is bit-exact for
+  // every pool size.
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const float* gw_chunk = weight_grad_scratch.data() + c * gw_numel;
+    for (size_t j = 0; j < gw_numel; ++j) {
+      grad_weight[j] += gw_chunk[j];
     }
   }
+
   std::vector<Tensor> grads;
   grads.push_back(std::move(grad_input));
   return grads;

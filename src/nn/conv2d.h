@@ -49,6 +49,9 @@ class Conv2d : public Layer {
   int64_t group_in_;   // in channels per group
   int64_t group_out_;  // out channels per group
   Tensor cached_input_;
+  int64_t cached_out_h_ = 0;  // output extent of the last Forward
+  int64_t cached_out_w_ = 0;
+  bool has_forward_ = false;
 };
 
 }  // namespace mmlib::nn

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace mmlib::nn {
 
@@ -67,6 +68,36 @@ class ExecutionContext {
     return 1 + static_cast<size_t>(scheduler_rng_.NextBelow(n - 1));
   }
 
+  /// Thread pool kernels shard their work on; defaults to the process-wide
+  /// pool. With deterministic chunking (see util/thread_pool.h) results are
+  /// bit-identical for every pool size, so the pool choice is pure
+  /// performance configuration.
+  util::ThreadPool* pool() const {
+    return pool_ != nullptr ? pool_ : util::ThreadPool::Global();
+  }
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Marks the start of one parallel kernel region; kernels call this on
+  /// the launching thread (never from inside a chunk) and feed the value to
+  /// ChunkSchedulerSeed.
+  uint64_t NextParallelEpoch() { return parallel_epoch_++; }
+
+  /// Seed for the per-chunk scheduler Rng of chunk `chunk_index` in region
+  /// `epoch`. Each chunk owns a private Rng seeded from this value, so
+  /// non-deterministic kernels never share generator state across threads;
+  /// deterministic kernels ignore it entirely.
+  uint64_t ChunkSchedulerSeed(uint64_t epoch, size_t chunk_index) const {
+    uint64_t x = scheduler_seed_ ^ ((epoch + 1) * 0x9e3779b97f4a7c15ULL) ^
+                 ((static_cast<uint64_t>(chunk_index) + 1) *
+                  0xbf58476d1ce4e5b9ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
   PhaseTimes* times() { return &times_; }
   const PhaseTimes& times() const { return times_; }
   void ResetTimes() { times_ = PhaseTimes(); }
@@ -75,12 +106,16 @@ class ExecutionContext {
   ExecutionContext(bool deterministic, uint64_t seed, uint64_t scheduler_seed)
       : deterministic_(deterministic),
         rng_(seed),
-        scheduler_rng_(scheduler_seed) {}
+        scheduler_rng_(scheduler_seed),
+        scheduler_seed_(scheduler_seed) {}
 
   bool deterministic_;
   bool training_ = true;
   Rng rng_;
   Rng scheduler_rng_;
+  uint64_t scheduler_seed_;
+  uint64_t parallel_epoch_ = 0;
+  util::ThreadPool* pool_ = nullptr;
   PhaseTimes times_;
 };
 

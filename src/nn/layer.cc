@@ -96,10 +96,17 @@ size_t Layer::AddParam(std::string name, Tensor value, bool trainable,
 
 float AccumulateDot(const float* a, const float* b, size_t n,
                     bool has_fast_det_kernel, ExecutionContext* ctx) {
+  return AccumulateDotKernel(a, b, n, has_fast_det_kernel,
+                             ctx->deterministic(), ctx->scheduler_rng());
+}
+
+float AccumulateDotKernel(const float* a, const float* b, size_t n,
+                          bool has_fast_det_kernel, bool deterministic,
+                          Rng* scheduler_rng) {
   if (n == 0) {
     return 0.0f;
   }
-  if (ctx->deterministic()) {
+  if (deterministic) {
     if (has_fast_det_kernel) {
       // Fixed-order plain summation; cheap and reproducible.
       return DotSerial(a, b, n);
@@ -124,7 +131,7 @@ float AccumulateDot(const float* a, const float* b, size_t n,
   }
   // Non-deterministic: the reduction is split where the scheduler happened
   // to partition the work, so association order varies between runs.
-  const size_t split = ctx->NextSplit(n);
+  const size_t split = 1 + static_cast<size_t>(scheduler_rng->NextBelow(n - 1));
   return DotSerial(a, b, split) + DotSerial(a + split, b + split, n - split);
 }
 

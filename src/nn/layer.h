@@ -103,5 +103,13 @@ class Layer {
 float AccumulateDot(const float* a, const float* b, size_t n,
                     bool has_fast_det_kernel, ExecutionContext* ctx);
 
+/// Context-free form of AccumulateDot for parallel kernels: each chunk of a
+/// ParallelFor owns a private `scheduler_rng` (seeded via
+/// ExecutionContext::ChunkSchedulerSeed), so no generator state is shared
+/// across threads. Deterministic mode never consults the Rng.
+float AccumulateDotKernel(const float* a, const float* b, size_t n,
+                          bool has_fast_det_kernel, bool deterministic,
+                          Rng* scheduler_rng);
+
 }  // namespace mmlib::nn
 

@@ -1,9 +1,20 @@
 #include "nn/linear.h"
 
 #include "check/validators.h"
+#include "util/thread_pool.h"
 #include <cmath>
 
 namespace mmlib::nn {
+
+namespace {
+
+/// Chunk caps mirroring conv2d.cc: constants (never the thread count) so
+/// chunk boundaries — and with them the fixed-order gradient reduction —
+/// are identical for every pool size.
+constexpr int64_t kMaxForwardChunks = 64;
+constexpr int64_t kMaxBackwardChunks = 8;
+
+}  // namespace
 
 Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
                Rng* rng)
@@ -26,24 +37,43 @@ Result<Tensor> Linear::Forward(const std::vector<const Tensor*>& inputs,
                                    x.shape().ToString());
   }
   cached_input_ = x;
+  has_forward_ = true;
   const int64_t batch = x.shape().dim(0);
   Tensor y(Shape{batch, out_features_});
   const float* weight = params_[0].value.data();
   const float* bias = params_[1].value.data();
-  for (int64_t n = 0; n < batch; ++n) {
-    const float* row = x.data() + n * in_features_;
-    float* out = y.data() + n * out_features_;
-    for (int64_t o = 0; o < out_features_; ++o) {
-      out[o] = bias[o] + AccumulateDot(weight + o * in_features_, row,
-                                       in_features_,
-                                       /*has_fast_det_kernel=*/true, ctx);
-    }
-  }
+
+  // Shard over (sample, output row): every task writes exactly one output
+  // element via a complete fixed-order dot product, so results are
+  // bit-identical for any chunking and any thread count.
+  const int64_t tasks = batch * out_features_;
+  const int64_t grain = util::GrainForMaxChunks(tasks, kMaxForwardChunks);
+  const bool deterministic = ctx->deterministic();
+  const uint64_t epoch = ctx->NextParallelEpoch();
+  util::ParallelFor(
+      ctx->pool(), tasks, grain,
+      [&](int64_t begin, int64_t end, size_t chunk_index) {
+        Rng scheduler(ctx->ChunkSchedulerSeed(epoch, chunk_index));
+        for (int64_t t = begin; t < end; ++t) {
+          const int64_t n = t / out_features_;
+          const int64_t o = t % out_features_;
+          const float* row = x.data() + n * in_features_;
+          y.data()[n * out_features_ + o] =
+              bias[o] + AccumulateDotKernel(weight + o * in_features_, row,
+                                            in_features_,
+                                            /*has_fast_det_kernel=*/true,
+                                            deterministic, &scheduler);
+        }
+      });
   return y;
 }
 
 Result<std::vector<Tensor>> Linear::Backward(const Tensor& grad_output,
                                              ExecutionContext* ctx) {
+  if (!has_forward_) {
+    return Status::InvalidArgument("linear " + name_ +
+                                   ": Backward called before Forward");
+  }
   const int64_t batch = cached_input_.shape().dim(0);
   MMLIB_RETURN_IF_ERROR(check::ValidateShapesMatch(
       grad_output.shape(), Shape{batch, out_features_},
@@ -51,24 +81,52 @@ Result<std::vector<Tensor>> Linear::Backward(const Tensor& grad_output,
   const float* weight = params_[0].value.data();
   float* grad_weight = params_[0].grad.data();
   float* grad_bias = params_[1].grad.data();
+  const size_t gw_numel = static_cast<size_t>(params_[0].grad.numel());
+  const size_t gb_numel = static_cast<size_t>(params_[1].grad.numel());
 
   Tensor grad_input(cached_input_.shape());
-  for (int64_t n = 0; n < batch; ++n) {
-    const float* gout = grad_output.data() + n * out_features_;
-    const float* row = cached_input_.data() + n * in_features_;
-    float* gin = grad_input.data() + n * in_features_;
-    for (int64_t o = 0; o < out_features_; ++o) {
-      const float g = gout[o];
-      grad_bias[o] += g;
-      const float* wrow = weight + o * in_features_;
-      float* gwrow = grad_weight + o * in_features_;
-      for (int64_t i = 0; i < in_features_; ++i) {
-        gwrow[i] += g * row[i];
-        gin[i] += g * wrow[i];
-      }
+  // Shard over samples. grad_input rows are disjoint per sample; weight and
+  // bias gradients go into per-chunk scratch buffers reduced in fixed
+  // chunk-index order below, so the result never depends on the pool size.
+  const int64_t grain = util::GrainForMaxChunks(batch, kMaxBackwardChunks);
+  const size_t num_chunks = static_cast<size_t>(util::NumChunks(batch, grain));
+  const size_t scratch_stride = gw_numel + gb_numel;
+  std::vector<float> grad_scratch(num_chunks * scratch_stride, 0.0f);
+  util::ParallelFor(
+      ctx->pool(), batch, grain,
+      [&](int64_t n_begin, int64_t n_end, size_t chunk_index) {
+        float* gw_chunk = grad_scratch.data() + chunk_index * scratch_stride;
+        float* gb_chunk = gw_chunk + gw_numel;
+        for (int64_t n = n_begin; n < n_end; ++n) {
+          const float* gout = grad_output.data() + n * out_features_;
+          const float* row = cached_input_.data() + n * in_features_;
+          float* gin = grad_input.data() + n * in_features_;
+          for (int64_t o = 0; o < out_features_; ++o) {
+            const float g = gout[o];
+            gb_chunk[o] += g;
+            const float* wrow = weight + o * in_features_;
+            float* gwrow = gw_chunk + o * in_features_;
+            for (int64_t i = 0; i < in_features_; ++i) {
+              gwrow[i] += g * row[i];
+              gin[i] += g * wrow[i];
+            }
+          }
+        }
+      });
+
+  // Fixed-order reduction; chunk boundaries are thread-count independent,
+  // so this sum is bit-exact for every pool size.
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const float* gw_chunk = grad_scratch.data() + c * scratch_stride;
+    const float* gb_chunk = gw_chunk + gw_numel;
+    for (size_t j = 0; j < gw_numel; ++j) {
+      grad_weight[j] += gw_chunk[j];
+    }
+    for (size_t j = 0; j < gb_numel; ++j) {
+      grad_bias[j] += gb_chunk[j];
     }
   }
-  (void)ctx;
+
   std::vector<Tensor> grads;
   grads.push_back(std::move(grad_input));
   return grads;

@@ -28,6 +28,7 @@ class Linear : public Layer {
   int64_t in_features_;
   int64_t out_features_;
   Tensor cached_input_;
+  bool has_forward_ = false;
 };
 
 }  // namespace mmlib::nn

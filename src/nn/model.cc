@@ -1,6 +1,7 @@
 #include "nn/model.h"
 
 #include "check/check.h"
+#include "util/thread_pool.h"
 
 namespace mmlib::nn {
 
@@ -148,12 +149,19 @@ std::vector<LayerHash> Model::LayerHashes() const {
   return hashes;
 }
 
-Result<MerkleTree> Model::BuildMerkleTree() const {
-  std::vector<Digest> leaves;
-  leaves.reserve(nodes_.size());
-  for (const Node& node : nodes_) {
-    leaves.push_back(node.layer->ParamHash());
+Result<MerkleTree> Model::BuildMerkleTree(util::ThreadPool* pool) const {
+  if (pool == nullptr) {
+    pool = util::ThreadPool::Global();
   }
+  std::vector<Digest> leaves(nodes_.size());
+  const int64_t total = static_cast<int64_t>(nodes_.size());
+  util::ParallelFor(pool, total, /*grain=*/1,
+                    [&](int64_t begin, int64_t end, size_t /*chunk_index*/) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        leaves[static_cast<size_t>(i)] =
+                            nodes_[static_cast<size_t>(i)].layer->ParamHash();
+                      }
+                    });
   return MerkleTree::Build(std::move(leaves));
 }
 

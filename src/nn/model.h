@@ -87,8 +87,11 @@ class Model {
   /// Per-layer parameter hashes in layer order (Merkle tree leaves).
   std::vector<LayerHash> LayerHashes() const;
 
-  /// Merkle tree over the layer hashes (paper Figure 4).
-  Result<MerkleTree> BuildMerkleTree() const;
+  /// Merkle tree over the layer hashes (paper Figure 4). Layer leaves are
+  /// hashed in parallel on `pool` (the process-wide pool when null); each
+  /// leaf is an independent hash written to its own slot, so the tree is
+  /// identical for every pool size.
+  Result<MerkleTree> BuildMerkleTree(util::ThreadPool* pool = nullptr) const;
 
   /// SHA-256 over all parameters and buffers; two models with equal
   /// architecture and equal ParamsHash are equal in the paper's sense.

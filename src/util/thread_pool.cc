@@ -1,0 +1,204 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+
+namespace mmlib::util {
+
+namespace {
+
+/// Set while a pool worker (or a caller inside ParallelFor) is executing
+/// chunk bodies; nested ParallelFor calls detect it and run inline instead
+/// of deadlocking on the job slot.
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+/// One ParallelFor invocation. Chunk claiming uses an atomic ticket, which
+/// only decides *which thread* runs a chunk — chunk boundaries and all
+/// outputs are scheduling-independent, so the ticket does not affect
+/// results.
+struct ThreadPool::Job {
+  int64_t total = 0;
+  int64_t grain = 1;
+  size_t num_chunks = 0;
+  const ChunkFn* fn = nullptr;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> remaining{0};
+  // First-failing-chunk exception, kept by lowest chunk index so the caller
+  // observes a deterministic error regardless of scheduling.
+  std::mutex error_mutex;
+  size_t error_chunk = std::numeric_limits<size_t>::max();
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = 1;
+  }
+  workers_.reserve(thread_count - 1);
+  for (size_t i = 0; i + 1 < thread_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  const bool was_inside = t_inside_parallel_region;
+  t_inside_parallel_region = true;
+  while (true) {
+    const size_t chunk = job->next_chunk.fetch_add(1);
+    if (chunk >= job->num_chunks) {
+      break;
+    }
+    const int64_t begin = static_cast<int64_t>(chunk) * job->grain;
+    const int64_t end = std::min(job->total, begin + job->grain);
+    try {
+      (*job->fn)(begin, end, chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->error_mutex);
+      if (chunk < job->error_chunk) {
+        job->error_chunk = chunk;
+        job->error = std::current_exception();
+      }
+    }
+    job->remaining.fetch_sub(1);
+  }
+  t_inside_parallel_region = was_inside;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ ||
+             (job_ != nullptr && job_generation_ != seen_generation);
+    });
+    if (shutdown_) {
+      return;
+    }
+    seen_generation = job_generation_;
+    // Hold a reference so the Job outlives this worker's participation even
+    // if the caller finishes waiting first.
+    std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    RunChunks(job.get());
+    {
+      std::lock_guard<std::mutex> done_lock(mutex_);
+    }
+    done_cv_.notify_all();
+    lock.lock();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t total, int64_t grain, const ChunkFn& fn) {
+  if (total <= 0) {
+    return;
+  }
+  if (grain <= 0) {
+    grain = 1;
+  }
+  const size_t num_chunks = static_cast<size_t>(NumChunks(total, grain));
+  // Serial path: no workers, a single chunk, or a nested call from inside a
+  // chunk body. Chunk decomposition is identical to the parallel path, so
+  // results are too.
+  if (workers_.empty() || num_chunks == 1 || t_inside_parallel_region) {
+    Job job;
+    job.total = total;
+    job.grain = grain;
+    job.num_chunks = num_chunks;
+    job.fn = &fn;
+    job.remaining.store(num_chunks);
+    RunChunks(&job);
+    if (job.error) {
+      std::rethrow_exception(job.error);
+    }
+    return;
+  }
+
+  // One ParallelFor at a time; later external callers queue up here.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  auto job = std::make_shared<Job>();
+  job->total = total;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  job->remaining.store(num_chunks);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(job.get());
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job->remaining.load() == 0; });
+    job_.reset();
+  }
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  // Leaked deliberately: worker threads must not be joined during static
+  // destruction, and the pointer stays reachable (not a leak to LSan).
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return pool;
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) {
+    hardware = 1;
+  }
+  return ParseThreadCount(std::getenv("MMLIB_THREADS"), hardware);
+}
+
+size_t ThreadPool::ParseThreadCount(const char* value, size_t fallback) {
+  constexpr size_t kMaxThreads = 1024;
+  if (fallback == 0) {
+    fallback = 1;
+  }
+  if (fallback > kMaxThreads) {
+    fallback = kMaxThreads;
+  }
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  size_t parsed = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return fallback;
+    }
+    parsed = parsed * 10 + static_cast<size_t>(*p - '0');
+    if (parsed > kMaxThreads) {
+      return kMaxThreads;
+    }
+  }
+  return parsed == 0 ? 1 : parsed;
+}
+
+void ParallelFor(ThreadPool* pool, int64_t total, int64_t grain,
+                 const ThreadPool::ChunkFn& fn) {
+  if (pool == nullptr) {
+    pool = ThreadPool::Global();
+  }
+  pool->ParallelFor(total, grain, fn);
+}
+
+}  // namespace mmlib::util

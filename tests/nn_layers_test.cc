@@ -552,6 +552,60 @@ TEST(LayerStateTest, DeserializeRejectsWrongShape) {
   EXPECT_FALSE(b.DeserializeParams(&reader).ok());
 }
 
+TEST(LayerValidationTest, Conv2dBackwardBeforeForwardFails) {
+  Rng rng(6);
+  Conv2d conv("c", 2, 4, 3, 1, 1, 1, &rng);
+  ExecutionContext ctx = DetCtx();
+  Tensor grad(Shape{1, 4, 8, 8});
+  EXPECT_EQ(conv.Backward(grad, &ctx).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LayerValidationTest, Conv2dBackwardRejectsWrongGradShape) {
+  Rng rng(6);
+  Conv2d conv("c", 2, 4, 3, 1, 1, 1, &rng);
+  ExecutionContext ctx = DetCtx();
+  const Tensor input = RandomTensor(Shape{2, 2, 8, 8}, 31);
+  ASSERT_TRUE(conv.Forward({&input}, &ctx).ok());
+  // Forward produced [2, 4, 8, 8]; every differing dimension must be
+  // rejected against the cached forward shape.
+  for (const Shape& bad :
+       {Shape{1, 4, 8, 8}, Shape{2, 3, 8, 8}, Shape{2, 4, 7, 8},
+        Shape{2, 4, 8, 9}}) {
+    Tensor grad(bad);
+    EXPECT_EQ(conv.Backward(grad, &ctx).status().code(),
+              StatusCode::kInvalidArgument)
+        << bad.ToString();
+  }
+  Tensor good(Shape{2, 4, 8, 8});
+  EXPECT_TRUE(conv.Backward(good, &ctx).ok());
+}
+
+TEST(LayerValidationTest, LinearBackwardBeforeForwardFails) {
+  Rng rng(7);
+  Linear fc("fc", 4, 3, &rng);
+  ExecutionContext ctx = DetCtx();
+  Tensor grad(Shape{2, 3});
+  EXPECT_EQ(fc.Backward(grad, &ctx).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LayerValidationTest, LinearBackwardRejectsWrongGradShape) {
+  Rng rng(7);
+  Linear fc("fc", 4, 3, &rng);
+  ExecutionContext ctx = DetCtx();
+  const Tensor input = RandomTensor(Shape{2, 4}, 32);
+  ASSERT_TRUE(fc.Forward({&input}, &ctx).ok());
+  for (const Shape& bad : {Shape{3, 3}, Shape{2, 4}}) {
+    Tensor grad(bad);
+    EXPECT_EQ(fc.Backward(grad, &ctx).status().code(),
+              StatusCode::kInvalidArgument)
+        << bad.ToString();
+  }
+  Tensor good(Shape{2, 3});
+  EXPECT_TRUE(fc.Backward(good, &ctx).ok());
+}
+
 TEST(LayerStateTest, ParamHashIgnoresGradients) {
   Rng rng(5);
   Linear layer("fc", 3, 3, &rng);

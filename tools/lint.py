@@ -19,6 +19,11 @@ about (see DESIGN.md "Correctness tooling"):
   nodiscard-result   src/util/result.h and src/util/status.h must declare
                      Result/Status [[nodiscard]] so the compiler flags every
                      discarded error at the call site.
+  no-raw-thread      std::thread/std::jthread/std::async (and <future>) are
+                     forbidden outside src/util/ -- ad-hoc threads bypass the
+                     deterministic-chunking contract of util::ThreadPool
+                     (DESIGN.md "Threading model") and make results depend on
+                     scheduling. Use ThreadPool::ParallelFor.
 
 Usage:
   python3 tools/lint.py            # lint the whole repo, exit non-zero on findings
@@ -55,6 +60,11 @@ LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
 RAW_RAND_RE = re.compile(r"(?<![\w:])(?:std::)?(?:s?rand(?:om)?\s*\(|random_device)")
+# std::thread::hardware_concurrency is a query, not a thread spawn; it stays
+# legal everywhere (ThreadPool sizes its default from it).
+RAW_THREAD_RE = re.compile(
+    r"(?<![\w:])std::(?:thread(?!::hardware_concurrency)|jthread|async)\b"
+    r"|#\s*include\s*<future>")
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
 IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
@@ -137,6 +147,21 @@ def check_iostream(relpath, text, findings):
                 Finding(relpath.as_posix(), i, "no-iostream",
                         "library code must not include <iostream>; use "
                         "<cstdio>, <sstream>, or util/strings.h"))
+
+
+@rule("no-raw-thread", "std::thread/std::async outside src/util/")
+def check_raw_thread(relpath, text, findings):
+    rel = relpath.as_posix()
+    if rel.startswith("src/util/"):
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        if RAW_THREAD_RE.search(strip_noncode(line)):
+            findings.append(
+                Finding(rel, i, "no-raw-thread",
+                        "spawn parallel work through util::ThreadPool's "
+                        "deterministic ParallelFor, not raw std::thread/"
+                        "std::async; ad-hoc threads break the bit-identical-"
+                        "across-thread-counts contract"))
 
 
 @rule("nodiscard-result", "Result/Status must be declared [[nodiscard]]")
