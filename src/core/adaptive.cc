@@ -1,5 +1,7 @@
 #include "core/adaptive.h"
 
+#include "core/fetch.h"
+
 namespace mmlib::core {
 
 AdaptiveSaveService::AdaptiveSaveService(StorageBackends backends,
@@ -17,10 +19,11 @@ Result<size_t> AdaptiveSaveService::EstimateUpdateBytes(
       backends_.docs->Get(kModelsCollection, request.base_model_id));
   MMLIB_ASSIGN_OR_RETURN(std::string merkle_file,
                          base_doc.GetString("merkle_file"));
-  MMLIB_ASSIGN_OR_RETURN(Bytes merkle_bytes,
-                         backends_.files->LoadFile(merkle_file));
-  MMLIB_ASSIGN_OR_RETURN(MerkleTree base_tree,
-                         MerkleTree::Deserialize(merkle_bytes));
+  MMLIB_ASSIGN_OR_RETURN(
+      MerkleTree base_tree,
+      FetchDecoded(backends_.files, merkle_file, [](Bytes bytes) {
+        return MerkleTree::Deserialize(bytes);
+      }));
   MMLIB_ASSIGN_OR_RETURN(MerkleTree tree, request.model->BuildMerkleTree());
   MMLIB_ASSIGN_OR_RETURN(MerkleDiff diff, MerkleTree::Diff(base_tree, tree));
 

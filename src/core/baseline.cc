@@ -4,6 +4,7 @@ namespace mmlib::core {
 
 Result<SaveResult> BaselineSaveService::SaveModel(const SaveRequest& request) {
   CostMeter meter(backends_);
+  SaveTransaction txn(backends_);
 
   // Extract: serialize the full parameter snapshot and encode it as a
   // chunked frame (parallel, thread-count-independent bytes).
@@ -11,13 +12,12 @@ Result<SaveResult> BaselineSaveService::SaveModel(const SaveRequest& request) {
   MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(params));
 
   // Persist: parameters to the file store, metadata to the document store.
-  MMLIB_ASSIGN_OR_RETURN(std::string params_file,
-                         backends_.files->SaveFile(encoded));
-  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request));
+  MMLIB_ASSIGN_OR_RETURN(std::string params_file, txn.SaveFile(encoded));
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request, txn));
   doc.Set("params_file", params_file);
   MMLIB_ASSIGN_OR_RETURN(std::string model_id,
-                         backends_.docs->Insert(kModelsCollection,
-                                                std::move(doc)));
+                         txn.Insert(kModelsCollection, std::move(doc)));
+  txn.Commit();
 
   SaveResult result;
   result.model_id = model_id;

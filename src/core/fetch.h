@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "filestore/file_store.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// Total fetch attempts before a persistently corrupt payload is fatal.
+inline constexpr int kMaxFetchAttempts = 4;
+
+/// Loads `file_id` from `files` and decodes it with `decode`. When the
+/// decoder reports Corruption — the payload was damaged in flight on a
+/// faulty link and its CRC-32 (or structural) check failed — the file is
+/// fetched and decoded again, up to kMaxFetchAttempts total attempts; the
+/// stored copy is intact, so a re-fetch heals transient damage. Any other
+/// error, and Corruption on the last attempt, is returned as is.
+/// `refetches` (optional) accumulates the number of re-fetches performed.
+template <typename Decode>
+auto FetchDecoded(filestore::FileStore* files, const std::string& file_id,
+                  Decode&& decode, uint64_t* refetches = nullptr)
+    -> decltype(decode(Bytes{})) {
+  for (int attempt = 1;; ++attempt) {
+    auto loaded = files->LoadFile(file_id);
+    if (!loaded.ok()) {
+      return loaded.status();
+    }
+    auto decoded = decode(std::move(loaded).value());
+    if (decoded.ok() || decoded.status().code() != StatusCode::kCorruption ||
+        attempt >= kMaxFetchAttempts) {
+      return decoded;
+    }
+    if (refetches != nullptr) {
+      ++(*refetches);
+    }
+  }
+}
+
+}  // namespace mmlib::core

@@ -1,35 +1,40 @@
 #include "core/param_update.h"
 
+#include "core/fetch.h"
+
 namespace mmlib::core {
 
 Result<SaveResult> ParamUpdateSaveService::SaveModel(
     const SaveRequest& request) {
   CostMeter meter(backends_);
+  SaveTransaction txn(backends_);
 
   // MakeModelDoc persists this model's Merkle tree so that the *next*
   // derived save can find changed layers without recovering this model.
   MerkleTree tree;
-  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request, &tree));
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request, txn, &tree));
 
   if (request.base_model_id.empty()) {
     // Initial model: full snapshot, exactly like the baseline approach.
     Bytes params = request.model->SerializeParams();
     MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(params));
-    MMLIB_ASSIGN_OR_RETURN(std::string params_file,
-                           backends_.files->SaveFile(encoded));
+    MMLIB_ASSIGN_OR_RETURN(std::string params_file, txn.SaveFile(encoded));
     doc.Set("params_file", params_file);
   } else {
     // Derived model: load only the base's Merkle tree and save the layers
-    // whose hashes changed.
+    // whose hashes changed. The tree's serialization is self-checking, so a
+    // payload damaged in flight deserializes as Corruption and is re-fetched.
     MMLIB_ASSIGN_OR_RETURN(
         json::Value base_doc,
         backends_.docs->Get(kModelsCollection, request.base_model_id));
     MMLIB_ASSIGN_OR_RETURN(std::string base_merkle_file,
                            base_doc.GetString("merkle_file"));
-    MMLIB_ASSIGN_OR_RETURN(Bytes base_merkle_bytes,
-                           backends_.files->LoadFile(base_merkle_file));
-    MMLIB_ASSIGN_OR_RETURN(MerkleTree base_tree,
-                           MerkleTree::Deserialize(base_merkle_bytes));
+    MMLIB_ASSIGN_OR_RETURN(
+        MerkleTree base_tree,
+        FetchDecoded(
+            backends_.files, base_merkle_file,
+            [](Bytes bytes) { return MerkleTree::Deserialize(bytes); },
+            &corruption_refetches_));
     MMLIB_ASSIGN_OR_RETURN(MerkleDiff diff,
                            MerkleTree::Diff(base_tree, tree));
 
@@ -40,14 +45,13 @@ Result<SaveResult> ParamUpdateSaveService::SaveModel(
     Bytes update =
         request.model->SerializeLayerSubset(diff.changed_leaves);
     MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(update));
-    MMLIB_ASSIGN_OR_RETURN(std::string update_file,
-                           backends_.files->SaveFile(encoded));
+    MMLIB_ASSIGN_OR_RETURN(std::string update_file, txn.SaveFile(encoded));
     doc.Set("update_file", update_file);
   }
 
   MMLIB_ASSIGN_OR_RETURN(std::string model_id,
-                         backends_.docs->Insert(kModelsCollection,
-                                                std::move(doc)));
+                         txn.Insert(kModelsCollection, std::move(doc)));
+  txn.Commit();
   SaveResult result;
   result.model_id = model_id;
   result.tts_seconds = meter.ElapsedSeconds();

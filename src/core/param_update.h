@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "core/save_service.h"
 #include "hash/merkle_tree.h"
 
@@ -29,8 +31,12 @@ class ParamUpdateSaveService : public SaveService {
   };
   const DiffStats& last_diff_stats() const { return last_diff_stats_; }
 
+  /// Base Merkle trees re-fetched because the payload arrived corrupted.
+  uint64_t corruption_refetches() const { return corruption_refetches_; }
+
  private:
   DiffStats last_diff_stats_;
+  uint64_t corruption_refetches_ = 0;
 };
 
 }  // namespace mmlib::core

@@ -7,15 +7,15 @@ namespace mmlib::core {
 Result<SaveResult> ProvenanceSaveService::SaveModel(
     const SaveRequest& request) {
   CostMeter meter(backends_);
+  SaveTransaction txn(backends_);
 
-  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request));
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc, MakeModelDoc(request, txn));
 
   if (request.base_model_id.empty()) {
     // Initial model: full snapshot, exactly like the baseline approach.
     Bytes params = request.model->SerializeParams();
     MMLIB_ASSIGN_OR_RETURN(Bytes encoded, EncodeParams(params));
-    MMLIB_ASSIGN_OR_RETURN(std::string params_file,
-                           backends_.files->SaveFile(encoded));
+    MMLIB_ASSIGN_OR_RETURN(std::string params_file, txn.SaveFile(encoded));
     doc.Set("params_file", params_file);
   } else {
     if (request.provenance == nullptr ||
@@ -32,7 +32,7 @@ Result<SaveResult> ProvenanceSaveService::SaveModel(
     // is saved in a state file referenced from its wrapper).
     if (!prov.optimizer_state.empty()) {
       MMLIB_ASSIGN_OR_RETURN(std::string state_file,
-                             backends_.files->SaveFile(prov.optimizer_state));
+                             txn.SaveFile(prov.optimizer_state));
       prov_doc.Set("optimizer_state_file", state_file);
     }
 
@@ -46,19 +46,19 @@ Result<SaveResult> ProvenanceSaveService::SaveModel(
       data::DatasetArchiver archiver(Codec::ForKind(options_.dataset_codec));
       MMLIB_ASSIGN_OR_RETURN(Bytes archive, archiver.Archive(*prov.dataset));
       MMLIB_ASSIGN_OR_RETURN(std::string dataset_file,
-                             backends_.files->SaveFile(archive));
+                             txn.SaveFile(archive));
       prov_doc.Set("dataset_file", dataset_file);
     }
 
     MMLIB_ASSIGN_OR_RETURN(
         std::string prov_id,
-        backends_.docs->Insert(kProvenanceCollection, std::move(prov_doc)));
+        txn.Insert(kProvenanceCollection, std::move(prov_doc)));
     doc.Set("provenance_doc", prov_id);
   }
 
   MMLIB_ASSIGN_OR_RETURN(std::string model_id,
-                         backends_.docs->Insert(kModelsCollection,
-                                                std::move(doc)));
+                         txn.Insert(kModelsCollection, std::move(doc)));
+  txn.Commit();
   SaveResult result;
   result.model_id = model_id;
   result.tts_seconds = meter.ElapsedSeconds();

@@ -1,6 +1,7 @@
 #include "core/recover.h"
 
 #include "compress/chunked.h"
+#include "core/fetch.h"
 #include "core/model_code.h"
 #include "core/train_service.h"
 #include "data/archive.h"
@@ -45,6 +46,18 @@ class PhaseTimer {
 };
 
 }  // namespace
+
+Result<Bytes> ModelRecoverer::FetchParamsPayload(const std::string& file_id) {
+  // The per-chunk CRC-32 of the chunked frame catches payloads damaged in
+  // flight; the stored copy is intact, so the cure is a re-fetch, not an
+  // abort. Legacy raw payloads carry no checksums and decode as-is.
+  return FetchDecoded(
+      backends_.files, file_id,
+      [this](Bytes raw) {
+        return DecodeParamsPayload(std::move(raw), backends_.pool);
+      },
+      &corruption_refetches_);
+}
 
 Result<size_t> ModelRecoverer::BaseChainLength(const std::string& id) {
   size_t length = 0;
@@ -134,11 +147,7 @@ Result<nn::Model> ModelRecoverer::RecoverInternal(const std::string& id,
     MMLIB_ASSIGN_OR_RETURN(std::string code_id, doc.GetString("code_doc"));
     MMLIB_ASSIGN_OR_RETURN(json::Value code_doc,
                            backends_.docs->Get(kCodeCollection, code_id));
-    MMLIB_ASSIGN_OR_RETURN(Bytes params_raw,
-                           backends_.files->LoadFile(params_file));
-    MMLIB_ASSIGN_OR_RETURN(
-        Bytes params,
-        DecodeParamsPayload(std::move(params_raw), backends_.pool));
+    MMLIB_ASSIGN_OR_RETURN(Bytes params, FetchParamsPayload(params_file));
     breakdown->load_seconds += load_timer.Stop();
 
     PhaseTimer recover_timer(backends_.network);
@@ -167,11 +176,7 @@ Result<nn::Model> ModelRecoverer::RecoverInternal(const std::string& id,
     PhaseTimer load_timer(backends_.network);
     MMLIB_ASSIGN_OR_RETURN(std::string update_file,
                            doc.GetString("update_file"));
-    MMLIB_ASSIGN_OR_RETURN(Bytes update_raw,
-                           backends_.files->LoadFile(update_file));
-    MMLIB_ASSIGN_OR_RETURN(
-        Bytes update,
-        DecodeParamsPayload(std::move(update_raw), backends_.pool));
+    MMLIB_ASSIGN_OR_RETURN(Bytes update, FetchParamsPayload(update_file));
     breakdown->load_seconds += load_timer.Stop();
 
     PhaseTimer recover_timer(backends_.network);
@@ -202,9 +207,16 @@ Result<nn::Model> ModelRecoverer::RecoverInternal(const std::string& id,
     std::unique_ptr<data::Dataset> dataset;
     if (const json::Value* dataset_ref = prov_doc.FindMember("dataset_file");
         dataset_ref != nullptr) {
+      // The archive's content-hash check detects in-flight damage; re-fetch
+      // instead of aborting, like parameter payloads.
       MMLIB_ASSIGN_OR_RETURN(
-          Bytes archive, backends_.files->LoadFile(dataset_ref->as_string()));
-      MMLIB_ASSIGN_OR_RETURN(dataset, data::DatasetArchiver::Extract(archive));
+          dataset,
+          FetchDecoded(
+              backends_.files, dataset_ref->as_string(),
+              [](Bytes archive) {
+                return data::DatasetArchiver::Extract(archive);
+              },
+              &corruption_refetches_));
     } else {
       if (dataset_resolver_ == nullptr) {
         return Status::FailedPrecondition(

@@ -63,6 +63,11 @@ class ModelRecoverer {
   size_t cache_hits() const { return cache_hits_; }
   size_t cache_misses() const { return cache_misses_; }
 
+  /// Payloads re-fetched because their per-chunk CRC-32 (or structural)
+  /// check failed — the copy in the store is intact, so a payload damaged
+  /// in flight is simply requested again instead of aborting the recovery.
+  uint64_t corruption_refetches() const { return corruption_refetches_; }
+
   /// Recovers the model with `id`, verifying according to `options`.
   /// Verification failures surface as Corruption/FailedPrecondition errors;
   /// the flags in RecoveredModel report what was checked.
@@ -77,6 +82,10 @@ class ModelRecoverer {
   Result<nn::Model> RecoverInternal(const std::string& id,
                                     RecoverBreakdown* breakdown, int depth);
 
+  /// Loads a parameter payload (snapshot or layer update), decoding chunked
+  /// frames and re-fetching when a chunk checksum fails.
+  Result<Bytes> FetchParamsPayload(const std::string& file_id);
+
   /// Returns the cached snapshot for `id`, refreshing its LRU position;
   /// nullptr on miss or when the cache is disabled.
   const Bytes* CacheLookup(const std::string& id);
@@ -84,6 +93,7 @@ class ModelRecoverer {
 
   StorageBackends backends_;
   DatasetResolver* dataset_resolver_ = nullptr;
+  uint64_t corruption_refetches_ = 0;
 
   bool cache_enabled_ = false;
   size_t cache_capacity_bytes_ = 0;

@@ -10,24 +10,26 @@ Result<Bytes> SaveService::EncodeParams(const Bytes& params) const {
 }
 
 Result<std::string> SaveService::SaveEnvironment(
-    const env::EnvironmentInfo& info) {
-  return backends_.docs->Insert(kEnvironmentsCollection, info.ToJson());
+    const env::EnvironmentInfo& info, SaveTransaction& txn) {
+  return txn.Insert(kEnvironmentsCollection, info.ToJson());
 }
 
-Result<std::string> SaveService::SaveCode(const json::Value& code) {
+Result<std::string> SaveService::SaveCode(const json::Value& code,
+                                          SaveTransaction& txn) {
   json::Value doc = json::Value::MakeObject();
   doc.Set("descriptor", code);
-  return backends_.docs->Insert(kCodeCollection, std::move(doc));
+  return txn.Insert(kCodeCollection, std::move(doc));
 }
 
 Result<json::Value> SaveService::MakeModelDoc(const SaveRequest& request,
+                                              SaveTransaction& txn,
                                               MerkleTree* tree_out) {
   if (request.model == nullptr || request.environment == nullptr) {
     return Status::InvalidArgument("SaveRequest requires model and env");
   }
   MMLIB_ASSIGN_OR_RETURN(std::string env_id,
-                         SaveEnvironment(*request.environment));
-  MMLIB_ASSIGN_OR_RETURN(std::string code_id, SaveCode(request.code));
+                         SaveEnvironment(*request.environment, txn));
+  MMLIB_ASSIGN_OR_RETURN(std::string code_id, SaveCode(request.code, txn));
 
   json::Value doc = json::Value::MakeObject();
   doc.Set("approach", std::string(approach()));
@@ -48,7 +50,7 @@ Result<json::Value> SaveService::MakeModelDoc(const SaveRequest& request,
   MMLIB_ASSIGN_OR_RETURN(MerkleTree tree,
                          request.model->BuildMerkleTree(backends_.pool));
   MMLIB_ASSIGN_OR_RETURN(std::string merkle_file,
-                         backends_.files->SaveFile(tree.Serialize()));
+                         txn.SaveFile(tree.Serialize()));
   doc.Set("merkle_file", merkle_file);
 
   // Model::ParamsHash() is by definition the hash of the per-layer digests,

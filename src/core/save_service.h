@@ -4,6 +4,7 @@
 #include <string>
 
 #include "compress/codec.h"
+#include "core/save_txn.h"
 #include "core/train_service.h"
 #include "core/types.h"
 #include "hash/merkle_tree.h"
@@ -64,17 +65,20 @@ class SaveService {
   /// Encodes a parameter payload into a chunked frame with `params_codec()`.
   Result<Bytes> EncodeParams(const Bytes& params) const;
 
-  /// Persists the environment document; returns its id.
-  Result<std::string> SaveEnvironment(const env::EnvironmentInfo& info);
+  /// Persists the environment document through `txn`; returns its id.
+  Result<std::string> SaveEnvironment(const env::EnvironmentInfo& info,
+                                      SaveTransaction& txn);
 
-  /// Persists the code descriptor document; returns its id.
-  Result<std::string> SaveCode(const json::Value& code);
+  /// Persists the code descriptor document through `txn`; returns its id.
+  Result<std::string> SaveCode(const json::Value& code, SaveTransaction& txn);
 
   /// Builds the common part of a model document: approach, base reference,
   /// code/env references, the persisted layer-hash Merkle tree, and
-  /// checksums of the saved model. When `tree_out` is non-null it receives
-  /// the computed Merkle tree (avoids recomputing layer hashes).
+  /// checksums of the saved model. Every write goes through `txn` so a save
+  /// that fails later rolls them back. When `tree_out` is non-null it
+  /// receives the computed Merkle tree (avoids recomputing layer hashes).
   Result<json::Value> MakeModelDoc(const SaveRequest& request,
+                                   SaveTransaction& txn,
                                    MerkleTree* tree_out = nullptr);
 
   StorageBackends backends_;

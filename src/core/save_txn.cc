@@ -1,0 +1,36 @@
+#include "core/save_txn.h"
+
+namespace mmlib::core {
+
+SaveTransaction::~SaveTransaction() {
+  if (committed_) {
+    return;
+  }
+  // Best effort, newest first: a failure to undo one write (e.g. the link
+  // went down for good) must not stop the remaining deletions. Remote
+  // deletes retry transient errors on their own.
+  for (auto it = doc_ids_.rbegin(); it != doc_ids_.rend(); ++it) {
+    const Status status = backends_.docs->Delete(it->first, it->second);
+    (void)status;
+  }
+  for (auto it = file_ids_.rbegin(); it != file_ids_.rend(); ++it) {
+    const Status status = backends_.files->Delete(*it);
+    (void)status;
+  }
+}
+
+Result<std::string> SaveTransaction::SaveFile(const Bytes& content) {
+  MMLIB_ASSIGN_OR_RETURN(std::string id, backends_.files->SaveFile(content));
+  file_ids_.push_back(id);
+  return id;
+}
+
+Result<std::string> SaveTransaction::Insert(const std::string& collection,
+                                            json::Value doc) {
+  MMLIB_ASSIGN_OR_RETURN(std::string id,
+                         backends_.docs->Insert(collection, std::move(doc)));
+  doc_ids_.emplace_back(collection, id);
+  return id;
+}
+
+}  // namespace mmlib::core

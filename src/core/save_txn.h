@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "json/json.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mmlib::core {
+
+/// Scoped rollback guard for one logical multi-step model save. A save
+/// writes several files and documents (environment doc, code doc, Merkle
+/// tree, parameter payload, provenance docs, model doc); if it fails after
+/// some of them succeeded, the survivors are orphans — stored bytes no
+/// model document references. Route every write of a save through a
+/// SaveTransaction: on destruction without Commit() the recorded writes
+/// are deleted again in reverse order (best effort), so an aborted save
+/// leaves the stores as it found them.
+class SaveTransaction {
+ public:
+  explicit SaveTransaction(const StorageBackends& backends)
+      : backends_(backends) {}
+  ~SaveTransaction();
+
+  SaveTransaction(const SaveTransaction&) = delete;
+  SaveTransaction& operator=(const SaveTransaction&) = delete;
+
+  /// Persists `content` via the file store and records the id for rollback.
+  Result<std::string> SaveFile(const Bytes& content);
+
+  /// Inserts `doc` into `collection` and records the id for rollback.
+  Result<std::string> Insert(const std::string& collection, json::Value doc);
+
+  /// Keeps every recorded write; rollback is disarmed.
+  void Commit() { committed_ = true; }
+
+  /// Writes recorded so far and still subject to rollback.
+  size_t pending_writes() const {
+    return committed_ ? 0 : file_ids_.size() + doc_ids_.size();
+  }
+
+ private:
+  StorageBackends backends_;
+  std::vector<std::string> file_ids_;
+  // (collection, id) pairs, in insertion order.
+  std::vector<std::pair<std::string, std::string>> doc_ids_;
+  bool committed_ = false;
+};
+
+}  // namespace mmlib::core

@@ -11,11 +11,18 @@
 #include <fstream>
 
 #include "check/validators.h"
+#include "util/fs.h"
 #include "util/strings.h"
 
 namespace mmlib::docstore {
 
 namespace {
+
+/// Suffix of persisted documents; only these count as stored data.
+constexpr const char* kJsonSuffix = ".json";
+
+/// Charge for a fixed-size control answer (an 8-byte ack or count).
+constexpr uint64_t kScalarResponseBytes = sizeof(uint64_t);
 
 Result<std::string> ReadWholeFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -27,21 +34,22 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return content;
 }
 
+/// Crash-safe document write (tmp + rename; partials cleaned up on error).
 Status WriteWholeFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  out.flush();
-  if (!out) {
-    return Status::IoError("failed writing " + path);
-  }
-  return Status::OK();
+  return util::AtomicWriteFile(
+      path, reinterpret_cast<const uint8_t*>(content.data()), content.size());
 }
 
 Status ValidateDocName(const std::string& name, std::string_view what) {
   return check::ValidateResourceName(name, /*allow_dot=*/true, what);
+}
+
+size_t IdListBytes(const std::vector<std::string>& ids) {
+  size_t bytes = 0;
+  for (const std::string& id : ids) {
+    bytes += id.size();
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -159,9 +167,15 @@ Result<std::string> PersistentDocumentStore::Insert(
   if (ec) {
     return Status::IoError("cannot create collection dir: " + ec.message());
   }
-  const std::string id = id_generator_.Next(collection);
-  doc.Set("_id", id);
+  std::string id = id_generator_.Next(collection);
   MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(collection, id));
+  // A reopened store restarts the deterministic id stream at zero; skip
+  // ids whose destination already exists instead of overwriting them.
+  while (std::filesystem::exists(path)) {
+    id = id_generator_.Next(collection);
+    MMLIB_ASSIGN_OR_RETURN(path, PathFor(collection, id));
+  }
+  doc.Set("_id", id);
   MMLIB_RETURN_IF_ERROR(WriteWholeFile(path, doc.Dump()));
   return id;
 }
@@ -176,11 +190,8 @@ Result<json::Value> PersistentDocumentStore::Get(const std::string& collection,
 Status PersistentDocumentStore::Delete(const std::string& collection,
                                        const std::string& id) {
   MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(collection, id));
-  std::error_code ec;
-  if (!std::filesystem::remove(path, ec) || ec) {
-    return Status::NotFound("no document " + id + " in " + collection);
-  }
-  return Status::OK();
+  return util::RemoveFileStrict(path,
+                                "document " + id + " in " + collection);
 }
 
 Result<std::vector<std::string>> PersistentDocumentStore::ListIds(
@@ -200,72 +211,123 @@ Result<std::vector<std::string>> PersistentDocumentStore::ListIds(
 }
 
 size_t PersistentDocumentStore::TotalStoredBytes() const {
-  size_t total = 0;
-  std::error_code ec;
-  for (const auto& entry :
-       std::filesystem::recursive_directory_iterator(root_, ec)) {
-    if (entry.is_regular_file(ec)) {
-      total += entry.file_size(ec);
-    }
-  }
-  return total;
+  return util::TotalBytesWithSuffix(root_, kJsonSuffix, /*recursive=*/true);
 }
 
 size_t PersistentDocumentStore::DocumentCount() const {
-  size_t count = 0;
-  std::error_code ec;
-  for (const auto& entry :
-       std::filesystem::recursive_directory_iterator(root_, ec)) {
-    if (entry.is_regular_file(ec)) {
-      ++count;
-    }
-  }
-  return count;
+  return util::CountFilesWithSuffix(root_, kJsonSuffix, /*recursive=*/true);
 }
 
 Result<std::string> RemoteDocumentStore::Insert(const std::string& collection,
                                                 json::Value doc) {
-  network_->Transfer(doc.Dump().size());
-  return backend_->Insert(collection, std::move(doc));
+  const size_t request_bytes = collection.size() + doc.Dump().size();
+  return retrier_.Run([&]() -> Result<std::string> {
+    // Request carries the document. A corrupted upload is malformed JSON at
+    // the receiver and rejected before the backend mutates.
+    simnet::TransferAttempt request = network_->TryTransfer(request_bytes);
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("insert rejected: document corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::string id, backend_->Insert(collection, doc));
+    // Acknowledgement carrying the generated id; modeled reliable so a
+    // completed insert is never retried into a duplicate.
+    network_->Transfer(id.size());
+    return id;
+  });
 }
 
 Result<json::Value> RemoteDocumentStore::Get(const std::string& collection,
                                              const std::string& id) {
-  MMLIB_ASSIGN_OR_RETURN(json::Value doc, backend_->Get(collection, id));
-  network_->Transfer(doc.Dump().size());
-  return doc;
+  return retrier_.Run([&]() -> Result<json::Value> {
+    simnet::TransferAttempt request =
+        network_->TryTransfer(collection.size() + id.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(json::Value doc, backend_->Get(collection, id));
+    simnet::TransferAttempt response =
+        network_->TryTransfer(doc.Dump().size());
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      // A damaged document no longer parses as JSON; the client detects the
+      // malformed response and re-requests.
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return doc;
+  });
 }
 
 Status RemoteDocumentStore::Delete(const std::string& collection,
                                    const std::string& id) {
-  network_->Transfer(id.size());
-  return backend_->Delete(collection, id);
+  return retrier_.Run([&]() -> Status {
+    simnet::TransferAttempt request =
+        network_->TryTransfer(collection.size() + id.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_RETURN_IF_ERROR(backend_->Delete(collection, id));
+    network_->Transfer(kScalarResponseBytes);  // reliable acknowledgement
+    return Status::OK();
+  });
 }
 
 Result<std::vector<std::string>> RemoteDocumentStore::ListIds(
     const std::string& collection) {
-  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
-                         backend_->ListIds(collection));
-  size_t bytes = 0;
-  for (const std::string& id : ids) {
-    bytes += id.size();
-  }
-  network_->Transfer(bytes);
-  return ids;
+  return retrier_.Run([&]() -> Result<std::vector<std::string>> {
+    simnet::TransferAttempt request = network_->TryTransfer(collection.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                           backend_->ListIds(collection));
+    simnet::TransferAttempt response = network_->TryTransfer(IdListBytes(ids));
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return ids;
+  });
 }
 
 Result<std::vector<std::string>> RemoteDocumentStore::FindByField(
     const std::string& collection, const std::string& key,
     const std::string& value) {
   // The query executes on the database host; only the matching ids travel.
-  MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
-                         backend_->FindByField(collection, key, value));
-  size_t bytes = key.size() + value.size();
-  for (const std::string& id : ids) {
-    bytes += id.size();
-  }
-  network_->Transfer(bytes);
-  return ids;
+  return retrier_.Run([&]() -> Result<std::vector<std::string>> {
+    simnet::TransferAttempt request = network_->TryTransfer(
+        collection.size() + key.size() + value.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                           backend_->FindByField(collection, key, value));
+    simnet::TransferAttempt response = network_->TryTransfer(IdListBytes(ids));
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return ids;
+  });
+}
+
+size_t RemoteDocumentStore::TotalStoredBytes() const {
+  // Stats queries feed the experiment's cost metering; charged as a
+  // request/response pair but fault-free so a flaky link cannot poison
+  // measurements with failed metric reads.
+  network_->Transfer(kScalarResponseBytes);
+  network_->Transfer(kScalarResponseBytes);
+  return backend_->TotalStoredBytes();
+}
+
+size_t RemoteDocumentStore::DocumentCount() const {
+  network_->Transfer(kScalarResponseBytes);
+  network_->Transfer(kScalarResponseBytes);
+  return backend_->DocumentCount();
 }
 
 }  // namespace mmlib::docstore

@@ -7,6 +7,7 @@
 
 #include "json/json.h"
 #include "simnet/network.h"
+#include "simnet/retry.h"
 #include "util/id_generator.h"
 #include "util/result.h"
 
@@ -29,7 +30,7 @@ class DocumentStore {
   virtual Result<json::Value> Get(const std::string& collection,
                                   const std::string& id) = 0;
 
-  /// Deletes a document; NotFound if absent.
+  /// Deletes a document; NotFound if absent, IoError if removal failed.
   virtual Status Delete(const std::string& collection,
                         const std::string& id) = 0;
 
@@ -74,6 +75,8 @@ class InMemoryDocumentStore : public DocumentStore {
 
 /// Disk-backed store: one file per document under
 /// `root/<collection>/<id>.json`. Documents survive process restarts.
+/// Writes are crash-safe (tmp + rename; a failed write cleans up its
+/// temporary), and only `*.json` entries count as stored documents.
 class PersistentDocumentStore : public DocumentStore {
  public:
   /// Opens (and creates if needed) the store rooted at `root`.
@@ -100,13 +103,28 @@ class PersistentDocumentStore : public DocumentStore {
   IdGenerator id_generator_;
 };
 
-/// Decorator charging every operation's payload to a simulated network link
-/// — models a MongoDB instance running on a separate machine, as in the
-/// paper's three-machine setup (Section 4.1).
+/// Decorator charging every operation to a simulated network link as a
+/// request/response message pair — models a MongoDB instance running on a
+/// separate machine, as in the paper's three-machine setup (Section 4.1).
+/// Under an active FaultPlan messages can drop, time out, or corrupt;
+/// transient failures are retried with the store's RetryPolicy. Document
+/// payloads are small and self-describing, so a corrupted message (either
+/// direction) is detected by the receiving side and handled as a transient
+/// rejection, never delivered as damaged metadata.
 class RemoteDocumentStore : public DocumentStore {
  public:
   RemoteDocumentStore(DocumentStore* backend, simnet::Network* network)
-      : backend_(backend), network_(network) {}
+      : backend_(backend),
+        network_(network),
+        retrier_(simnet::RetryPolicy{}, network) {}
+
+  /// Replaces the retry policy and resets the retry counter/jitter stream.
+  void set_retry_policy(const simnet::RetryPolicy& policy) {
+    retrier_ = simnet::Retrier(policy, network_);
+  }
+
+  /// Retries performed (attempts beyond the first) across all operations.
+  uint64_t retry_count() const { return retrier_.retry_count(); }
 
   Result<std::string> Insert(const std::string& collection,
                              json::Value doc) override;
@@ -118,14 +136,13 @@ class RemoteDocumentStore : public DocumentStore {
   Result<std::vector<std::string>> FindByField(
       const std::string& collection, const std::string& key,
       const std::string& value) override;
-  size_t TotalStoredBytes() const override {
-    return backend_->TotalStoredBytes();
-  }
-  size_t DocumentCount() const override { return backend_->DocumentCount(); }
+  size_t TotalStoredBytes() const override;
+  size_t DocumentCount() const override;
 
  private:
   DocumentStore* backend_;
   simnet::Network* network_;
+  simnet::Retrier retrier_;
 };
 
 }  // namespace mmlib::docstore

@@ -1,10 +1,22 @@
 #include "filestore/file_store.h"
 
-#include "check/validators.h"
 #include <filesystem>
 #include <fstream>
 
+#include "check/validators.h"
+#include "util/fs.h"
+
 namespace mmlib::filestore {
+
+namespace {
+
+/// Suffix of persisted file-store entries; only these count as stored data.
+constexpr const char* kBinSuffix = ".bin";
+
+/// Charge for a fixed-size control answer (an 8-byte count or size).
+constexpr uint64_t kScalarResponseBytes = sizeof(uint64_t);
+
+}  // namespace
 
 InMemoryFileStore::InMemoryFileStore() : id_generator_(0xf17e) {}
 
@@ -61,22 +73,20 @@ Result<std::unique_ptr<LocalDirFileStore>> LocalDirFileStore::Open(
 Result<std::string> LocalDirFileStore::PathFor(const std::string& id) const {
   MMLIB_RETURN_IF_ERROR(
       check::ValidateResourceName(id, /*allow_dot=*/false, "file id"));
-  return root_ + "/" + id + ".bin";
+  return root_ + "/" + id + kBinSuffix;
 }
 
 Result<std::string> LocalDirFileStore::SaveFile(const Bytes& content) {
-  const std::string id = id_generator_.Next("file");
+  std::string id = id_generator_.Next("file");
   MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open " + path);
+  // A reopened store restarts the deterministic id stream at zero; skip
+  // ids whose destination already exists instead of overwriting them.
+  while (std::filesystem::exists(path)) {
+    id = id_generator_.Next("file");
+    MMLIB_ASSIGN_OR_RETURN(path, PathFor(id));
   }
-  out.write(reinterpret_cast<const char*>(content.data()),
-            static_cast<std::streamsize>(content.size()));
-  out.flush();
-  if (!out) {
-    return Status::IoError("failed writing " + path);
-  }
+  MMLIB_RETURN_IF_ERROR(
+      util::AtomicWriteFile(path, content.data(), content.size()));
   return id;
 }
 
@@ -104,11 +114,7 @@ Result<Bytes> LocalDirFileStore::LoadFile(const std::string& id) {
 
 Status LocalDirFileStore::Delete(const std::string& id) {
   MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
-  std::error_code ec;
-  if (!std::filesystem::remove(path, ec) || ec) {
-    return Status::NotFound("no file " + id);
-  }
-  return Status::OK();
+  return util::RemoveFileStrict(path, "file " + id);
 }
 
 Result<size_t> LocalDirFileStore::FileSize(const std::string& id) {
@@ -122,41 +128,94 @@ Result<size_t> LocalDirFileStore::FileSize(const std::string& id) {
 }
 
 size_t LocalDirFileStore::TotalStoredBytes() const {
-  size_t total = 0;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
-    if (entry.is_regular_file(ec)) {
-      total += entry.file_size(ec);
-    }
-  }
-  return total;
+  return util::TotalBytesWithSuffix(root_, kBinSuffix);
 }
 
 size_t LocalDirFileStore::FileCount() const {
-  size_t count = 0;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
-    if (entry.is_regular_file(ec)) {
-      ++count;
-    }
-  }
-  return count;
+  return util::CountFilesWithSuffix(root_, kBinSuffix);
 }
 
 Result<std::string> RemoteFileStore::SaveFile(const Bytes& content) {
-  network_->Transfer(content.size());
-  return backend_->SaveFile(content);
+  return retrier_.Run([&]() -> Result<std::string> {
+    // Request carries the payload. A corrupted upload is caught by the
+    // receiver's checksum and rejected before the backend mutates, keeping
+    // writes at-most-once.
+    simnet::TransferAttempt request = network_->TryTransfer(content.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("upload rejected: payload corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::string id, backend_->SaveFile(content));
+    // Acknowledgement carrying the generated id; modeled reliable so a
+    // completed write is never retried into a duplicate.
+    network_->Transfer(id.size());
+    return id;
+  });
 }
 
 Result<Bytes> RemoteFileStore::LoadFile(const std::string& id) {
-  MMLIB_ASSIGN_OR_RETURN(Bytes content, backend_->LoadFile(id));
-  network_->Transfer(content.size());
-  return content;
+  return retrier_.Run([&]() -> Result<Bytes> {
+    simnet::TransferAttempt request = network_->TryTransfer(id.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(Bytes content, backend_->LoadFile(id));
+    simnet::TransferAttempt response = network_->TryTransfer(content.size());
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      // Delivered damaged: end-to-end integrity (per-chunk CRC-32 in the
+      // chunked frame) is the caller's to verify and re-fetch.
+      network_->CorruptPayload(&content);
+    }
+    return content;
+  });
 }
 
 Status RemoteFileStore::Delete(const std::string& id) {
-  network_->Transfer(id.size());
-  return backend_->Delete(id);
+  return retrier_.Run([&]() -> Status {
+    simnet::TransferAttempt request = network_->TryTransfer(id.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_RETURN_IF_ERROR(backend_->Delete(id));
+    network_->Transfer(kScalarResponseBytes);  // reliable acknowledgement
+    return Status::OK();
+  });
+}
+
+Result<size_t> RemoteFileStore::FileSize(const std::string& id) {
+  return retrier_.Run([&]() -> Result<size_t> {
+    simnet::TransferAttempt request = network_->TryTransfer(id.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(size_t size, backend_->FileSize(id));
+    simnet::TransferAttempt response =
+        network_->TryTransfer(kScalarResponseBytes);
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return size;
+  });
+}
+
+size_t RemoteFileStore::TotalStoredBytes() const {
+  // Stats queries feed the experiment's cost metering; they are charged as
+  // a request/response pair but stay fault-free so a flaky link cannot
+  // poison measurements with failed metric reads.
+  network_->Transfer(kScalarResponseBytes);
+  network_->Transfer(kScalarResponseBytes);
+  return backend_->TotalStoredBytes();
+}
+
+size_t RemoteFileStore::FileCount() const {
+  network_->Transfer(kScalarResponseBytes);
+  network_->Transfer(kScalarResponseBytes);
+  return backend_->FileCount();
 }
 
 }  // namespace mmlib::filestore

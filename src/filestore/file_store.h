@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "simnet/network.h"
+#include "simnet/retry.h"
 #include "util/bytes.h"
 #include "util/id_generator.h"
 #include "util/result.h"
@@ -26,7 +27,7 @@ class FileStore {
   /// Loads the file with `id`.
   virtual Result<Bytes> LoadFile(const std::string& id) = 0;
 
-  /// Removes the file; NotFound if absent.
+  /// Removes the file; NotFound if absent, IoError if removal failed.
   virtual Status Delete(const std::string& id) = 0;
 
   /// Size of a stored file in bytes.
@@ -56,7 +57,13 @@ class InMemoryFileStore : public FileStore {
   std::map<std::string, Bytes> files_;
 };
 
-/// Disk-backed store writing one file per id under a root directory.
+/// Disk-backed store writing one `<id>.bin` file per id under a root
+/// directory. Writes are crash-safe: content goes to a `.tmp` sibling that
+/// is renamed into place only after a successful flush, so an interrupted
+/// save never leaves a truncated `.bin` visible, and a failed write cleans
+/// up its partial temporary. Only `*.bin` entries count as stored files —
+/// leftover temporaries and foreign files do not skew the paper's
+/// storage-consumption numbers.
 class LocalDirFileStore : public FileStore {
  public:
   static Result<std::unique_ptr<LocalDirFileStore>> Open(
@@ -77,28 +84,42 @@ class LocalDirFileStore : public FileStore {
   IdGenerator id_generator_;
 };
 
-/// Decorator charging payload bytes to a simulated network link — models
-/// external shared storage reached over the evaluation cluster's link.
+/// Decorator charging every operation to a simulated network link as a
+/// request/response message pair — models external shared storage reached
+/// over the evaluation cluster's link. Under an active FaultPlan messages
+/// can drop, time out, or corrupt; transient failures are retried with the
+/// store's RetryPolicy (deterministic backoff charged to the virtual
+/// clock). Write semantics are at-most-once: a corrupted upload is rejected
+/// by the receiver (checksum) and retried before the backend mutates, and
+/// acknowledgements are modeled as reliable. A corrupted LoadFile response
+/// is delivered as-is — end-to-end integrity is the caller's job (chunked
+/// frames carry per-chunk CRC-32s; the recoverer re-fetches on mismatch).
 class RemoteFileStore : public FileStore {
  public:
   RemoteFileStore(FileStore* backend, simnet::Network* network)
-      : backend_(backend), network_(network) {}
+      : backend_(backend),
+        network_(network),
+        retrier_(simnet::RetryPolicy{}, network) {}
+
+  /// Replaces the retry policy and resets the retry counter/jitter stream.
+  void set_retry_policy(const simnet::RetryPolicy& policy) {
+    retrier_ = simnet::Retrier(policy, network_);
+  }
+
+  /// Retries performed (attempts beyond the first) across all operations.
+  uint64_t retry_count() const { return retrier_.retry_count(); }
 
   Result<std::string> SaveFile(const Bytes& content) override;
   Result<Bytes> LoadFile(const std::string& id) override;
   Status Delete(const std::string& id) override;
-  Result<size_t> FileSize(const std::string& id) override {
-    return backend_->FileSize(id);
-  }
-  size_t TotalStoredBytes() const override {
-    return backend_->TotalStoredBytes();
-  }
-  size_t FileCount() const override { return backend_->FileCount(); }
+  Result<size_t> FileSize(const std::string& id) override;
+  size_t TotalStoredBytes() const override;
+  size_t FileCount() const override;
 
  private:
   FileStore* backend_;
   simnet::Network* network_;
+  simnet::Retrier retrier_;
 };
 
 }  // namespace mmlib::filestore
-

@@ -1,5 +1,6 @@
 #include "hash/merkle_tree.h"
 
+#include "hash/sha256.h"
 #include "util/bytes.h"
 
 namespace mmlib {
@@ -64,21 +65,40 @@ Bytes MerkleTree::Serialize() const {
     const Digest& d = nodes_[padded_leaves_ + i];
     writer.WriteRaw(d.bytes.data(), d.bytes.size());
   }
-  return writer.TakeBytes();
+  // Digest bytes are opaque to the parser, so without a checksum a flipped
+  // bit would deserialize as a different-but-valid tree. The CRC trailer
+  // makes any in-flight damage detectable.
+  Bytes serialized = writer.TakeBytes();
+  const uint32_t crc = Crc32(serialized);
+  BytesWriter trailer;
+  trailer.WriteU32(crc);
+  const Bytes trailer_bytes = trailer.TakeBytes();
+  serialized.insert(serialized.end(), trailer_bytes.begin(),
+                    trailer_bytes.end());
+  return serialized;
 }
 
 Result<MerkleTree> MerkleTree::Deserialize(const Bytes& data) {
+  if (data.size() < sizeof(uint64_t) + sizeof(uint32_t)) {
+    return Status::Corruption("Merkle tree payload too short");
+  }
+  const size_t body_size = data.size() - sizeof(uint32_t);
   BytesReader reader(data);
   MMLIB_ASSIGN_OR_RETURN(uint64_t leaf_count, reader.ReadU64());
-  if (leaf_count == 0 || leaf_count > reader.remaining() / 32) {
+  if (leaf_count == 0 ||
+      leaf_count > (body_size - sizeof(uint64_t)) / 32) {
     return Status::Corruption("invalid Merkle tree header");
   }
   std::vector<Digest> leaves(leaf_count);
   for (Digest& d : leaves) {
     MMLIB_RETURN_IF_ERROR(reader.ReadRaw(d.bytes.data(), d.bytes.size()));
   }
+  MMLIB_ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after Merkle tree");
+  }
+  if (Crc32(data.data(), body_size) != stored_crc) {
+    return Status::Corruption("Merkle tree checksum mismatch");
   }
   return Build(std::move(leaves));
 }

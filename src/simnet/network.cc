@@ -2,6 +2,14 @@
 
 namespace mmlib::simnet {
 
+void Network::set_fault_plan(const FaultPlan& plan) {
+  fault_plan_ = plan;
+  fault_rng_ = Rng(plan.seed);
+  drop_count_ = 0;
+  timeout_count_ = 0;
+  corruption_count_ = 0;
+}
+
 double Network::Transfer(uint64_t bytes) {
   const double seconds = link_.TransferSeconds(bytes);
   clock_.AdvanceSeconds(seconds);
@@ -10,10 +18,61 @@ double Network::Transfer(uint64_t bytes) {
   return seconds;
 }
 
+TransferAttempt Network::TryTransfer(uint64_t bytes) {
+  TransferAttempt attempt;
+  if (!fault_plan_.active()) {
+    attempt.seconds = Transfer(bytes);
+    return attempt;
+  }
+  ++message_count_;
+  // One uniform draw per message keeps the fault stream's consumption a pure
+  // function of the message sequence, whatever the outcome.
+  const double u = fault_rng_.NextDouble();
+  if (u < fault_plan_.drop_probability) {
+    ++drop_count_;
+    attempt.seconds = link_.latency_seconds;
+    clock_.AdvanceSeconds(attempt.seconds);
+    attempt.status = Status::Unavailable("message dropped in flight");
+    return attempt;
+  }
+  if (u < fault_plan_.drop_probability + fault_plan_.timeout_probability) {
+    ++timeout_count_;
+    attempt.seconds = fault_plan_.timeout_seconds;
+    clock_.AdvanceSeconds(attempt.seconds);
+    attempt.status = Status::DeadlineExceeded("message timed out");
+    return attempt;
+  }
+  attempt.seconds = link_.TransferSeconds(bytes);
+  clock_.AdvanceSeconds(attempt.seconds);
+  total_bytes_ += bytes;
+  if (u < fault_plan_.drop_probability + fault_plan_.timeout_probability +
+              fault_plan_.corrupt_probability) {
+    ++corruption_count_;
+    attempt.corrupted = true;
+  }
+  return attempt;
+}
+
+void Network::CorruptPayload(Bytes* payload) {
+  if (payload == nullptr || payload->empty()) {
+    return;
+  }
+  const size_t position = fault_rng_.NextBelow(payload->size());
+  (*payload)[position] ^= static_cast<uint8_t>(1 + fault_rng_.NextBelow(255));
+}
+
+void Network::ChargeSeconds(double seconds) {
+  clock_.AdvanceSeconds(seconds);
+}
+
 void Network::Reset() {
   clock_ = VirtualClock();
+  fault_rng_ = Rng(fault_plan_.seed);
   total_bytes_ = 0;
   message_count_ = 0;
+  drop_count_ = 0;
+  timeout_count_ = 0;
+  corruption_count_ = 0;
 }
 
 }  // namespace mmlib::simnet

@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <string>
 
+#include "util/bytes.h"
 #include "util/clock.h"
+#include "util/random.h"
+#include "util/status.h"
 
 namespace mmlib::simnet {
 
@@ -26,37 +29,110 @@ struct Link {
   static Link Cellular50M() { return Link{6.25e6, 30e-3}; }
 };
 
+/// Deterministic failure model for the simulated network: every message
+/// draws one uniform sample from a seeded Rng and either succeeds, is
+/// dropped (transient Unavailable), times out (DeadlineExceeded, charged
+/// `timeout_seconds` of virtual time), or arrives with a corrupted payload.
+/// The draw sequence depends only on the order of Transfer calls — the
+/// save/recover pipeline issues them serially — so the exact same faults
+/// fire on every run with the same seed, at any thread-pool size.
+struct FaultPlan {
+  /// Probability a message is lost in flight (receiver never sees it).
+  /// Charged link latency only.
+  double drop_probability = 0.0;
+  /// Probability a message exceeds its deadline. Charged `timeout_seconds`.
+  double timeout_probability = 0.0;
+  /// Probability a delivered payload is damaged in flight. Charged the full
+  /// transfer time; the payload has one deterministic byte flipped.
+  double corrupt_probability = 0.0;
+  /// Virtual time consumed by a timed-out message before the sender gives
+  /// up on it.
+  double timeout_seconds = 0.5;
+  /// Seed of the fault-decision stream.
+  uint64_t seed = 0x5eedfa17;
+
+  bool active() const {
+    return drop_probability > 0.0 || timeout_probability > 0.0 ||
+           corrupt_probability > 0.0;
+  }
+};
+
+/// Outcome of one message attempt under the active fault plan.
+struct TransferAttempt {
+  /// OK, Unavailable (dropped), or DeadlineExceeded (timed out).
+  Status status = Status::OK();
+  /// True when the message was delivered but its payload was damaged in
+  /// flight. Only meaningful when `status` is OK.
+  bool corrupted = false;
+  /// Virtual time charged for this attempt.
+  double seconds = 0.0;
+};
+
 /// Simulated network shared by the hosts of a distributed evaluation flow.
 /// Every transfer advances a virtual clock and is accounted, so experiments
 /// are deterministic and instantaneous regardless of modeled data volume.
 class Network {
  public:
-  explicit Network(Link link) : link_(link) {}
+  explicit Network(Link link) : link_(link), fault_rng_(FaultPlan{}.seed) {}
   Network() : Network(Link::InfiniBand100G()) {}
 
   const Link& link() const { return link_; }
 
+  /// Installs a failure model and reseeds the fault stream; replaces any
+  /// previous plan. Pass a default-constructed FaultPlan to disable faults.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
   /// Charges one message of `bytes` to the virtual clock; returns the
-  /// transfer time in seconds.
+  /// transfer time in seconds. Never fails — the fault-free cost-model path
+  /// used by callers that only model bandwidth (benchmarks, stats queries).
   double Transfer(uint64_t bytes);
 
-  /// Total simulated time spent in transfers.
+  /// Attempts one message of `bytes` under the fault plan. On success
+  /// charges the transfer time; a drop charges latency only; a timeout
+  /// charges `timeout_seconds`. With no active plan this is exactly
+  /// Transfer.
+  TransferAttempt TryTransfer(uint64_t bytes);
+
+  /// Deterministically flips one byte of `payload` (no-op when empty);
+  /// called by remote-store clients when TryTransfer reports corruption on
+  /// a payload-carrying response.
+  void CorruptPayload(Bytes* payload);
+
+  /// Advances the virtual clock without sending a message — models a sender
+  /// waiting out a retry backoff.
+  void ChargeSeconds(double seconds);
+
+  /// Total simulated time spent in transfers (including faulted attempts
+  /// and backoff waits).
   double TotalTransferSeconds() const { return clock_.NowSeconds(); }
 
-  /// Total bytes moved.
+  /// Total bytes moved by successful messages.
   uint64_t TotalBytes() const { return total_bytes_; }
 
-  /// Number of messages sent.
+  /// Number of messages attempted (successful or faulted).
   uint64_t MessageCount() const { return message_count_; }
+
+  /// Fault counters since the last Reset/set_fault_plan.
+  uint64_t DropCount() const { return drop_count_; }
+  uint64_t TimeoutCount() const { return timeout_count_; }
+  uint64_t CorruptionCount() const { return corruption_count_; }
+  uint64_t FaultCount() const {
+    return drop_count_ + timeout_count_ + corruption_count_;
+  }
 
   void Reset();
 
  private:
   Link link_;
   VirtualClock clock_;
+  FaultPlan fault_plan_;
+  Rng fault_rng_;
   uint64_t total_bytes_ = 0;
   uint64_t message_count_ = 0;
+  uint64_t drop_count_ = 0;
+  uint64_t timeout_count_ = 0;
+  uint64_t corruption_count_ = 0;
 };
 
 }  // namespace mmlib::simnet
-

@@ -1,0 +1,20 @@
+#include "simnet/retry.h"
+
+#include <cmath>
+
+namespace mmlib::simnet {
+
+void Retrier::ChargeBackoff(int attempt) {
+  double backoff = policy_.initial_backoff_seconds *
+                   std::pow(policy_.backoff_multiplier, attempt - 1);
+  backoff = std::min(backoff, policy_.max_backoff_seconds);
+  if (policy_.jitter_fraction > 0.0) {
+    const double unit = jitter_rng_.NextDouble() * 2.0 - 1.0;  // [-1, 1)
+    backoff *= 1.0 + policy_.jitter_fraction * unit;
+  }
+  if (network_ != nullptr) {
+    network_->ChargeSeconds(backoff);
+  }
+}
+
+}  // namespace mmlib::simnet

@@ -1,0 +1,93 @@
+#include "util/fs.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace mmlib::util {
+
+namespace {
+
+template <typename Iterator>
+size_t AccumulateWithSuffix(const std::string& dir, const std::string& suffix,
+                            bool count_only) {
+  size_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : Iterator(dir, ec)) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) {
+      continue;
+    }
+    if (!EndsWith(entry.path().filename().string(), suffix)) {
+      continue;
+    }
+    total += count_only ? 1 : entry.file_size(entry_ec);
+  }
+  return total;
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const uint8_t* data,
+                       size_t size) {
+  const std::string tmp_path = path + kTmpSuffix;
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp_path + " for writing");
+    }
+    if (size > 0) {
+      out.write(reinterpret_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return Status::IoError("failed writing " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp_path, remove_ec);
+    return Status::IoError("cannot rename " + tmp_path + " into place: " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveFileStrict(const std::string& path, const std::string& what) {
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(path, ec);
+  if (ec) {
+    return Status::IoError("cannot remove " + what + ": " + ec.message());
+  }
+  if (!removed) {
+    return Status::NotFound("no " + what);
+  }
+  return Status::OK();
+}
+
+size_t CountFilesWithSuffix(const std::string& dir, const std::string& suffix,
+                            bool recursive) {
+  return recursive
+             ? AccumulateWithSuffix<std::filesystem::recursive_directory_iterator>(
+                   dir, suffix, /*count_only=*/true)
+             : AccumulateWithSuffix<std::filesystem::directory_iterator>(
+                   dir, suffix, /*count_only=*/true);
+}
+
+size_t TotalBytesWithSuffix(const std::string& dir, const std::string& suffix,
+                            bool recursive) {
+  return recursive
+             ? AccumulateWithSuffix<std::filesystem::recursive_directory_iterator>(
+                   dir, suffix, /*count_only=*/false)
+             : AccumulateWithSuffix<std::filesystem::directory_iterator>(
+                   dir, suffix, /*count_only=*/false);
+}
+
+}  // namespace mmlib::util

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mmlib::util {
+
+/// Suffix appended to a destination path while its content is being
+/// written; the temporary is renamed over the destination only after a
+/// successful flush. Readers and the stores' accounting ignore files with
+/// this suffix, so an interrupted write is never visible as stored data.
+inline constexpr const char* kTmpSuffix = ".tmp";
+
+/// Crash-safe whole-file write: writes `size` bytes to `path + ".tmp"`,
+/// flushes, then atomically renames the temporary over `path`. On any
+/// failure the temporary is removed (best effort) and `path` is left
+/// untouched — either the old content or nothing, never a truncated file.
+Status AtomicWriteFile(const std::string& path, const uint8_t* data,
+                       size_t size);
+
+/// Removes the file at `path`. Distinguishes the two failure modes that
+/// std::filesystem::remove conflates for callers: NotFound when there was
+/// nothing to remove, IoError when removal itself failed (permissions,
+/// non-empty directory in the file's place, ...). `what` names the entity
+/// in error messages, e.g. "file file-3" or "document d in models".
+Status RemoveFileStrict(const std::string& path, const std::string& what);
+
+/// Number of regular files directly under `dir` whose name ends with
+/// `suffix`. Returns 0 when `dir` does not exist.
+size_t CountFilesWithSuffix(const std::string& dir, const std::string& suffix,
+                            bool recursive = false);
+
+/// Total size in bytes of regular files under `dir` whose name ends with
+/// `suffix`. Returns 0 when `dir` does not exist.
+size_t TotalBytesWithSuffix(const std::string& dir, const std::string& suffix,
+                            bool recursive = false);
+
+}  // namespace mmlib::util

@@ -24,6 +24,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,12 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kOutOfRange,
+  /// The service (or the simulated network path to it) transiently failed;
+  /// the operation is safe to retry.
+  kUnavailable,
+  /// The operation did not complete within its (virtual) deadline; safe to
+  /// retry.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code, e.g. "NotFound".
@@ -64,6 +70,12 @@ class [[nodiscard]] Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

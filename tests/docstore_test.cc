@@ -160,6 +160,12 @@ TEST(PersistentDocumentStoreTest, SurvivesReopen) {
     auto store = PersistentDocumentStore::Open(root).value();
     EXPECT_EQ(store->Get("models", id).value().GetInt("x").value(), 42);
     EXPECT_EQ(store->ListIds("models").value().size(), 1u);
+    // The reopened store restarts its id stream but must not overwrite
+    // documents written before the reopen.
+    const std::string id2 = store->Insert("models", MakeDoc("x", 43)).value();
+    EXPECT_NE(id2, id);
+    EXPECT_EQ(store->Get("models", id).value().GetInt("x").value(), 42);
+    EXPECT_EQ(store->ListIds("models").value().size(), 2u);
   }
   std::filesystem::remove_all(root);
 }
@@ -187,6 +193,40 @@ TEST(RemoteDocumentStoreTest, ChargesNetworkPerOperation) {
   EXPECT_GT(network.TotalTransferSeconds(), 0.0);
   // The backing store actually holds the document.
   EXPECT_EQ(backend.DocumentCount(), 1u);
+}
+
+TEST(RemoteDocumentStoreTest, EveryOperationIsARequestResponsePair) {
+  InMemoryDocumentStore backend;
+  simnet::Network network(simnet::Link{1000.0, 0.0});
+  RemoteDocumentStore remote(&backend, &network);
+
+  const std::string id = remote.Insert("c", MakeDoc("x", 1)).value();
+  uint64_t messages = network.MessageCount();
+  EXPECT_EQ(messages, 2u);  // document upload + id acknowledgement
+
+  remote.Get("c", id).value();
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  remote.ListIds("c").value();
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  remote.FindByField("c", "x", "nope").value();
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  // Stats pass-throughs are charged too: metric reads are not free.
+  EXPECT_EQ(remote.DocumentCount(), 1u);
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  EXPECT_GT(remote.TotalStoredBytes(), 0u);
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  EXPECT_TRUE(remote.Delete("c", id).ok());
+  EXPECT_EQ(network.MessageCount(), messages + 2);
 }
 
 }  // namespace

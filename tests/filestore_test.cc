@@ -113,12 +113,42 @@ TEST(RemoteFileStoreTest, ChargesPayloadBytes) {
 
   const Bytes payload(10000, 0x42);
   const std::string id = remote.SaveFile(payload).value();
-  EXPECT_EQ(network.TotalBytes(), payload.size());
-  // Save: latency + bytes/bandwidth = 1ms + 10ms.
-  EXPECT_NEAR(network.TotalTransferSeconds(), 0.011, 1e-9);
-  remote.LoadFile(id).value();
-  EXPECT_EQ(network.TotalBytes(), 2 * payload.size());
+  // Save is a request (payload) + acknowledgement (generated id) pair.
+  EXPECT_EQ(network.TotalBytes(), payload.size() + id.size());
   EXPECT_EQ(network.MessageCount(), 2u);
+  // Request: latency + bytes/bandwidth = 1ms + 10ms; ack: 1ms + id bytes.
+  EXPECT_NEAR(network.TotalTransferSeconds(),
+              0.012 + static_cast<double>(id.size()) * 1e-6, 1e-9);
+  remote.LoadFile(id).value();
+  // Load is a request (id) + response (payload) pair.
+  EXPECT_EQ(network.TotalBytes(), 2 * (payload.size() + id.size()));
+  EXPECT_EQ(network.MessageCount(), 4u);
+}
+
+TEST(RemoteFileStoreTest, EveryOperationIsARequestResponsePair) {
+  InMemoryFileStore backend;
+  simnet::Network network(simnet::Link{1e6, 1e-3});
+  RemoteFileStore remote(&backend, &network);
+
+  const std::string id = remote.SaveFile(Bytes(64, 1)).value();
+  uint64_t messages = network.MessageCount();
+  EXPECT_EQ(messages, 2u);
+
+  EXPECT_EQ(remote.FileSize(id).value(), 64u);
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  // Stats pass-throughs are charged too: metric reads are not free.
+  EXPECT_EQ(remote.TotalStoredBytes(), 64u);
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  EXPECT_EQ(remote.FileCount(), 1u);
+  EXPECT_EQ(network.MessageCount(), messages + 2);
+  messages = network.MessageCount();
+
+  EXPECT_TRUE(remote.Delete(id).ok());
+  EXPECT_EQ(network.MessageCount(), messages + 2);
 }
 
 }  // namespace

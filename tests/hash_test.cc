@@ -202,6 +202,16 @@ TEST(MerkleTreeTest, DeserializeRejectsTruncation) {
   EXPECT_FALSE(MerkleTree::Deserialize(data).ok());
 }
 
+TEST(MerkleTreeTest, DeserializeRejectsFlippedDigestByte) {
+  // Digest bytes are opaque to the parser; only the CRC trailer can catch
+  // damage inside them.
+  auto tree = MerkleTree::Build(MakeLeaves(4)).value();
+  Bytes data = tree.Serialize();
+  data[data.size() / 2] ^= 0x01;
+  EXPECT_EQ(MerkleTree::Deserialize(data).status().code(),
+            StatusCode::kCorruption);
+}
+
 /// Property: for any leaf count and changed subset, the diff finds exactly
 /// the changed leaves and never needs more comparisons than a naive scan of
 /// all padded nodes.

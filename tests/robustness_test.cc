@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "compress/codec.h"
 #include "compress/huffman.h"
+#include "docstore/document_store.h"
+#include "filestore/file_store.h"
 #include "hash/merkle_tree.h"
 #include "json/json.h"
 #include "tensor/tensor.h"
@@ -117,6 +124,58 @@ TEST_P(FuzzSeeds, TensorRoundtripWithBitFlipsNeverMisreports) {
       EXPECT_EQ(result->numel(), tensor.numel());
     }
   }
+}
+
+TEST_P(FuzzSeeds, PersistentStoresSurviveGarbageOnDisk) {
+  Rng rng(GetParam());
+  const std::string root = ::testing::TempDir() + "/robust-store-" +
+                           std::to_string(GetParam());
+  std::filesystem::remove_all(root);
+  auto files = filestore::LocalDirFileStore::Open(root + "/files").value();
+  auto docs =
+      docstore::PersistentDocumentStore::Open(root + "/docs").value();
+
+  const Bytes payload = RandomBytes(300, &rng);
+  const std::string file_id = files->SaveFile(payload).value();
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("seed", static_cast<int64_t>(GetParam()));
+  const std::string doc_id = docs->Insert("models", doc).value();
+
+  // Litter both roots with garbage that collides with the stores' naming
+  // conventions: raw bytes posing as entries, temporaries, foreign files.
+  for (int i = 0; i < 10; ++i) {
+    const Bytes garbage = RandomBytes(1 + rng.NextBelow(200), &rng);
+    const std::string tag = std::to_string(i);
+    for (const std::string& path :
+         {root + "/files/garbage" + tag + ".bin",
+          root + "/files/partial" + tag + ".bin.tmp",
+          root + "/docs/models/garbage" + tag + ".json",
+          root + "/docs/models/stray" + tag + ".txt"}) {
+      std::ofstream out(path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(garbage.data()),
+                static_cast<std::streamsize>(garbage.size()));
+    }
+  }
+
+  // Genuine data still loads intact.
+  EXPECT_EQ(files->LoadFile(file_id).value(), payload);
+  EXPECT_TRUE(docs->Get("models", doc_id).ok());
+
+  // Every API over the polluted stores returns value-or-error, never
+  // crashes: garbage .json "documents" fail to parse, garbage .bin
+  // "files" load as opaque bytes, listings and accounting complete.
+  const std::vector<std::string> listed = docs->ListIds("models").value();
+  for (const std::string& id : listed) {
+    auto result = docs->Get("models", id);
+    (void)result;
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto loaded = files->LoadFile("garbage" + std::to_string(i));
+    (void)loaded;
+  }
+  EXPECT_GE(files->TotalStoredBytes(), payload.size());
+  EXPECT_GE(docs->DocumentCount(), 1u);
+  std::filesystem::remove_all(root);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "simnet/network.h"
 
 namespace mmlib::simnet {
@@ -45,6 +48,114 @@ TEST(NetworkTest, InfiniBandIsSubMillisecondForModelSizedPayloads) {
   const double seconds = network.Transfer(240ull << 20);
   EXPECT_LT(seconds, 0.05);
   EXPECT_GT(seconds, 0.01);
+}
+
+TEST(FaultPlanTest, InactiveWithoutProbabilities) {
+  EXPECT_FALSE(FaultPlan{}.active());
+  FaultPlan plan;
+  plan.drop_probability = 0.1;
+  EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultPlanTest, TryTransferMatchesTransferWithoutPlan) {
+  Network network(Link{1000.0, 0.5});
+  const TransferAttempt attempt = network.TryTransfer(500);
+  EXPECT_TRUE(attempt.status.ok());
+  EXPECT_FALSE(attempt.corrupted);
+  EXPECT_DOUBLE_EQ(attempt.seconds, 1.0);
+  EXPECT_EQ(network.TotalBytes(), 500u);
+  EXPECT_EQ(network.FaultCount(), 0u);
+}
+
+TEST(FaultPlanTest, CertainDropIsUnavailableAndChargesLatencyOnly) {
+  Network network(Link{1000.0, 0.5});
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  network.set_fault_plan(plan);
+
+  const TransferAttempt attempt = network.TryTransfer(500);
+  EXPECT_EQ(attempt.status.code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(attempt.seconds, 0.5);  // latency, no payload time
+  EXPECT_EQ(network.DropCount(), 1u);
+  // A dropped message moved no bytes but counts as an attempt.
+  EXPECT_EQ(network.TotalBytes(), 0u);
+  EXPECT_EQ(network.MessageCount(), 1u);
+}
+
+TEST(FaultPlanTest, CertainTimeoutChargesTimeoutSeconds) {
+  Network network(Link{1000.0, 0.5});
+  FaultPlan plan;
+  plan.timeout_probability = 1.0;
+  plan.timeout_seconds = 2.5;
+  network.set_fault_plan(plan);
+
+  const TransferAttempt attempt = network.TryTransfer(500);
+  EXPECT_EQ(attempt.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(attempt.seconds, 2.5);
+  EXPECT_EQ(network.TimeoutCount(), 1u);
+  EXPECT_DOUBLE_EQ(network.TotalTransferSeconds(), 2.5);
+}
+
+TEST(FaultPlanTest, CertainCorruptionDeliversDamagedPayload) {
+  Network network(Link{1000.0, 0.5});
+  FaultPlan plan;
+  plan.corrupt_probability = 1.0;
+  network.set_fault_plan(plan);
+
+  const TransferAttempt attempt = network.TryTransfer(500);
+  EXPECT_TRUE(attempt.status.ok());
+  EXPECT_TRUE(attempt.corrupted);
+  EXPECT_DOUBLE_EQ(attempt.seconds, 1.0);  // full transfer time charged
+  EXPECT_EQ(network.CorruptionCount(), 1u);
+  EXPECT_EQ(network.TotalBytes(), 500u);
+
+  // CorruptPayload flips exactly one byte.
+  const Bytes original(64, 0xAB);
+  Bytes damaged = original;
+  network.CorruptPayload(&damaged);
+  size_t diffs = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    diffs += original[i] != damaged[i] ? 1 : 0;
+  }
+  EXPECT_EQ(diffs, 1u);
+}
+
+TEST(FaultPlanTest, FaultSequenceIsSeedDeterministic) {
+  FaultPlan plan;
+  plan.drop_probability = 0.2;
+  plan.timeout_probability = 0.1;
+  plan.corrupt_probability = 0.1;
+  plan.seed = 77;
+
+  auto run = [&plan]() {
+    Network network;
+    network.set_fault_plan(plan);
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 200; ++i) {
+      codes.push_back(network.TryTransfer(1000).status.code());
+    }
+    return std::make_pair(codes, network.FaultCount());
+  };
+  const auto [codes_a, faults_a] = run();
+  const auto [codes_b, faults_b] = run();
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_EQ(faults_a, faults_b);
+  // With these rates, 200 messages see some but not only faults.
+  EXPECT_GT(faults_a, 0u);
+  EXPECT_LT(faults_a, 200u);
+}
+
+TEST(FaultPlanTest, SetFaultPlanReseedsAndClearsCounters) {
+  Network network;
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  network.set_fault_plan(plan);
+  network.TryTransfer(100);
+  EXPECT_EQ(network.DropCount(), 1u);
+
+  network.set_fault_plan(FaultPlan{});
+  EXPECT_EQ(network.DropCount(), 0u);
+  EXPECT_TRUE(network.TryTransfer(100).status.ok());
 }
 
 }  // namespace

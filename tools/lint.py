@@ -24,6 +24,12 @@ about (see DESIGN.md "Correctness tooling"):
                      deterministic-chunking contract of util::ThreadPool
                      (DESIGN.md "Threading model") and make results depend on
                      scheduling. Use ThreadPool::ParallelFor.
+  no-unchecked-remote  bare `.value()` chained onto a store operation is
+                     forbidden in src/dist/ -- distributed flows run against
+                     remote stores whose calls can fail with Unavailable /
+                     DeadlineExceeded even after retries (DESIGN.md "Fault
+                     model and retry semantics"). Propagate the error with
+                     MMLIB_ASSIGN_OR_RETURN instead of crashing on it.
 
 Usage:
   python3 tools/lint.py            # lint the whole repo, exit non-zero on findings
@@ -66,6 +72,11 @@ RAW_THREAD_RE = re.compile(
     r"(?<![\w:])std::(?:thread(?!::hardware_concurrency)|jthread|async)\b"
     r"|#\s*include\s*<future>")
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+# A store operation with `.value()` chained straight onto the call. The
+# argument list is matched across one nesting level of parentheses.
+UNCHECKED_REMOTE_RE = re.compile(
+    r"(?:SaveFile|LoadFile|Delete|FileSize|FileCount|Insert|Get|ListIds|"
+    r"FindByField)\s*\((?:[^()]|\([^()]*\))*\)\s*\.\s*value\s*\(")
 IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 NODISCARD_CLASS_RE = {
@@ -162,6 +173,21 @@ def check_raw_thread(relpath, text, findings):
                         "deterministic ParallelFor, not raw std::thread/"
                         "std::async; ad-hoc threads break the bit-identical-"
                         "across-thread-counts contract"))
+
+
+@rule("no-unchecked-remote",
+      "bare .value() on a store operation in src/dist/")
+def check_unchecked_remote(relpath, text, findings):
+    rel = relpath.as_posix()
+    if not rel.startswith("src/dist/"):
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        if UNCHECKED_REMOTE_RE.search(strip_noncode(line)):
+            findings.append(
+                Finding(rel, i, "no-unchecked-remote",
+                        "remote store calls can fail with Unavailable/"
+                        "DeadlineExceeded even after retries; propagate with "
+                        "MMLIB_ASSIGN_OR_RETURN instead of .value()"))
 
 
 @rule("nodiscard-result", "Result/Status must be declared [[nodiscard]]")
