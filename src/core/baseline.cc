@@ -17,7 +17,7 @@ Result<SaveResult> BaselineSaveService::SaveModel(const SaveRequest& request) {
   doc.Set("params_file", params_file);
   MMLIB_ASSIGN_OR_RETURN(std::string model_id,
                          txn.Insert(kModelsCollection, std::move(doc)));
-  txn.Commit();
+  MMLIB_RETURN_IF_ERROR(txn.Commit());
 
   SaveResult result;
   result.model_id = model_id;

@@ -51,7 +51,7 @@ Result<SaveResult> ParamUpdateSaveService::SaveModel(
 
   MMLIB_ASSIGN_OR_RETURN(std::string model_id,
                          txn.Insert(kModelsCollection, std::move(doc)));
-  txn.Commit();
+  MMLIB_RETURN_IF_ERROR(txn.Commit());
   SaveResult result;
   result.model_id = model_id;
   result.tts_seconds = meter.ElapsedSeconds();

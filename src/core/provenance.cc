@@ -58,7 +58,7 @@ Result<SaveResult> ProvenanceSaveService::SaveModel(
 
   MMLIB_ASSIGN_OR_RETURN(std::string model_id,
                          txn.Insert(kModelsCollection, std::move(doc)));
-  txn.Commit();
+  MMLIB_RETURN_IF_ERROR(txn.Commit());
   SaveResult result;
   result.model_id = model_id;
   result.tts_seconds = meter.ElapsedSeconds();

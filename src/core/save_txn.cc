@@ -1,9 +1,18 @@
 #include "core/save_txn.h"
 
+#include "util/crash_point.h"
+#include "util/journal.h"
+
 namespace mmlib::core {
 
 SaveTransaction::~SaveTransaction() {
   if (committed_) {
+    return;
+  }
+  if (util::CrashPoint::crash_in_progress()) {
+    // Simulated kill unwinding through us: a dead process cannot clean up.
+    // The journal record (write-ahead mode) is what recovery replays on the
+    // next open; without a journal the orphans are the point of the test.
     return;
   }
   // Best effort, newest first: a failure to undo one write (e.g. the link
@@ -17,9 +26,35 @@ SaveTransaction::~SaveTransaction() {
     const Status status = backends_.files->Delete(*it);
     (void)status;
   }
+  if (journaled() && !txn_id_.empty()) {
+    // Everything is undone in-process; the record has nothing left to say.
+    const Status status = backends_.journal->Close(txn_id_);
+    (void)status;
+  }
+}
+
+Status SaveTransaction::EnsureBegun() {
+  if (!txn_id_.empty()) {
+    return Status::OK();
+  }
+  MMLIB_ASSIGN_OR_RETURN(txn_id_, backends_.journal->Begin());
+  return Status::OK();
 }
 
 Result<std::string> SaveTransaction::SaveFile(const Bytes& content) {
+  if (journaled()) {
+    MMLIB_RETURN_IF_ERROR(EnsureBegun());
+    MMLIB_ASSIGN_OR_RETURN(std::string id, backends_.files->AllocateFileId());
+    // Intent first, write second: a crash between the two leaves a
+    // journaled id with no file, which replay tolerates (NotFound).
+    MMLIB_RETURN_IF_ERROR(backends_.journal->AppendOp(
+        txn_id_, {util::kJournalFileStore, "", id}));
+    MMLIB_CRASH_POINT("savetxn.file.journaled");
+    MMLIB_RETURN_IF_ERROR(backends_.files->WriteAllocated(id, content));
+    MMLIB_CRASH_POINT("savetxn.file.written");
+    file_ids_.push_back(id);
+    return id;
+  }
   MMLIB_ASSIGN_OR_RETURN(std::string id, backends_.files->SaveFile(content));
   file_ids_.push_back(id);
   return id;
@@ -27,10 +62,35 @@ Result<std::string> SaveTransaction::SaveFile(const Bytes& content) {
 
 Result<std::string> SaveTransaction::Insert(const std::string& collection,
                                             json::Value doc) {
+  if (journaled()) {
+    MMLIB_RETURN_IF_ERROR(EnsureBegun());
+    MMLIB_ASSIGN_OR_RETURN(std::string id,
+                           backends_.docs->AllocateDocId(collection));
+    MMLIB_RETURN_IF_ERROR(backends_.journal->AppendOp(
+        txn_id_, {util::kJournalDocStore, collection, id}));
+    MMLIB_CRASH_POINT("savetxn.doc.journaled");
+    MMLIB_RETURN_IF_ERROR(
+        backends_.docs->InsertWithId(collection, id, std::move(doc)));
+    MMLIB_CRASH_POINT("savetxn.doc.written");
+    doc_ids_.emplace_back(collection, id);
+    return id;
+  }
   MMLIB_ASSIGN_OR_RETURN(std::string id,
                          backends_.docs->Insert(collection, std::move(doc)));
   doc_ids_.emplace_back(collection, id);
   return id;
+}
+
+Status SaveTransaction::Commit() {
+  if (journaled() && !txn_id_.empty()) {
+    // MarkCommitted is the atomic point: before it, recovery rolls the save
+    // back; at or after it, recovery keeps the save and only GCs the record.
+    MMLIB_RETURN_IF_ERROR(backends_.journal->MarkCommitted(txn_id_));
+    MMLIB_CRASH_POINT("savetxn.commit.marked");
+    MMLIB_RETURN_IF_ERROR(backends_.journal->Close(txn_id_));
+  }
+  committed_ = true;
+  return Status::OK();
 }
 
 }  // namespace mmlib::core

@@ -19,6 +19,16 @@ namespace mmlib::core {
 /// SaveTransaction: on destruction without Commit() the recorded writes
 /// are deleted again in reverse order (best effort), so an aborted save
 /// leaves the stores as it found them.
+///
+/// With a journal in the backends the transaction is additionally
+/// crash-consistent (write-ahead mode): each write's id is allocated first
+/// and appended to a durable journal record *before* the write happens, and
+/// Commit() durably marks the record complete. A process killed anywhere in
+/// between leaves only writes the journal knows about, which the persistent
+/// stores undo (or, past the commit mark, keep) on reopen — see
+/// util/journal.h. In-process rollback still applies to ordinary failures;
+/// only a simulated crash (util::CrashPoint::crash_in_progress) skips it,
+/// because a killed process would not have run it either.
 class SaveTransaction {
  public:
   explicit SaveTransaction(const StorageBackends& backends)
@@ -34,8 +44,10 @@ class SaveTransaction {
   /// Inserts `doc` into `collection` and records the id for rollback.
   Result<std::string> Insert(const std::string& collection, json::Value doc);
 
-  /// Keeps every recorded write; rollback is disarmed.
-  void Commit() { committed_ = true; }
+  /// Keeps every recorded write; rollback is disarmed. In write-ahead mode
+  /// this durably marks the journal record committed (the atomic point of
+  /// the save) and then retires it.
+  [[nodiscard]] Status Commit();
 
   /// Writes recorded so far and still subject to rollback.
   size_t pending_writes() const {
@@ -43,10 +55,14 @@ class SaveTransaction {
   }
 
  private:
+  bool journaled() const { return backends_.journal != nullptr; }
+  Status EnsureBegun();
+
   StorageBackends backends_;
   std::vector<std::string> file_ids_;
   // (collection, id) pairs, in insertion order.
   std::vector<std::pair<std::string, std::string>> doc_ids_;
+  std::string txn_id_;  // journal record id; empty until the first write
   bool committed_ = false;
 };
 

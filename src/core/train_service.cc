@@ -2,6 +2,7 @@
 
 #include "nn/loss.h"
 #include "util/clock.h"
+#include "util/crash_point.h"
 
 namespace mmlib::core {
 
@@ -146,6 +147,56 @@ Result<std::unique_ptr<ImageTrainService>> ImageTrainService::FromProvenance(
 Result<nn::PhaseTimes> ImageTrainService::Train(nn::Model* model,
                                                 bool deterministic,
                                                 uint64_t scheduler_seed) {
+  return RunTraining(model, deterministic, scheduler_seed, nullptr);
+}
+
+Result<nn::PhaseTimes> ImageTrainService::Resume(nn::Model* model) {
+  if (checkpoints_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Resume requires set_checkpoints to have been called");
+  }
+  TrainCheckpoint checkpoint;
+  MMLIB_ASSIGN_OR_RETURN(bool found,
+                         checkpoints_->LoadLatest(checkpoint_run_id_,
+                                                  &checkpoint));
+  if (!found) {
+    resumed_from_step_ = 0;
+    return RunTraining(model, /*deterministic=*/true, /*scheduler_seed=*/0,
+                       nullptr);
+  }
+  resumed_from_step_ = checkpoint.step;
+  return RunTraining(model, /*deterministic=*/true, /*scheduler_seed=*/0,
+                     &checkpoint);
+}
+
+Status ImageTrainService::WriteCheckpoint(nn::Model* model, const Rng& rng,
+                                          int64_t step, int64_t epoch,
+                                          int64_t next_batch) {
+  TrainCheckpoint checkpoint;
+  checkpoint.run_id = checkpoint_run_id_;
+  checkpoint.step = step;
+  checkpoint.epoch = epoch;
+  checkpoint.next_batch = next_batch;
+  checkpoint.model_params = model->SerializeParams();
+  checkpoint.optimizer_state = optimizer_->SerializeState();
+  checkpoint.rng = rng.SaveState();
+  checkpoint.last_loss = last_loss_;
+  return checkpoints_->Write(checkpoint).status();
+}
+
+Result<nn::PhaseTimes> ImageTrainService::RunTraining(
+    nn::Model* model, bool deterministic, uint64_t scheduler_seed,
+    const TrainCheckpoint* resume_from) {
+  if (resume_from != nullptr) {
+    // Rewind to the checkpointed state: parameters first, then force the
+    // optimizer to rebuild against them and load the checkpointed
+    // momentum/moments (which carry the scheduled learning rate).
+    MMLIB_RETURN_IF_ERROR(model->LoadParams(resume_from->model_params));
+    pending_optimizer_state_ = resume_from->optimizer_state;
+    optimizer_ = nullptr;
+    bound_model_ = nullptr;
+    last_loss_ = resume_from->last_loss;
+  }
   if (optimizer_ == nullptr || bound_model_ != model) {
     if (config_.optimizer == OptimizerKind::kAdam) {
       optimizer_ = std::make_unique<nn::AdamOptimizer>(model, config_.adam);
@@ -169,6 +220,12 @@ Result<nn::PhaseTimes> ImageTrainService::Train(nn::Model* model,
   if (pool_ != nullptr) {
     ctx.set_pool(pool_);
   }
+  if (resume_from != nullptr) {
+    // Continue the intentional-randomness stream exactly where the
+    // checkpoint left it — dropout masks of the remaining steps come out
+    // bit-identical to the uninterrupted run's.
+    ctx.rng()->RestoreState(resume_from->rng);
+  }
 
   // Audited deterministic runs record per-layer digests; replaying the same
   // provenance must reproduce the reference trace bit for bit (Fig. 13).
@@ -189,16 +246,37 @@ Result<nn::PhaseTimes> ImageTrainService::Train(nn::Model* model,
     return status;
   };
 
+  // Checkpointing applies only to deterministic runs: a non-deterministic
+  // run cannot be continued bit-identically, so a checkpoint of it would
+  // promise recovery it cannot deliver.
+  const bool checkpointing = checkpoints_ != nullptr && deterministic;
+  const int64_t checkpoint_interval =
+      checkpointing ? checkpoints_->every_steps() : 0;
+  int64_t step = resume_from != nullptr ? resume_from->step : 0;
+  const int64_t start_epoch = resume_from != nullptr ? resume_from->epoch : 0;
+  const int64_t start_batch =
+      resume_from != nullptr ? resume_from->next_batch : 0;
+
   auto run_epochs = [&]() -> Status {
     data::DataLoader loader(dataset_, config_.loader);
-    for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (checkpointing && resume_from == nullptr) {
+      // Step-0 checkpoint: even a crash before the first periodic
+      // checkpoint loses no more than the in-flight steps.
+      MMLIB_RETURN_IF_ERROR(WriteCheckpoint(model, *ctx.rng(), 0, 0, 0));
+    }
+    for (int64_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
       loader.StartEpoch(static_cast<uint64_t>(epoch));
       size_t batches = loader.BatchesPerEpoch();
       if (config_.max_batches_per_epoch >= 0) {
         batches = std::min(
             batches, static_cast<size_t>(config_.max_batches_per_epoch));
       }
-      for (size_t b = 0; b < batches; ++b) {
+      const size_t first_batch =
+          epoch == start_epoch ? static_cast<size_t>(start_batch) : 0;
+      for (size_t b = first_batch; b < batches; ++b) {
+        // At the top of the step: an armed crash at hit N kills the run
+        // with exactly N-1 completed optimizer steps.
+        MMLIB_CRASH_POINT("train.step");
         Stopwatch load_timer;
         MMLIB_ASSIGN_OR_RETURN(data::Batch batch, loader.GetBatch(b));
         ctx.times()->data_load_seconds += load_timer.ElapsedSeconds();
@@ -217,6 +295,16 @@ Result<nn::PhaseTimes> ImageTrainService::Train(nn::Model* model,
             model->Backward(loss.grad_logits, &ctx).status());
         optimizer_->Step();
         ctx.times()->backward_seconds += backward_timer.ElapsedSeconds();
+        ++step;
+        if (checkpoint_interval > 0 && step % checkpoint_interval == 0) {
+          // Checkpoints land at exactly the K-multiples, whether or not
+          // the run was resumed mid-stream — so the number and order of
+          // persisted artifacts (and thus allocated storage ids) is
+          // invariant under crash + resume.
+          MMLIB_RETURN_IF_ERROR(WriteCheckpoint(model, *ctx.rng(), step,
+                                                epoch,
+                                                static_cast<int64_t>(b) + 1));
+        }
       }
       // Step learning-rate schedule (part of the training logic; replayed
       // deterministically on provenance recovery).

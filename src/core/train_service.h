@@ -5,6 +5,7 @@
 #include <string>
 
 #include "check/determinism_auditor.h"
+#include "core/checkpoint.h"
 #include "data/archive.h"
 #include "data/dataloader.h"
 #include "data/dataset.h"
@@ -100,6 +101,14 @@ class ImageTrainService : public TrainService {
   Result<nn::PhaseTimes> Train(nn::Model* model, bool deterministic,
                                uint64_t scheduler_seed) override;
 
+  /// Continues an interrupted deterministic Train of `run_id` (see
+  /// set_checkpoints) from its latest checkpoint: restores the model
+  /// parameters, optimizer state (including the scheduled learning rate),
+  /// RNG cursor, and data-loader position, then trains the remaining steps.
+  /// The final state dict is bit-identical to the uninterrupted run, at any
+  /// pool size. Falls back to a full Train when the run has no checkpoint.
+  Result<nn::PhaseTimes> Resume(nn::Model* model);
+
   Result<ProvenanceData> CaptureProvenance() override;
 
   const TrainConfig& config() const { return config_; }
@@ -124,7 +133,38 @@ class ImageTrainService : public TrainService {
   /// pool size. The pool must outlive the service's Train calls.
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
+  /// Attaches checkpointing: every subsequent *deterministic* Train call
+  /// writes a checkpoint under `run_id` at step 0 and then every
+  /// `manager->every_steps()` optimizer steps, and Resume() restarts from
+  /// the run's latest checkpoint. Pass nullptr to detach. The manager must
+  /// outlive the service's Train/Resume calls. Crash site "train.step"
+  /// fires at the top of every optimizer step.
+  void set_checkpoints(CheckpointManager* manager, std::string run_id) {
+    checkpoints_ = manager;
+    checkpoint_run_id_ = std::move(run_id);
+  }
+
+  /// Step the most recent Resume() continued from (0 when it fell back to a
+  /// full Train); `completed steps before the crash - resumed_from_step()`
+  /// is the work the crash destroyed.
+  int64_t resumed_from_step() const { return resumed_from_step_; }
+
+  /// Serialized state of the current optimizer; the pending (restored but
+  /// not yet applied) state before the first Train, empty when neither
+  /// exists. Lets tests compare optimizer state across runs byte for byte.
+  Bytes SerializedOptimizerState() const {
+    if (optimizer_ != nullptr) {
+      return optimizer_->SerializeState();
+    }
+    return pending_optimizer_state_;
+  }
+
  private:
+  Result<nn::PhaseTimes> RunTraining(nn::Model* model, bool deterministic,
+                                     uint64_t scheduler_seed,
+                                     const TrainCheckpoint* resume_from);
+  Status WriteCheckpoint(nn::Model* model, const Rng& rng, int64_t step,
+                         int64_t epoch, int64_t next_batch);
   std::unique_ptr<data::Dataset> owned_dataset_;
   const data::Dataset* dataset_;
   TrainConfig config_;
@@ -134,6 +174,9 @@ class ImageTrainService : public TrainService {
   float last_loss_ = 0.0f;
   check::DeterminismAuditor* auditor_ = nullptr;
   util::ThreadPool* pool_ = nullptr;
+  CheckpointManager* checkpoints_ = nullptr;
+  std::string checkpoint_run_id_;
+  int64_t resumed_from_step_ = 0;
 };
 
 /// Restores any registered TrainService implementation from its provenance

@@ -36,6 +36,11 @@ struct StorageBackends {
   /// Pool for parallel payload encoding/decoding and Merkle-leaf hashing;
   /// the process-wide pool when null.
   util::ThreadPool* pool = nullptr;
+  /// Write-ahead save journal. When set, SaveTransaction logs every write
+  /// intent durably before writing, and the persistent stores roll
+  /// half-finished saves back on reopen (crash consistency). Null keeps the
+  /// in-process-rollback-only behavior (fine for in-memory stores).
+  util::SaveJournal* journal = nullptr;
 
   size_t TotalStoredBytes() const {
     return docs->TotalStoredBytes() + files->TotalStoredBytes();

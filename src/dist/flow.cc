@@ -8,6 +8,7 @@
 #include "core/param_update.h"
 #include "core/provenance.h"
 #include "env/environment.h"
+#include "util/crash_point.h"
 
 namespace mmlib::dist {
 
@@ -117,6 +118,38 @@ int64_t FlowResult::TotalStorage() const {
   return total;
 }
 
+uint64_t FlowResult::TotalCrashes() const {
+  uint64_t total = 0;
+  for (const NodeCounters& counters : node_counters) {
+    total += counters.crashes;
+  }
+  return total;
+}
+
+uint64_t FlowResult::TotalRestarts() const {
+  uint64_t total = 0;
+  for (const NodeCounters& counters : node_counters) {
+    total += counters.restarts;
+  }
+  return total;
+}
+
+uint64_t FlowResult::TotalRetries() const {
+  uint64_t total = 0;
+  for (const NodeCounters& counters : node_counters) {
+    total += counters.retries;
+  }
+  return total;
+}
+
+uint64_t FlowResult::TotalRetrainedSteps() const {
+  uint64_t total = 0;
+  for (const NodeCounters& counters : node_counters) {
+    total += counters.retrained_steps;
+  }
+  return total;
+}
+
 EvaluationFlow::EvaluationFlow(FlowConfig config,
                                core::StorageBackends backends)
     : config_(std::move(config)), backends_(backends) {}
@@ -193,6 +226,24 @@ Result<FlowResult> EvaluationFlow::Run() {
         "checksums; disable recovery or verification, or use real training");
   }
 
+  if (!config_.crash_schedule.empty()) {
+    if (config_.training_mode != TrainingMode::kReal) {
+      return Status::InvalidArgument(
+          "crash_schedule requires TrainingMode::kReal");
+    }
+    if (config_.checkpoint_every_steps < 1) {
+      return Status::InvalidArgument(
+          "crash_schedule requires checkpoint_every_steps >= 1");
+    }
+    for (const NodeCrashEvent& event : config_.crash_schedule) {
+      if (event.node < 0 || event.node >= config_.num_nodes ||
+          event.phase < 1 || event.phase > 2 || event.iteration < 1 ||
+          event.iteration > config_.u3_iterations || event.at_step < 1) {
+        return Status::InvalidArgument("crash event out of range");
+      }
+    }
+  }
+
   MMLIB_ASSIGN_OR_RETURN(std::unique_ptr<core::SaveService> service,
                          MakeService());
   const env::EnvironmentInfo environment = env::CollectEnvironment();
@@ -219,6 +270,34 @@ Result<FlowResult> EvaluationFlow::Run() {
   base_train.loader.num_classes = config_.model.num_classes;
 
   FlowResult result;
+  result.node_counters.assign(static_cast<size_t>(config_.num_nodes),
+                              FlowResult::NodeCounters{});
+  if (backends_.network != nullptr) {
+    backends_.network->ConfigureNodes(
+        static_cast<size_t>(config_.num_nodes));
+  }
+  std::unique_ptr<core::CheckpointManager> checkpoints;
+  if (config_.checkpoint_every_steps > 0) {
+    core::CheckpointOptions checkpoint_options;
+    checkpoint_options.every_steps = config_.checkpoint_every_steps;
+    checkpoints = std::make_unique<core::CheckpointManager>(
+        backends_, checkpoint_options);
+  }
+  // Retries are attributed to a node by differencing the remote stores'
+  // cumulative retry counters around its iteration.
+  auto storage_retries = [&]() -> uint64_t {
+    uint64_t total = 0;
+    if (auto* files =
+            dynamic_cast<filestore::RemoteFileStore*>(backends_.files)) {
+      total += files->retry_count();
+    }
+    if (auto* docs =
+            dynamic_cast<docstore::RemoteDocumentStore*>(backends_.docs)) {
+      total += docs->retry_count();
+    }
+    return total;
+  };
+
   auto record_save = [&](const std::string& label, int node,
                          const core::SaveResult& save) {
     UseCaseRecord record;
@@ -247,6 +326,7 @@ Result<FlowResult> EvaluationFlow::Run() {
     nn::Model model{""};
     std::unique_ptr<core::ImageTrainService> service;
     std::string base_id;
+    core::TrainConfig train;
   };
   std::vector<NodeState> nodes(config_.num_nodes);
   for (int n = 0; n < config_.num_nodes; ++n) {
@@ -262,17 +342,79 @@ Result<FlowResult> EvaluationFlow::Run() {
       core::TrainConfig node_train = base_train;
       node_train.seed = base_train.seed + 7919ULL * (n + 1) + 101ULL * phase;
       node_train.loader.seed = node_train.seed;
+      nodes[n].train = node_train;
       nodes[n].service = std::make_unique<core::ImageTrainService>(
           &u3_dataset, node_train);
     }
     for (int iter = 1; iter <= config_.u3_iterations; ++iter) {
       for (int n = 0; n < config_.num_nodes; ++n) {
         NodeState& node = nodes[n];
+        const uint64_t retries_before = storage_retries();
+        const std::string run_id = "ckpt-p" + std::to_string(phase) + "-i" +
+                                   std::to_string(iter) + "-n" +
+                                   std::to_string(n);
+        if (checkpoints != nullptr) {
+          node.service->set_checkpoints(checkpoints.get(), run_id);
+        }
+        const NodeCrashEvent* event = nullptr;
+        for (const NodeCrashEvent& candidate : config_.crash_schedule) {
+          if (candidate.phase == phase && candidate.iteration == iter &&
+              candidate.node == n) {
+            event = &candidate;
+            break;
+          }
+        }
         core::ProvenanceData provenance;
         const uint64_t update_seed =
             0xdead0000ULL + phase * 1000003ULL + iter * 7919ULL + n;
-        MMLIB_RETURN_IF_ERROR(UpdateModel(&node.model, node.service.get(),
-                                          update_seed, &provenance));
+        bool crashed = false;
+        if (event == nullptr) {
+          MMLIB_RETURN_IF_ERROR(UpdateModel(&node.model, node.service.get(),
+                                            update_seed, &provenance));
+        } else {
+          util::CrashPoint::Arm("train.step",
+                                static_cast<uint64_t>(event->at_step));
+          try {
+            MMLIB_RETURN_IF_ERROR(UpdateModel(&node.model,
+                                              node.service.get(),
+                                              update_seed, &provenance));
+          } catch (const util::CrashException&) {
+            crashed = true;
+          }
+          if (!crashed) {
+            // The update finished before step at_step was reached (short
+            // runs); the node survives.
+            util::CrashPoint::Disarm();
+          }
+        }
+        if (crashed) {
+          util::CrashPoint::ResetAfterCrash();
+          FlowResult::NodeCounters& counters = result.node_counters[n];
+          ++counters.crashes;
+          if (backends_.network != nullptr) {
+            MMLIB_RETURN_IF_ERROR(backends_.network->CrashNode(n));
+            MMLIB_RETURN_IF_ERROR(backends_.network->RestartNode(n));
+          }
+          ++counters.restarts;
+          // The restarted node lost all in-memory state: recover the last
+          // durably saved base model, rebuild the train service from
+          // configuration, and continue the interrupted update from its
+          // latest checkpoint. The provenance captured before the update
+          // still describes it — Resume lands bit-identically on the
+          // uninterrupted result.
+          core::ModelRecoverer recoverer(backends_);
+          MMLIB_ASSIGN_OR_RETURN(
+              core::RecoveredModel recovered,
+              recoverer.Recover(node.base_id, config_.recover_options));
+          node.model = std::move(recovered.model);
+          MMLIB_RETURN_IF_ERROR(ApplyRelation(&node.model));
+          node.service = std::make_unique<core::ImageTrainService>(
+              &u3_dataset, node.train);
+          node.service->set_checkpoints(checkpoints.get(), run_id);
+          MMLIB_RETURN_IF_ERROR(node.service->Resume(&node.model).status());
+          counters.retrained_steps += static_cast<uint64_t>(
+              (event->at_step - 1) - node.service->resumed_from_step());
+        }
         core::SaveRequest request;
         request.model = &node.model;
         request.code = code;
@@ -285,6 +427,11 @@ Result<FlowResult> EvaluationFlow::Run() {
         record_save("U3-" + std::to_string(phase) + "-" +
                         std::to_string(iter),
                     n, save);
+        if (checkpoints != nullptr) {
+          // The durable save supersedes the iteration's checkpoints.
+          MMLIB_RETURN_IF_ERROR(checkpoints->DeleteRun(run_id));
+        }
+        result.node_counters[n].retries += storage_retries() - retries_before;
       }
     }
     return Status::OK();

@@ -44,6 +44,19 @@ enum class TrainingMode {
   kSimulated,
 };
 
+/// One scheduled node failure: kill `node` during its `iteration`-th U3
+/// update of `phase`, at the top of optimizer step `at_step` (1-based), so
+/// exactly `at_step - 1` steps complete before the kill. The flow then
+/// restarts the node, recovers its last durably saved base model, and
+/// Resume()s the interrupted update from its latest checkpoint — landing
+/// bit-identically on the uninterrupted result.
+struct NodeCrashEvent {
+  int phase = 1;
+  int iteration = 1;
+  int node = 0;
+  int64_t at_step = 1;
+};
+
 /// Configuration of one evaluation flow (paper Sections 4.1 and 4.6).
 struct FlowConfig {
   ApproachKind approach = ApproachKind::kBaseline;
@@ -83,6 +96,15 @@ struct FlowConfig {
   /// Measure time-to-recover for every saved model (use case U4).
   bool recover_models = true;
   core::RecoverOptions recover_options;
+
+  /// Checkpoint node training every this many optimizer steps (0 disables
+  /// checkpointing). Checkpoints are pruned as they are superseded and the
+  /// run's checkpoints are deleted once its model is durably saved, so the
+  /// flow's storage measurements are unaffected.
+  int64_t checkpoint_every_steps = 0;
+  /// Scheduled node crashes. Requires TrainingMode::kReal (a simulated
+  /// update has no steps to crash in) and checkpoint_every_steps >= 1.
+  std::vector<NodeCrashEvent> crash_schedule;
 };
 
 /// Per-model measurements collected during a flow run.
@@ -102,6 +124,26 @@ struct UseCaseRecord {
 /// Result of one flow run.
 struct FlowResult {
   std::vector<UseCaseRecord> records;
+
+  /// Robustness counters for one node across the whole run.
+  struct NodeCounters {
+    /// Storage-request retries attributed to this node's U3 iterations
+    /// (only counted when the backends are remote stores with a Retrier).
+    uint64_t retries = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+    /// Optimizer steps whose results crashes destroyed and training redid:
+    /// for each crash, (completed steps before the kill) minus (the
+    /// checkpoint step the node resumed from).
+    uint64_t retrained_steps = 0;
+  };
+  /// Indexed by node; sized num_nodes for every run.
+  std::vector<NodeCounters> node_counters;
+
+  uint64_t TotalCrashes() const;
+  uint64_t TotalRestarts() const;
+  uint64_t TotalRetries() const;
+  uint64_t TotalRetrainedSteps() const;
 
   /// All distinct labels in execution order.
   std::vector<std::string> Labels() const;

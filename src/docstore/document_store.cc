@@ -11,6 +11,7 @@
 #include <fstream>
 
 #include "check/validators.h"
+#include "util/crash_point.h"
 #include "util/fs.h"
 #include "util/strings.h"
 
@@ -74,13 +75,25 @@ InMemoryDocumentStore::InMemoryDocumentStore() : id_generator_(0xd0c5) {}
 
 Result<std::string> InMemoryDocumentStore::Insert(
     const std::string& collection, json::Value doc) {
+  MMLIB_ASSIGN_OR_RETURN(std::string id, AllocateDocId(collection));
+  MMLIB_RETURN_IF_ERROR(InsertWithId(collection, id, std::move(doc)));
+  return id;
+}
+
+Result<std::string> InMemoryDocumentStore::AllocateDocId(
+    const std::string& collection) {
+  return id_generator_.Next(collection);
+}
+
+Status InMemoryDocumentStore::InsertWithId(const std::string& collection,
+                                           const std::string& id,
+                                           json::Value doc) {
   if (!doc.is_object()) {
     return Status::InvalidArgument("documents must be JSON objects");
   }
-  const std::string id = id_generator_.Next(collection);
   doc.Set("_id", id);
   collections_[collection][id] = doc.Dump();
-  return id;
+  return Status::OK();
 }
 
 Result<json::Value> InMemoryDocumentStore::Get(const std::string& collection,
@@ -139,14 +152,30 @@ PersistentDocumentStore::PersistentDocumentStore(std::string root)
     : root_(std::move(root)), id_generator_(0xd15c) {}
 
 Result<std::unique_ptr<PersistentDocumentStore>> PersistentDocumentStore::Open(
-    const std::string& root) {
+    const std::string& root, util::SaveJournal* journal) {
   std::error_code ec;
   std::filesystem::create_directories(root, ec);
   if (ec) {
     return Status::IoError("cannot create " + root + ": " + ec.message());
   }
-  return std::unique_ptr<PersistentDocumentStore>(
+  std::unique_ptr<PersistentDocumentStore> store(
       new PersistentDocumentStore(root));
+  // Leftover temporaries are writes that died before their rename; they
+  // were never visible as stored data, discard them.
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root, ec)) {
+    if (EndsWith(entry.path().filename().string(), util::kTmpSuffix)) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+    }
+  }
+  if (journal != nullptr) {
+    MMLIB_RETURN_IF_ERROR(journal->Replay(
+        util::kJournalDocStore, [&store](const util::JournalOp& op) {
+          return store->Delete(op.collection, op.id);
+        }));
+  }
+  return store;
 }
 
 Result<std::string> PersistentDocumentStore::PathFor(
@@ -158,6 +187,28 @@ Result<std::string> PersistentDocumentStore::PathFor(
 
 Result<std::string> PersistentDocumentStore::Insert(
     const std::string& collection, json::Value doc) {
+  MMLIB_ASSIGN_OR_RETURN(std::string id, AllocateDocId(collection));
+  MMLIB_RETURN_IF_ERROR(InsertWithId(collection, id, std::move(doc)));
+  return id;
+}
+
+Result<std::string> PersistentDocumentStore::AllocateDocId(
+    const std::string& collection) {
+  MMLIB_RETURN_IF_ERROR(ValidateDocName(collection, "collection"));
+  std::string id = id_generator_.Next(collection);
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(collection, id));
+  // A reopened store restarts the deterministic id stream at zero; skip
+  // ids whose destination already exists instead of overwriting them.
+  while (std::filesystem::exists(path)) {
+    id = id_generator_.Next(collection);
+    MMLIB_ASSIGN_OR_RETURN(path, PathFor(collection, id));
+  }
+  return id;
+}
+
+Status PersistentDocumentStore::InsertWithId(const std::string& collection,
+                                             const std::string& id,
+                                             json::Value doc) {
   if (!doc.is_object()) {
     return Status::InvalidArgument("documents must be JSON objects");
   }
@@ -167,17 +218,10 @@ Result<std::string> PersistentDocumentStore::Insert(
   if (ec) {
     return Status::IoError("cannot create collection dir: " + ec.message());
   }
-  std::string id = id_generator_.Next(collection);
   MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(collection, id));
-  // A reopened store restarts the deterministic id stream at zero; skip
-  // ids whose destination already exists instead of overwriting them.
-  while (std::filesystem::exists(path)) {
-    id = id_generator_.Next(collection);
-    MMLIB_ASSIGN_OR_RETURN(path, PathFor(collection, id));
-  }
   doc.Set("_id", id);
-  MMLIB_RETURN_IF_ERROR(WriteWholeFile(path, doc.Dump()));
-  return id;
+  MMLIB_CRASH_POINT("docstore.insert");
+  return WriteWholeFile(path, doc.Dump());
 }
 
 Result<json::Value> PersistentDocumentStore::Get(const std::string& collection,
@@ -234,6 +278,42 @@ Result<std::string> RemoteDocumentStore::Insert(const std::string& collection,
     // completed insert is never retried into a duplicate.
     network_->Transfer(id.size());
     return id;
+  });
+}
+
+Result<std::string> RemoteDocumentStore::AllocateDocId(
+    const std::string& collection) {
+  return retrier_.Run([&]() -> Result<std::string> {
+    // A lost request burns an id on the backend's generator; ids are never
+    // reused, so a re-sent allocation is harmless.
+    simnet::TransferAttempt request = network_->TryTransfer(collection.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::string id,
+                           backend_->AllocateDocId(collection));
+    network_->Transfer(id.size());  // reliable acknowledgement with the id
+    return id;
+  });
+}
+
+Status RemoteDocumentStore::InsertWithId(const std::string& collection,
+                                         const std::string& id,
+                                         json::Value doc) {
+  const size_t request_bytes =
+      collection.size() + id.size() + doc.Dump().size();
+  return retrier_.Run([&]() -> Status {
+    // Writing a pre-allocated id is idempotent (same id, same document), so
+    // unlike Insert a retried upload cannot create a duplicate.
+    simnet::TransferAttempt request = network_->TryTransfer(request_bytes);
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("insert rejected: document corrupted in flight");
+    }
+    MMLIB_RETURN_IF_ERROR(backend_->InsertWithId(collection, id, doc));
+    network_->Transfer(kScalarResponseBytes);  // reliable acknowledgement
+    return Status::OK();
   });
 }
 

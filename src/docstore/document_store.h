@@ -9,6 +9,7 @@
 #include "simnet/network.h"
 #include "simnet/retry.h"
 #include "util/id_generator.h"
+#include "util/journal.h"
 #include "util/result.h"
 
 namespace mmlib::docstore {
@@ -25,6 +26,27 @@ class DocumentStore {
   /// is also written into the stored document as member "_id".
   virtual Result<std::string> Insert(const std::string& collection,
                                      json::Value doc) = 0;
+
+  /// Two-phase insert, first half: reserves and returns the id a following
+  /// InsertWithId will store under, without writing anything. Journaled
+  /// saves log the id as a durable intent between the two phases (see
+  /// FileStore::AllocateFileId). Stores without two-phase support report
+  /// Unimplemented and only work on the non-journaled path.
+  virtual Result<std::string> AllocateDocId(const std::string& collection) {
+    (void)collection;
+    return Status::Unimplemented("store does not support two-phase inserts");
+  }
+
+  /// Two-phase insert, second half: stores `doc` under a previously
+  /// allocated id (written into the document as "_id"). Idempotent —
+  /// rewriting the same id is allowed (retries).
+  virtual Status InsertWithId(const std::string& collection,
+                              const std::string& id, json::Value doc) {
+    (void)collection;
+    (void)id;
+    (void)doc;
+    return Status::Unimplemented("store does not support two-phase inserts");
+  }
 
   /// Loads the document with `id`.
   virtual Result<json::Value> Get(const std::string& collection,
@@ -59,6 +81,9 @@ class InMemoryDocumentStore : public DocumentStore {
 
   Result<std::string> Insert(const std::string& collection,
                              json::Value doc) override;
+  Result<std::string> AllocateDocId(const std::string& collection) override;
+  Status InsertWithId(const std::string& collection, const std::string& id,
+                      json::Value doc) override;
   Result<json::Value> Get(const std::string& collection,
                           const std::string& id) override;
   Status Delete(const std::string& collection, const std::string& id) override;
@@ -77,14 +102,20 @@ class InMemoryDocumentStore : public DocumentStore {
 /// `root/<collection>/<id>.json`. Documents survive process restarts.
 /// Writes are crash-safe (tmp + rename; a failed write cleans up its
 /// temporary), and only `*.json` entries count as stored documents.
+/// Opening with a SaveJournal garbage-collects leftover temporaries and
+/// replays pending journal records, undoing document inserts of
+/// half-finished saves (see util/journal.h).
 class PersistentDocumentStore : public DocumentStore {
  public:
   /// Opens (and creates if needed) the store rooted at `root`.
   static Result<std::unique_ptr<PersistentDocumentStore>> Open(
-      const std::string& root);
+      const std::string& root, util::SaveJournal* journal = nullptr);
 
   Result<std::string> Insert(const std::string& collection,
                              json::Value doc) override;
+  Result<std::string> AllocateDocId(const std::string& collection) override;
+  Status InsertWithId(const std::string& collection, const std::string& id,
+                      json::Value doc) override;
   Result<json::Value> Get(const std::string& collection,
                           const std::string& id) override;
   Status Delete(const std::string& collection, const std::string& id) override;
@@ -128,6 +159,9 @@ class RemoteDocumentStore : public DocumentStore {
 
   Result<std::string> Insert(const std::string& collection,
                              json::Value doc) override;
+  Result<std::string> AllocateDocId(const std::string& collection) override;
+  Status InsertWithId(const std::string& collection, const std::string& id,
+                      json::Value doc) override;
   Result<json::Value> Get(const std::string& collection,
                           const std::string& id) override;
   Status Delete(const std::string& collection, const std::string& id) override;

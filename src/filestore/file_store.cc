@@ -4,7 +4,9 @@
 #include <fstream>
 
 #include "check/validators.h"
+#include "util/crash_point.h"
 #include "util/fs.h"
+#include "util/strings.h"
 
 namespace mmlib::filestore {
 
@@ -24,6 +26,16 @@ Result<std::string> InMemoryFileStore::SaveFile(const Bytes& content) {
   const std::string id = id_generator_.Next("file");
   files_[id] = content;
   return id;
+}
+
+Result<std::string> InMemoryFileStore::AllocateFileId() {
+  return id_generator_.Next("file");
+}
+
+Status InMemoryFileStore::WriteAllocated(const std::string& id,
+                                         const Bytes& content) {
+  files_[id] = content;
+  return Status::OK();
 }
 
 Result<Bytes> InMemoryFileStore::LoadFile(const std::string& id) {
@@ -61,13 +73,28 @@ LocalDirFileStore::LocalDirFileStore(std::string root)
     : root_(std::move(root)), id_generator_(0xf17f) {}
 
 Result<std::unique_ptr<LocalDirFileStore>> LocalDirFileStore::Open(
-    const std::string& root) {
+    const std::string& root, util::SaveJournal* journal) {
   std::error_code ec;
   std::filesystem::create_directories(root, ec);
   if (ec) {
     return Status::IoError("cannot create " + root + ": " + ec.message());
   }
-  return std::unique_ptr<LocalDirFileStore>(new LocalDirFileStore(root));
+  std::unique_ptr<LocalDirFileStore> store(new LocalDirFileStore(root));
+  // Leftover temporaries are writes that died before their rename; they
+  // were never visible as stored data, discard them.
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    if (EndsWith(entry.path().filename().string(), util::kTmpSuffix)) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+    }
+  }
+  if (journal != nullptr) {
+    MMLIB_RETURN_IF_ERROR(journal->Replay(
+        util::kJournalFileStore, [&store](const util::JournalOp& op) {
+          return store->Delete(op.id);
+        }));
+  }
+  return store;
 }
 
 Result<std::string> LocalDirFileStore::PathFor(const std::string& id) const {
@@ -77,6 +104,12 @@ Result<std::string> LocalDirFileStore::PathFor(const std::string& id) const {
 }
 
 Result<std::string> LocalDirFileStore::SaveFile(const Bytes& content) {
+  MMLIB_ASSIGN_OR_RETURN(std::string id, AllocateFileId());
+  MMLIB_RETURN_IF_ERROR(WriteAllocated(id, content));
+  return id;
+}
+
+Result<std::string> LocalDirFileStore::AllocateFileId() {
   std::string id = id_generator_.Next("file");
   MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
   // A reopened store restarts the deterministic id stream at zero; skip
@@ -85,9 +118,14 @@ Result<std::string> LocalDirFileStore::SaveFile(const Bytes& content) {
     id = id_generator_.Next("file");
     MMLIB_ASSIGN_OR_RETURN(path, PathFor(id));
   }
-  MMLIB_RETURN_IF_ERROR(
-      util::AtomicWriteFile(path, content.data(), content.size()));
   return id;
+}
+
+Status LocalDirFileStore::WriteAllocated(const std::string& id,
+                                         const Bytes& content) {
+  MMLIB_ASSIGN_OR_RETURN(std::string path, PathFor(id));
+  MMLIB_CRASH_POINT("filestore.write");
+  return util::AtomicWriteFile(path, content.data(), content.size());
 }
 
 Result<Bytes> LocalDirFileStore::LoadFile(const std::string& id) {
@@ -150,6 +188,39 @@ Result<std::string> RemoteFileStore::SaveFile(const Bytes& content) {
     // completed write is never retried into a duplicate.
     network_->Transfer(id.size());
     return id;
+  });
+}
+
+Result<std::string> RemoteFileStore::AllocateFileId() {
+  return retrier_.Run([&]() -> Result<std::string> {
+    // A lost request burns an id on the backend's generator; ids are never
+    // reused, so a re-sent allocation is harmless.
+    simnet::TransferAttempt request =
+        network_->TryTransfer(kScalarResponseBytes);
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::string id, backend_->AllocateFileId());
+    network_->Transfer(id.size());  // reliable acknowledgement with the id
+    return id;
+  });
+}
+
+Status RemoteFileStore::WriteAllocated(const std::string& id,
+                                       const Bytes& content) {
+  return retrier_.Run([&]() -> Status {
+    // Writing a pre-allocated id is idempotent (same id, same content), so
+    // unlike SaveFile a retried upload cannot create a duplicate.
+    simnet::TransferAttempt request =
+        network_->TryTransfer(id.size() + content.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("upload rejected: payload corrupted in flight");
+    }
+    MMLIB_RETURN_IF_ERROR(backend_->WriteAllocated(id, content));
+    network_->Transfer(kScalarResponseBytes);  // reliable acknowledgement
+    return Status::OK();
   });
 }
 

@@ -9,6 +9,7 @@
 #include "simnet/retry.h"
 #include "util/bytes.h"
 #include "util/id_generator.h"
+#include "util/journal.h"
 #include "util/result.h"
 
 namespace mmlib::filestore {
@@ -23,6 +24,24 @@ class FileStore {
 
   /// Persists `content` and returns its generated id.
   virtual Result<std::string> SaveFile(const Bytes& content) = 0;
+
+  /// Two-phase write, first half: reserves and returns the id a following
+  /// WriteAllocated will store under, without writing anything. Journaled
+  /// saves (core::SaveTransaction) log the id as a durable intent *between*
+  /// the two phases, so a crash can never produce a stored file the journal
+  /// does not know about. Stores without two-phase support report
+  /// Unimplemented and only work on the non-journaled path.
+  virtual Result<std::string> AllocateFileId() {
+    return Status::Unimplemented("store does not support two-phase writes");
+  }
+
+  /// Two-phase write, second half: persists `content` under a previously
+  /// allocated id. Idempotent — rewriting the same id is allowed (retries).
+  virtual Status WriteAllocated(const std::string& id, const Bytes& content) {
+    (void)id;
+    (void)content;
+    return Status::Unimplemented("store does not support two-phase writes");
+  }
 
   /// Loads the file with `id`.
   virtual Result<Bytes> LoadFile(const std::string& id) = 0;
@@ -46,6 +65,8 @@ class InMemoryFileStore : public FileStore {
   InMemoryFileStore();
 
   Result<std::string> SaveFile(const Bytes& content) override;
+  Result<std::string> AllocateFileId() override;
+  Status WriteAllocated(const std::string& id, const Bytes& content) override;
   Result<Bytes> LoadFile(const std::string& id) override;
   Status Delete(const std::string& id) override;
   Result<size_t> FileSize(const std::string& id) override;
@@ -63,13 +84,17 @@ class InMemoryFileStore : public FileStore {
 /// save never leaves a truncated `.bin` visible, and a failed write cleans
 /// up its partial temporary. Only `*.bin` entries count as stored files —
 /// leftover temporaries and foreign files do not skew the paper's
-/// storage-consumption numbers.
+/// storage-consumption numbers. Opening with a SaveJournal garbage-collects
+/// leftover temporaries and replays pending journal records, undoing
+/// file writes of half-finished saves (see util/journal.h).
 class LocalDirFileStore : public FileStore {
  public:
   static Result<std::unique_ptr<LocalDirFileStore>> Open(
-      const std::string& root);
+      const std::string& root, util::SaveJournal* journal = nullptr);
 
   Result<std::string> SaveFile(const Bytes& content) override;
+  Result<std::string> AllocateFileId() override;
+  Status WriteAllocated(const std::string& id, const Bytes& content) override;
   Result<Bytes> LoadFile(const std::string& id) override;
   Status Delete(const std::string& id) override;
   Result<size_t> FileSize(const std::string& id) override;
@@ -110,6 +135,8 @@ class RemoteFileStore : public FileStore {
   uint64_t retry_count() const { return retrier_.retry_count(); }
 
   Result<std::string> SaveFile(const Bytes& content) override;
+  Result<std::string> AllocateFileId() override;
+  Status WriteAllocated(const std::string& id, const Bytes& content) override;
   Result<Bytes> LoadFile(const std::string& id) override;
   Status Delete(const std::string& id) override;
   Result<size_t> FileSize(const std::string& id) override;

@@ -65,14 +65,70 @@ void Network::ChargeSeconds(double seconds) {
   clock_.AdvanceSeconds(seconds);
 }
 
+void Network::ConfigureNodes(size_t count) {
+  node_up_.assign(count, true);
+}
+
+Status Network::CrashNode(size_t node) {
+  if (node >= node_up_.size()) {
+    return Status::InvalidArgument("node " + std::to_string(node) +
+                                   " is not configured");
+  }
+  if (!node_up_[node]) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " is already down");
+  }
+  node_up_[node] = false;
+  ++crash_count_;
+  clock_.AdvanceSeconds(node_costs_.crash_detect_seconds);
+  return Status::OK();
+}
+
+Status Network::RestartNode(size_t node) {
+  if (node >= node_up_.size()) {
+    return Status::InvalidArgument("node " + std::to_string(node) +
+                                   " is not configured");
+  }
+  if (node_up_[node]) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " is already up");
+  }
+  node_up_[node] = true;
+  ++restart_count_;
+  clock_.AdvanceSeconds(node_costs_.restart_seconds);
+  return Status::OK();
+}
+
+TransferAttempt Network::TryTransferToNode(size_t node, uint64_t bytes) {
+  if (!IsNodeUp(node)) {
+    // The sender learns nothing until its message goes unanswered; charge
+    // one latency like a dropped message. No fault-rng draw: the fault
+    // stream stays a pure function of the *delivered* message sequence, so
+    // a crash window does not shift later fault decisions.
+    TransferAttempt attempt;
+    ++message_count_;
+    ++down_node_reject_count_;
+    attempt.seconds = link_.latency_seconds;
+    clock_.AdvanceSeconds(attempt.seconds);
+    attempt.status = Status::Unavailable("node " + std::to_string(node) +
+                                         " is down");
+    return attempt;
+  }
+  return TryTransfer(bytes);
+}
+
 void Network::Reset() {
   clock_ = VirtualClock();
   fault_rng_ = Rng(fault_plan_.seed);
+  node_up_.assign(node_up_.size(), true);
   total_bytes_ = 0;
   message_count_ = 0;
   drop_count_ = 0;
   timeout_count_ = 0;
   corruption_count_ = 0;
+  crash_count_ = 0;
+  restart_count_ = 0;
+  down_node_reject_count_ = 0;
 }
 
 }  // namespace mmlib::simnet

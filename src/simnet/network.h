@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/bytes.h"
 #include "util/clock.h"
@@ -57,6 +58,14 @@ struct FaultPlan {
   }
 };
 
+/// Virtual-time cost of node lifecycle events. Detection models the failure
+/// detector noticing a dead peer; restart models reboot plus process
+/// start-up before the node serves again.
+struct NodeCosts {
+  double crash_detect_seconds = 0.05;
+  double restart_seconds = 0.5;
+};
+
 /// Outcome of one message attempt under the active fault plan.
 struct TransferAttempt {
   /// OK, Unavailable (dropped), or DeadlineExceeded (timed out).
@@ -103,6 +112,41 @@ class Network {
   /// waiting out a retry backoff.
   void ChargeSeconds(double seconds);
 
+  /// --- Node lifecycle (crash-tolerant distributed flows). ---
+  /// Declares `count` participant nodes, all up. Replaces previous state.
+  void ConfigureNodes(size_t count);
+  size_t NodeCount() const { return node_up_.size(); }
+
+  /// True when `node` is configured and currently up.
+  bool IsNodeUp(size_t node) const {
+    return node < node_up_.size() && node_up_[node];
+  }
+
+  /// Kills a node: charges the failure-detection time and marks the node
+  /// down, so messages to it fail Unavailable (feeding the Retrier).
+  /// InvalidArgument for an unconfigured node, FailedPrecondition when
+  /// already down.
+  Status CrashNode(size_t node);
+
+  /// Brings a crashed node back: charges the restart time and marks the
+  /// node up. InvalidArgument / FailedPrecondition mirror CrashNode.
+  Status RestartNode(size_t node);
+
+  void set_node_costs(const NodeCosts& costs) { node_costs_ = costs; }
+  const NodeCosts& node_costs() const { return node_costs_; }
+
+  /// Attempts one message of `bytes` addressed to `node`. While the node is
+  /// down the message fails Unavailable after one latency charge — the
+  /// sender's Retrier backs off and retries until the node restarts (or its
+  /// attempts run out). An up node behaves exactly like TryTransfer.
+  TransferAttempt TryTransferToNode(size_t node, uint64_t bytes);
+
+  /// Lifecycle counters since the last Reset.
+  uint64_t CrashCount() const { return crash_count_; }
+  uint64_t RestartCount() const { return restart_count_; }
+  /// Messages that failed because their destination node was down.
+  uint64_t DownNodeRejectCount() const { return down_node_reject_count_; }
+
   /// Total simulated time spent in transfers (including faulted attempts
   /// and backoff waits).
   double TotalTransferSeconds() const { return clock_.NowSeconds(); }
@@ -128,11 +172,16 @@ class Network {
   VirtualClock clock_;
   FaultPlan fault_plan_;
   Rng fault_rng_;
+  NodeCosts node_costs_;
+  std::vector<bool> node_up_;
   uint64_t total_bytes_ = 0;
   uint64_t message_count_ = 0;
   uint64_t drop_count_ = 0;
   uint64_t timeout_count_ = 0;
   uint64_t corruption_count_ = 0;
+  uint64_t crash_count_ = 0;
+  uint64_t restart_count_ = 0;
+  uint64_t down_node_reject_count_ = 0;
 };
 
 }  // namespace mmlib::simnet

@@ -1,0 +1,102 @@
+#include "util/crash_point.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+
+namespace mmlib::util {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::set<std::string> sites;
+  std::string armed;      // empty = nothing armed
+  uint64_t fire_on_hit = 0;
+  uint64_t hits = 0;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+// Fast path for the overwhelmingly common unarmed case: one relaxed load
+// instead of a mutex acquisition per site execution.
+std::atomic<bool>& any_armed() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+std::atomic<bool>& crashing() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+}  // namespace
+
+bool CrashPoint::Register(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.insert(name);
+  return true;
+}
+
+void CrashPoint::Arm(const std::string& name, uint64_t fire_on_hit) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.insert(name);
+  reg.armed = name;
+  reg.fire_on_hit = fire_on_hit == 0 ? 1 : fire_on_hit;
+  reg.hits = 0;
+  any_armed().store(true, std::memory_order_release);
+}
+
+void CrashPoint::Disarm() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.armed.clear();
+  reg.fire_on_hit = 0;
+  reg.hits = 0;
+  any_armed().store(false, std::memory_order_release);
+}
+
+bool CrashPoint::Fires(const std::string& name) {
+  if (!any_armed().load(std::memory_order_acquire)) {
+    return false;
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.armed != name) {
+    return false;
+  }
+  if (++reg.hits < reg.fire_on_hit) {
+    return false;
+  }
+  // Fire exactly once: the site disarms itself so unwind-path code (and the
+  // reopened stores) run crash-free, with only the crash flag left set.
+  reg.armed.clear();
+  reg.fire_on_hit = 0;
+  reg.hits = 0;
+  any_armed().store(false, std::memory_order_release);
+  crashing().store(true, std::memory_order_release);
+  return true;
+}
+
+bool CrashPoint::crash_in_progress() {
+  return crashing().load(std::memory_order_acquire);
+}
+
+void CrashPoint::ResetAfterCrash() {
+  Disarm();
+  crashing().store(false, std::memory_order_release);
+}
+
+std::vector<std::string> CrashPoint::RegisteredSites() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return std::vector<std::string>(reg.sites.begin(), reg.sites.end());
+}
+
+}  // namespace mmlib::util

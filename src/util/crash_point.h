@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace mmlib::util {
+
+/// Thrown by an armed crash point to simulate a process kill. The exception
+/// unwinds to the test harness, which then reopens the stores cold — exactly
+/// what a restarted process would see. Cleanup code that would not run in a
+/// real kill (SaveTransaction rollback, journal record removal) must check
+/// CrashPoint::crash_in_progress() and skip its work on this path, otherwise
+/// the simulated crash is gentler than the real one and recovery tests lie.
+class CrashException : public std::exception {
+ public:
+  explicit CrashException(std::string site)
+      : site_(std::move(site)), message_("simulated crash at " + site_) {}
+
+  const char* what() const noexcept override { return message_.c_str(); }
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+  std::string message_;
+};
+
+/// Process-wide registry of named crash sites. Production code marks every
+/// point where a kill would be interesting with MMLIB_CRASH_POINT("name");
+/// unarmed sites cost one relaxed atomic load. Tests arm one site at a time
+/// (optionally at the Nth hit) and drive the code until it throws, then call
+/// ResetAfterCrash() before reopening state. Deterministic by construction:
+/// the site fires at an exact hit count, not a probability — the same kill
+/// happens on every run, like a simnet::FaultPlan with probability pinned
+/// to a specific message.
+class CrashPoint {
+ public:
+  /// Registers a site name (idempotent); returns true so it can seed a
+  /// function-local static. Sites self-register on first execution.
+  static bool Register(const std::string& name);
+
+  /// Arms `name`: the site throws on its `fire_on_hit`-th execution after
+  /// this call (1 = next execution). Only one site is armed at a time;
+  /// arming replaces any previous arming and resets the hit counter.
+  static void Arm(const std::string& name, uint64_t fire_on_hit = 1);
+
+  /// Disarms without firing; pending hit counts are discarded.
+  static void Disarm();
+
+  /// Called by MMLIB_CRASH_POINT. Returns true when the armed site reached
+  /// its hit count; the caller must then throw CrashException. Also flips
+  /// the crash_in_progress flag so unwind-path cleanup can stand down.
+  static bool Fires(const std::string& name);
+
+  /// True between an armed site firing and ResetAfterCrash(). While set,
+  /// destructors must not undo durable writes — a killed process would not
+  /// have either.
+  static bool crash_in_progress();
+
+  /// Acknowledges a simulated crash: clears the crash flag and disarms.
+  /// Call after catching CrashException and before reopening stores.
+  static void ResetAfterCrash();
+
+  /// All site names registered so far, sorted. Sites register lazily on
+  /// first execution, so run the code path of interest once before
+  /// enumerating (crash-matrix tests do a clean discovery pass first).
+  static std::vector<std::string> RegisteredSites();
+};
+
+}  // namespace mmlib::util
+
+/// Marks a named crash site. Registers the site on first execution, then
+/// throws CrashException when a test armed this name for the current hit.
+#define MMLIB_CRASH_POINT(site)                                            \
+  do {                                                                     \
+    static const bool mmlib_cp_registered =                                \
+        ::mmlib::util::CrashPoint::Register(site);                         \
+    (void)mmlib_cp_registered;                                             \
+    if (::mmlib::util::CrashPoint::Fires(site)) {                          \
+      throw ::mmlib::util::CrashException(site);                           \
+    }                                                                      \
+  } while (0)

@@ -1,13 +1,32 @@
 #include "util/fs.h"
 
-#include <filesystem>
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/crash_point.h"
 #include "util/strings.h"
 
 namespace mmlib::util {
 
 namespace {
+
+std::atomic<bool> g_sync_durability{true};
+
+std::string ParentDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
 
 template <typename Iterator>
 size_t AccumulateWithSuffix(const std::string& dir, const std::string& suffix,
@@ -29,35 +48,102 @@ size_t AccumulateWithSuffix(const std::string& dir, const std::string& suffix,
 
 }  // namespace
 
+void set_sync_durability_enabled(bool enabled) {
+  g_sync_durability.store(enabled, std::memory_order_relaxed);
+}
+
+bool sync_durability_enabled() {
+  return g_sync_durability.load(std::memory_order_relaxed);
+}
+
+Status SyncDir(const std::string& dir) {
+  if (!sync_durability_enabled()) {
+    return Status::OK();
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir +
+                           " for sync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("cannot sync directory " + dir + ": " +
+                           std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
 Status AtomicWriteFile(const std::string& path, const uint8_t* data,
                        size_t size) {
   const std::string tmp_path = path + kTmpSuffix;
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open " + tmp_path + " for writing");
-    }
-    if (size > 0) {
-      out.write(reinterpret_cast<const char*>(data),
-                static_cast<std::streamsize>(size));
-    }
-    out.flush();
-    if (!out) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp_path, ec);
-      return Status::IoError("failed writing " + tmp_path);
-    }
+  auto discard_tmp = [&tmp_path]() {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+  };
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp_path +
+                           " for writing: " + std::strerror(errno));
   }
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      discard_tmp();
+      return Status::IoError("failed writing " + tmp_path + ": " + error);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // The content must be on disk before the rename publishes it; otherwise a
+  // crash can expose a named but empty (or torn) destination.
+  if (sync_durability_enabled() && ::fsync(fd) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    discard_tmp();
+    return Status::IoError("cannot sync " + tmp_path + ": " + error);
+  }
+  if (::close(fd) != 0) {
+    discard_tmp();
+    return Status::IoError("cannot close " + tmp_path + ": " +
+                           std::strerror(errno));
+  }
+
+  MMLIB_CRASH_POINT("fs.atomic.before_rename");
+
   std::error_code ec;
   std::filesystem::rename(tmp_path, path, ec);
   if (ec) {
-    std::error_code remove_ec;
-    std::filesystem::remove(tmp_path, remove_ec);
+    discard_tmp();
     return Status::IoError("cannot rename " + tmp_path + " into place: " +
                            ec.message());
   }
-  return Status::OK();
+
+  // Simulated "lost rename": the in-memory rename succeeded but the process
+  // dies before the directory entry is durable, so after the crash the
+  // destination does not exist. Modeled by removing the destination before
+  // unwinding — exactly the state a cold restart would find without the
+  // SyncDir barrier below.
+  {
+    static const bool registered =
+        CrashPoint::Register("fs.atomic.rename_lost");
+    (void)registered;
+    if (CrashPoint::Fires("fs.atomic.rename_lost")) {
+      std::error_code remove_ec;
+      std::filesystem::remove(path, remove_ec);
+      throw CrashException("fs.atomic.rename_lost");
+    }
+  }
+
+  return SyncDir(ParentDirOf(path));
 }
 
 Status RemoveFileStrict(const std::string& path, const std::string& what) {

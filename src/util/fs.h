@@ -14,11 +14,31 @@ namespace mmlib::util {
 inline constexpr const char* kTmpSuffix = ".tmp";
 
 /// Crash-safe whole-file write: writes `size` bytes to `path + ".tmp"`,
-/// flushes, then atomically renames the temporary over `path`. On any
+/// fsyncs, then atomically renames the temporary over `path` and syncs the
+/// parent directory so the rename itself is durable (a rename only becomes
+/// crash-proof once the directory entry reaches disk — see SyncDir). On any
 /// failure the temporary is removed (best effort) and `path` is left
 /// untouched — either the old content or nothing, never a truncated file.
+///
+/// Crash sites: "fs.atomic.before_rename" (tmp written, nothing visible)
+/// and "fs.atomic.rename_lost" (the rename happened in memory but the
+/// directory entry never reached disk — the destination vanishes with the
+/// crash, the failure mode SyncDir exists to close).
 Status AtomicWriteFile(const std::string& path, const uint8_t* data,
                        size_t size);
+
+/// Durability barrier on a directory: fsyncs `dir` so previously renamed or
+/// created entries survive a power cut. No-op (returning OK) while disabled
+/// via set_sync_durability_enabled — tests and benchmarks skip the physical
+/// sync because the simulated crash model unwinds the process instead of
+/// cutting power, and CI tmpdirs don't need the I/O.
+Status SyncDir(const std::string& dir);
+
+/// Toggles the physical fsync calls in AtomicWriteFile/SyncDir
+/// (process-wide; default enabled). Disabling never changes observable
+/// behavior short of a real power failure.
+void set_sync_durability_enabled(bool enabled);
+bool sync_durability_enabled();
 
 /// Removes the file at `path`. Distinguishes the two failure modes that
 /// std::filesystem::remove conflates for callers: NotFound when there was

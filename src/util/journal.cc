@@ -1,0 +1,217 @@
+#include "util/journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "json/json.h"
+#include "util/crash_point.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace mmlib::util {
+
+namespace {
+
+constexpr const char* kRecordSuffix = ".json";
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+}  // namespace
+
+SaveJournal::SaveJournal(std::string root) : root_(std::move(root)) {}
+
+Result<std::unique_ptr<SaveJournal>> SaveJournal::Open(
+    const std::string& root) {
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + root + ": " + ec.message());
+  }
+  std::unique_ptr<SaveJournal> journal(new SaveJournal(root));
+  MMLIB_RETURN_IF_ERROR(journal->LoadExisting());
+  return journal;
+}
+
+Status SaveJournal::LoadExisting() {
+  std::error_code ec;
+  std::vector<std::string> record_names;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (EndsWith(filename, kTmpSuffix)) {
+      // A record rewrite died before its rename; the previous durable
+      // version of the record (if any) is authoritative.
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+      continue;
+    }
+    if (EndsWith(filename, kRecordSuffix)) {
+      record_names.push_back(
+          filename.substr(0, filename.size() - std::strlen(kRecordSuffix)));
+    }
+  }
+  for (const std::string& txn_id : record_names) {
+    MMLIB_ASSIGN_OR_RETURN(std::string content,
+                           ReadWholeFile(PathFor(txn_id)));
+    auto parsed = json::Parse(content);
+    if (!parsed.ok()) {
+      return Status::Corruption("journal record " + txn_id +
+                                " is not valid JSON: " +
+                                parsed.status().message());
+    }
+    Record record;
+    MMLIB_ASSIGN_OR_RETURN(record.committed, parsed->GetBool("committed"));
+    MMLIB_ASSIGN_OR_RETURN(const json::Value* ops, parsed->GetMember("ops"));
+    if (!ops->is_array()) {
+      return Status::Corruption("journal record " + txn_id +
+                                " has a non-array ops member");
+    }
+    for (const json::Value& op_doc : ops->as_array()) {
+      JournalOp op;
+      MMLIB_ASSIGN_OR_RETURN(op.store, op_doc.GetString("store"));
+      MMLIB_ASSIGN_OR_RETURN(op.collection, op_doc.GetString("collection"));
+      MMLIB_ASSIGN_OR_RETURN(op.id, op_doc.GetString("id"));
+      record.ops.push_back(std::move(op));
+    }
+    records_[txn_id] = std::move(record);
+  }
+  return Status::OK();
+}
+
+std::string SaveJournal::PathFor(const std::string& txn_id) const {
+  return root_ + "/" + txn_id + kRecordSuffix;
+}
+
+Status SaveJournal::WriteRecord(const std::string& txn_id,
+                                const Record& record) {
+  json::Value ops = json::Value::MakeArray();
+  for (const JournalOp& op : record.ops) {
+    json::Value op_doc = json::Value::MakeObject();
+    op_doc.Set("store", op.store);
+    op_doc.Set("collection", op.collection);
+    op_doc.Set("id", op.id);
+    ops.Append(std::move(op_doc));
+  }
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("committed", record.committed);
+  doc.Set("ops", std::move(ops));
+  const std::string text = doc.Dump();
+  return AtomicWriteFile(PathFor(txn_id),
+                         reinterpret_cast<const uint8_t*>(text.data()),
+                         text.size());
+}
+
+Status SaveJournal::RemoveRecord(const std::string& txn_id) {
+  records_.erase(txn_id);
+  const Status status =
+      RemoveFileStrict(PathFor(txn_id), "journal record " + txn_id);
+  // Already gone is fine: an interrupted replay may have removed the file
+  // before this process learned about it.
+  if (status.code() == StatusCode::kNotFound) {
+    return Status::OK();
+  }
+  return status;
+}
+
+Result<std::string> SaveJournal::Begin() {
+  // Skip ids whose record still exists — either pending in memory or left
+  // on disk by a crashed predecessor awaiting replay.
+  std::string txn_id;
+  do {
+    txn_id = "txn-" + std::to_string(next_txn_++);
+  } while (records_.count(txn_id) > 0 ||
+           std::filesystem::exists(PathFor(txn_id)));
+  Record record;
+  MMLIB_RETURN_IF_ERROR(WriteRecord(txn_id, record));
+  records_[txn_id] = std::move(record);
+  MMLIB_CRASH_POINT("journal.begin");
+  return txn_id;
+}
+
+Status SaveJournal::AppendOp(const std::string& txn_id, const JournalOp& op) {
+  auto it = records_.find(txn_id);
+  if (it == records_.end()) {
+    return Status::FailedPrecondition("no open journal record " + txn_id);
+  }
+  it->second.ops.push_back(op);
+  const Status status = WriteRecord(txn_id, it->second);
+  if (!status.ok()) {
+    it->second.ops.pop_back();
+    return status;
+  }
+  MMLIB_CRASH_POINT("journal.append");
+  return Status::OK();
+}
+
+Status SaveJournal::MarkCommitted(const std::string& txn_id) {
+  auto it = records_.find(txn_id);
+  if (it == records_.end()) {
+    return Status::FailedPrecondition("no open journal record " + txn_id);
+  }
+  it->second.committed = true;
+  const Status status = WriteRecord(txn_id, it->second);
+  if (!status.ok()) {
+    it->second.committed = false;
+    return status;
+  }
+  MMLIB_CRASH_POINT("journal.commit");
+  return Status::OK();
+}
+
+Status SaveJournal::Close(const std::string& txn_id) {
+  return RemoveRecord(txn_id);
+}
+
+Status SaveJournal::Replay(const std::string& store_kind, const UndoFn& undo) {
+  std::vector<std::string> txn_ids;
+  txn_ids.reserve(records_.size());
+  for (const auto& [txn_id, record] : records_) {
+    txn_ids.push_back(txn_id);
+  }
+  for (const std::string& txn_id : txn_ids) {
+    Record& record = records_[txn_id];
+    if (record.committed) {
+      // The save reached its durable commit mark before the crash; its
+      // writes are the real data now, only the record itself is garbage.
+      MMLIB_RETURN_IF_ERROR(RemoveRecord(txn_id));
+      continue;
+    }
+    std::vector<JournalOp> remaining;
+    remaining.reserve(record.ops.size());
+    for (size_t i = 0; i < record.ops.size(); ++i) {
+      const JournalOp& op = record.ops[i];
+      if (op.store != store_kind) {
+        remaining.push_back(op);
+        continue;
+      }
+      MMLIB_CRASH_POINT("journal.replay.op");
+      const Status status = undo(op);
+      if (!status.ok() && status.code() != StatusCode::kNotFound) {
+        // Put the unresolved tail back so a later replay retries it.
+        remaining.insert(remaining.end(), record.ops.begin() + i,
+                         record.ops.end());
+        record.ops = std::move(remaining);
+        return status;
+      }
+    }
+    record.ops = std::move(remaining);
+    if (record.ops.empty()) {
+      MMLIB_RETURN_IF_ERROR(RemoveRecord(txn_id));
+    } else {
+      // Ops of other store kinds stay pending until their store replays;
+      // persist the narrowed record so progress survives another crash.
+      MMLIB_RETURN_IF_ERROR(WriteRecord(txn_id, record));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mmlib::util

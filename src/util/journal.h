@@ -1,0 +1,106 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mmlib::util {
+
+/// Store kinds a journal op can target; persistent stores replay the ops of
+/// their own kind on reopen.
+inline constexpr const char* kJournalFileStore = "files";
+inline constexpr const char* kJournalDocStore = "docs";
+
+/// One journaled write intent: the id a save is about to write under.
+/// `collection` is empty for file-store ops.
+struct JournalOp {
+  std::string store;
+  std::string collection;
+  std::string id;
+};
+
+/// Write-ahead intent journal for multi-step saves. A SaveTransaction in
+/// journaled mode appends each write's id *before* the write happens, all
+/// through AtomicWriteFile, so after a crash the journal names every
+/// file/document a half-finished save may have left behind. On reopen the
+/// persistent stores call Replay, which rolls the uncommitted leftovers
+/// back (or keeps a committed save and just drops its record) — the stores
+/// end up exactly as if the save had never started or had fully finished.
+///
+/// One record per transaction, `root/txn-<n>.json`:
+///   {"committed": false, "ops": [{"store": "files", "collection": "",
+///                                 "id": "file-0-ab12cd34"}, ...]}
+/// Every mutation rewrites the record atomically, so records are never torn
+/// and replay is idempotent: undo tolerates NotFound (the write may not
+/// have happened, or a previous interrupted replay already removed it), and
+/// a record only disappears after all of its ops are resolved. Crashing
+/// during recovery therefore just means recovery runs again.
+///
+/// Not thread-safe: saves are serial per journal, like the save services.
+class SaveJournal {
+ public:
+  /// Opens (creates if needed) the journal directory and loads pending
+  /// records left by a previous process. Leftover `.tmp` partials from a
+  /// crashed record write are discarded.
+  static Result<std::unique_ptr<SaveJournal>> Open(const std::string& root);
+
+  SaveJournal(const SaveJournal&) = delete;
+  SaveJournal& operator=(const SaveJournal&) = delete;
+
+  /// Starts a transaction: durably creates an empty record and returns its
+  /// id. Crash site "journal.begin".
+  Result<std::string> Begin();
+
+  /// Durably appends one write intent to an open record — call *before*
+  /// performing the write it describes. Crash site "journal.append".
+  Status AppendOp(const std::string& txn_id, const JournalOp& op);
+
+  /// Durably marks the record committed: from here on, replay *keeps* the
+  /// transaction's writes. Crash site "journal.commit".
+  Status MarkCommitted(const std::string& txn_id);
+
+  /// Removes a record (normal end of a committed transaction, or after an
+  /// in-process rollback). Missing records are fine — replay may have
+  /// removed them already.
+  Status Close(const std::string& txn_id);
+
+  /// Undo callback for one op; must return OK or NotFound for an op whose
+  /// write never happened (both are treated as undone).
+  using UndoFn = std::function<Status(const JournalOp&)>;
+
+  /// Replays pending records for one store kind: committed records are
+  /// dropped (their writes stay), uncommitted ops of `store_kind` are
+  /// undone via `undo` and stripped from the record; a record vanishes once
+  /// no ops of any kind remain. Safe to call repeatedly and safe to crash
+  /// in — crash site "journal.replay.op" fires before each undo.
+  Status Replay(const std::string& store_kind, const UndoFn& undo);
+
+  /// Records still pending (not yet resolved by Close/Replay). Zero after
+  /// all stores sharing the journal have replayed.
+  size_t PendingRecordCount() const { return records_.size(); }
+
+  const std::string& root() const { return root_; }
+
+ private:
+  struct Record {
+    bool committed = false;
+    std::vector<JournalOp> ops;
+  };
+
+  explicit SaveJournal(std::string root);
+
+  std::string PathFor(const std::string& txn_id) const;
+  Status WriteRecord(const std::string& txn_id, const Record& record);
+  Status RemoveRecord(const std::string& txn_id);
+  Status LoadExisting();
+
+  std::string root_;
+  uint64_t next_txn_ = 0;
+  std::map<std::string, Record> records_;
+};
+
+}  // namespace mmlib::util

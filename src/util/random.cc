@@ -24,6 +24,24 @@ Rng::Rng(uint64_t seed) {
   }
 }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) {
+    state.s[i] = s_[i];
+  }
+  state.have_cached_gaussian = have_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) {
+    s_[i] = state.s[i];
+  }
+  have_cached_gaussian_ = state.have_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -18,6 +18,17 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+/// Complete serializable state of an Rng: the xoshiro256** words plus the
+/// Box-Muller gaussian cache. Restoring it continues the stream exactly
+/// where the snapshot was taken — training checkpoints persist this so a
+/// resumed run consumes the same dropout/augmentation randomness as an
+/// uninterrupted one.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_gaussian = false;
+  float cached_gaussian = 0.0f;
+};
+
 /// Xoshiro256** PRNG. mmlib's default generator for weight initialization,
 /// data augmentation, dropout masks, and synthetic dataset generation.
 /// Fully deterministic given a seed — this is what makes model training
@@ -25,6 +36,12 @@ class SplitMix64 {
 class Rng {
  public:
   explicit Rng(uint64_t seed);
+
+  /// Snapshots the generator mid-stream (checkpointing).
+  RngState SaveState() const;
+
+  /// Continues from a snapshot taken with SaveState.
+  void RestoreState(const RngState& state);
 
   /// Returns the next 64 random bits.
   uint64_t NextU64();

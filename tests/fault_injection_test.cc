@@ -290,7 +290,7 @@ TEST(SaveRollbackTest, TransactionKeepsWritesAfterCommit) {
     doc.Set("k", std::string("v"));
     ASSERT_TRUE(txn.Insert("models", std::move(doc)).ok());
     EXPECT_EQ(txn.pending_writes(), 2u);
-    txn.Commit();
+    ASSERT_TRUE(txn.Commit().ok());
     EXPECT_EQ(txn.pending_writes(), 0u);
   }
   EXPECT_EQ(files.FileCount(), 1u);

@@ -30,6 +30,13 @@ about (see DESIGN.md "Correctness tooling"):
                      DeadlineExceeded even after retries (DESIGN.md "Fault
                      model and retry semantics"). Propagate the error with
                      MMLIB_ASSIGN_OR_RETURN instead of crashing on it.
+  no-direct-persist  std::ofstream/std::fstream/fopen are forbidden in
+                     src/filestore/, src/docstore/ and src/core/ -- every
+                     persisted byte must go through util::AtomicWriteFile
+                     (tmp-write + flush + rename, with crash points) or the
+                     write-ahead journal (DESIGN.md "Crash model and
+                     recovery"); a direct stream write can leave a torn file
+                     that replay does not know about.
 
 Usage:
   python3 tools/lint.py            # lint the whole repo, exit non-zero on findings
@@ -78,6 +85,12 @@ UNCHECKED_REMOTE_RE = re.compile(
     r"(?:SaveFile|LoadFile|Delete|FileSize|FileCount|Insert|Get|ListIds|"
     r"FindByField)\s*\((?:[^()]|\([^()]*\))*\)\s*\.\s*value\s*\(")
 IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
+# Direct file-write channels in persistence code. std::ifstream (read-only)
+# stays legal; everything that can create or mutate a file on disk must go
+# through util::AtomicWriteFile or the journal.
+DIRECT_PERSIST_RE = re.compile(
+    r"(?<![\w:])std::(?:ofstream|fstream)\b|(?<![\w:.])(?:std::)?fopen\s*\(")
+PERSIST_DIRS = ("src/filestore/", "src/docstore/", "src/core/")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 NODISCARD_CLASS_RE = {
     "src/util/result.h": re.compile(r"class\s+\[\[nodiscard\]\]\s+Result"),
@@ -188,6 +201,22 @@ def check_unchecked_remote(relpath, text, findings):
                         "remote store calls can fail with Unavailable/"
                         "DeadlineExceeded even after retries; propagate with "
                         "MMLIB_ASSIGN_OR_RETURN instead of .value()"))
+
+
+@rule("no-direct-persist",
+      "std::ofstream/fopen file writes in persistence code")
+def check_direct_persist(relpath, text, findings):
+    rel = relpath.as_posix()
+    if not rel.startswith(PERSIST_DIRS):
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        if DIRECT_PERSIST_RE.search(strip_noncode(line)):
+            findings.append(
+                Finding(rel, i, "no-direct-persist",
+                        "persistence code must write through "
+                        "util::AtomicWriteFile or the save journal; a direct "
+                        "stream write can tear on crash and is invisible to "
+                        "journal replay"))
 
 
 @rule("nodiscard-result", "Result/Status must be declared [[nodiscard]]")
