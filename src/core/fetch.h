@@ -19,7 +19,11 @@ inline constexpr int kMaxFetchAttempts = 4;
 /// fetched and decoded again, up to kMaxFetchAttempts total attempts; the
 /// stored copy is intact, so a re-fetch heals transient damage. Any other
 /// error, and Corruption on the last attempt, is returned as is.
-/// `refetches` (optional) accumulates the number of re-fetches performed.
+/// Each rejection is reported to the store (FileStore::ReportDamaged)
+/// before re-fetching, so a replicated store can steer the retry to a
+/// different replica and queue a read-repair instead of re-reading the
+/// same damaged copy. `refetches` (optional) accumulates the number of
+/// re-fetches performed.
 template <typename Decode>
 auto FetchDecoded(filestore::FileStore* files, const std::string& file_id,
                   Decode&& decode, uint64_t* refetches = nullptr)
@@ -34,6 +38,7 @@ auto FetchDecoded(filestore::FileStore* files, const std::string& file_id,
         attempt >= kMaxFetchAttempts) {
       return decoded;
     }
+    files->ReportDamaged(file_id);
     if (refetches != nullptr) {
       ++(*refetches);
     }

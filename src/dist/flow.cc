@@ -275,7 +275,24 @@ Result<FlowResult> EvaluationFlow::Run() {
   if (backends_.network != nullptr) {
     backends_.network->ConfigureNodes(
         static_cast<size_t>(config_.num_nodes));
+    // Per-flow fault accounting: repeated flows over one network must not
+    // report each other's drops/timeouts (clock, rng, and plans keep going).
+    backends_.network->ResetFaultCounters();
   }
+  // Degraded-mode plumbing: present when the flow writes through the
+  // replicated stores instead of single remote backends.
+  auto* replicated_files =
+      dynamic_cast<repl::ReplicatedFileStore*>(backends_.files);
+  auto* replicated_docs =
+      dynamic_cast<repl::ReplicatedDocumentStore*>(backends_.docs);
+  std::unique_ptr<repl::Scrubber> scrubber;
+  if (config_.scrub_every_iterations > 0 &&
+      (replicated_files != nullptr || replicated_docs != nullptr) &&
+      backends_.network != nullptr) {
+    scrubber = std::make_unique<repl::Scrubber>(
+        replicated_files, replicated_docs, backends_.network);
+  }
+  int completed_u3_iterations = 0;
   std::unique_ptr<core::CheckpointManager> checkpoints;
   if (config_.checkpoint_every_steps > 0) {
     core::CheckpointOptions checkpoint_options;
@@ -294,6 +311,12 @@ Result<FlowResult> EvaluationFlow::Run() {
     if (auto* docs =
             dynamic_cast<docstore::RemoteDocumentStore*>(backends_.docs)) {
       total += docs->retry_count();
+    }
+    if (replicated_files != nullptr) {
+      total += replicated_files->TransportRetryCount();
+    }
+    if (replicated_docs != nullptr) {
+      total += replicated_docs->TransportRetryCount();
     }
     return total;
   };
@@ -433,6 +456,11 @@ Result<FlowResult> EvaluationFlow::Run() {
         }
         result.node_counters[n].retries += storage_retries() - retries_before;
       }
+      ++completed_u3_iterations;
+      if (scrubber != nullptr &&
+          completed_u3_iterations % config_.scrub_every_iterations == 0) {
+        MMLIB_RETURN_IF_ERROR(scrubber->ScrubOnce().status());
+      }
     }
     return Status::OK();
   };
@@ -466,6 +494,12 @@ Result<FlowResult> EvaluationFlow::Run() {
   // --- Phase 2: node-local updates on the deployed update (U3-2-*). ---
   MMLIB_RETURN_IF_ERROR(run_phase(2));
 
+  // A last anti-entropy pass before recovery, so U4 measures reads over a
+  // store that background repair has had a chance to heal.
+  if (scrubber != nullptr) {
+    MMLIB_RETURN_IF_ERROR(scrubber->ScrubOnce().status());
+  }
+
   // --- U4: recover every saved model and measure TTR. ---
   if (config_.recover_models) {
     core::ModelRecoverer recoverer(backends_);
@@ -478,6 +512,46 @@ Result<FlowResult> EvaluationFlow::Run() {
       record.ttr_breakdown = recovered.breakdown;
       record.recovered = true;
     }
+  }
+
+  // --- Degraded-mode report: which replicas the run leaned on, and what
+  // the transport injected, attributed per operation label. ---
+  size_t replica_count = 0;
+  if (replicated_files != nullptr) {
+    replica_count = replicated_files->replica_count();
+  }
+  if (replicated_docs != nullptr) {
+    replica_count = std::max(replica_count, replicated_docs->replica_count());
+  }
+  result.replica_counters.assign(replica_count, repl::ReplicaCounters{});
+  for (size_t r = 0; r < replica_count; ++r) {
+    repl::ReplicaCounters& combined = result.replica_counters[r];
+    if (replicated_files != nullptr && r < replicated_files->replica_count()) {
+      const repl::ReplicaCounters& c = replicated_files->replica_counters(r);
+      combined.read_fallbacks += c.read_fallbacks;
+      combined.read_repairs += c.read_repairs;
+      combined.write_skips += c.write_skips;
+      combined.scrub_repairs += c.scrub_repairs;
+    }
+    if (replicated_docs != nullptr && r < replicated_docs->replica_count()) {
+      const repl::ReplicaCounters& c = replicated_docs->replica_counters(r);
+      combined.read_fallbacks += c.read_fallbacks;
+      combined.read_repairs += c.read_repairs;
+      combined.write_skips += c.write_skips;
+      combined.scrub_repairs += c.scrub_repairs;
+    }
+  }
+  if (scrubber != nullptr) {
+    result.scrub = scrubber->lifetime();
+  }
+  if (replicated_files != nullptr) {
+    result.deadline_exhausted += replicated_files->DeadlineExhaustedCount();
+  }
+  if (replicated_docs != nullptr) {
+    result.deadline_exhausted += replicated_docs->DeadlineExhaustedCount();
+  }
+  if (backends_.network != nullptr) {
+    result.op_faults = backends_.network->PerOpFaultCounters();
   }
 
   return result;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,9 @@
 #include "core/train_service.h"
 #include "data/dataset.h"
 #include "models/zoo.h"
+#include "repl/replicated_store.h"
+#include "repl/scrubber.h"
+#include "simnet/network.h"
 
 namespace mmlib::dist {
 
@@ -105,6 +109,13 @@ struct FlowConfig {
   /// Scheduled node crashes. Requires TrainingMode::kReal (a simulated
   /// update has no steps to crash in) and checkpoint_every_steps >= 1.
   std::vector<NodeCrashEvent> crash_schedule;
+
+  /// Run one anti-entropy pass (repl::Scrubber::ScrubOnce) after every this
+  /// many U3 iterations, and once more before U4 recovery (0 disables).
+  /// Only effective when the flow's backends are replicated stores; replica
+  /// crash/partition schedules themselves live on the Network
+  /// (ScheduleReplicaCrash / SchedulePartition), armed before Run().
+  int scrub_every_iterations = 0;
 };
 
 /// Per-model measurements collected during a flow run.
@@ -139,6 +150,21 @@ struct FlowResult {
   };
   /// Indexed by node; sized num_nodes for every run.
   std::vector<NodeCounters> node_counters;
+
+  /// Degraded-mode accounting when the backends are replicated stores
+  /// (empty otherwise). Indexed by replica; file- and document-side
+  /// counters for the same replica are summed.
+  std::vector<repl::ReplicaCounters> replica_counters;
+  /// Anti-entropy totals of the flow's scrubber (all-zero when
+  /// scrub_every_iterations == 0 or the backends are not replicated).
+  repl::ScrubReport scrub;
+  /// Transport faults injected during *this* run, by operation label
+  /// ("file.load", "doc.insert", ...). Counters are reset at Run() start,
+  /// so repeated flows over one network report per-flow numbers.
+  std::map<std::string, simnet::FaultCounters> op_faults;
+  /// Reads/writes abandoned on the fail-fast retry deadline (replicated
+  /// backends only).
+  uint64_t deadline_exhausted = 0;
 
   uint64_t TotalCrashes() const;
   uint64_t TotalRestarts() const;

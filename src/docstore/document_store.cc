@@ -71,6 +71,12 @@ Result<std::vector<std::string>> DocumentStore::FindByField(
   return matches;
 }
 
+Result<Digest> DocumentStore::DocumentDigest(const std::string& collection,
+                                             const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(json::Value doc, Get(collection, id));
+  return Sha256::Hash(doc.Dump());
+}
+
 InMemoryDocumentStore::InMemoryDocumentStore() : id_generator_(0xd0c5) {}
 
 Result<std::string> InMemoryDocumentStore::Insert(
@@ -128,6 +134,16 @@ Result<std::vector<std::string>> InMemoryDocumentStore::ListIds(
     }
   }
   return ids;
+}
+
+Result<std::vector<std::string>> InMemoryDocumentStore::ListCollections() {
+  std::vector<std::string> names;
+  for (const auto& [name, docs] : collections_) {
+    if (!docs.empty()) {
+      names.push_back(name);
+    }
+  }
+  return names;  // std::map iterates in sorted key order
 }
 
 size_t InMemoryDocumentStore::TotalStoredBytes() const {
@@ -254,6 +270,27 @@ Result<std::vector<std::string>> PersistentDocumentStore::ListIds(
   return ids;
 }
 
+Result<std::vector<std::string>> PersistentDocumentStore::ListCollections() {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) {
+      continue;
+    }
+    // Only collections that currently hold documents count; an empty
+    // directory is an artifact, not data, and must not skew anti-entropy.
+    const std::string dir = entry.path().string();
+    if (util::CountFilesWithSuffix(dir, kJsonSuffix) > 0) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) {
+    return Status::IoError("cannot list " + root_ + ": " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 size_t PersistentDocumentStore::TotalStoredBytes() const {
   return util::TotalBytesWithSuffix(root_, kJsonSuffix, /*recursive=*/true);
 }
@@ -265,10 +302,11 @@ size_t PersistentDocumentStore::DocumentCount() const {
 Result<std::string> RemoteDocumentStore::Insert(const std::string& collection,
                                                 json::Value doc) {
   const size_t request_bytes = collection.size() + doc.Dump().size();
+  simnet::Network::OpScope scope(network_, "doc.insert");
   return retrier_.Run([&]() -> Result<std::string> {
     // Request carries the document. A corrupted upload is malformed JSON at
     // the receiver and rejected before the backend mutates.
-    simnet::TransferAttempt request = network_->TryTransfer(request_bytes);
+    simnet::TransferAttempt request = Attempt(request_bytes);
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("insert rejected: document corrupted in flight");
@@ -283,10 +321,11 @@ Result<std::string> RemoteDocumentStore::Insert(const std::string& collection,
 
 Result<std::string> RemoteDocumentStore::AllocateDocId(
     const std::string& collection) {
+  simnet::Network::OpScope scope(network_, "doc.alloc");
   return retrier_.Run([&]() -> Result<std::string> {
     // A lost request burns an id on the backend's generator; ids are never
     // reused, so a re-sent allocation is harmless.
-    simnet::TransferAttempt request = network_->TryTransfer(collection.size());
+    simnet::TransferAttempt request = Attempt(collection.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
@@ -303,10 +342,11 @@ Status RemoteDocumentStore::InsertWithId(const std::string& collection,
                                          json::Value doc) {
   const size_t request_bytes =
       collection.size() + id.size() + doc.Dump().size();
+  simnet::Network::OpScope scope(network_, "doc.insert");
   return retrier_.Run([&]() -> Status {
     // Writing a pre-allocated id is idempotent (same id, same document), so
     // unlike Insert a retried upload cannot create a duplicate.
-    simnet::TransferAttempt request = network_->TryTransfer(request_bytes);
+    simnet::TransferAttempt request = Attempt(request_bytes);
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("insert rejected: document corrupted in flight");
@@ -319,16 +359,17 @@ Status RemoteDocumentStore::InsertWithId(const std::string& collection,
 
 Result<json::Value> RemoteDocumentStore::Get(const std::string& collection,
                                              const std::string& id) {
+  simnet::Network::OpScope scope(network_, "doc.get");
   return retrier_.Run([&]() -> Result<json::Value> {
     simnet::TransferAttempt request =
-        network_->TryTransfer(collection.size() + id.size());
+        Attempt(collection.size() + id.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
     }
     MMLIB_ASSIGN_OR_RETURN(json::Value doc, backend_->Get(collection, id));
     simnet::TransferAttempt response =
-        network_->TryTransfer(doc.Dump().size());
+        Attempt(doc.Dump().size());
     MMLIB_RETURN_IF_ERROR(response.status);
     if (response.corrupted) {
       // A damaged document no longer parses as JSON; the client detects the
@@ -341,9 +382,10 @@ Result<json::Value> RemoteDocumentStore::Get(const std::string& collection,
 
 Status RemoteDocumentStore::Delete(const std::string& collection,
                                    const std::string& id) {
+  simnet::Network::OpScope scope(network_, "doc.delete");
   return retrier_.Run([&]() -> Status {
     simnet::TransferAttempt request =
-        network_->TryTransfer(collection.size() + id.size());
+        Attempt(collection.size() + id.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
@@ -356,15 +398,16 @@ Status RemoteDocumentStore::Delete(const std::string& collection,
 
 Result<std::vector<std::string>> RemoteDocumentStore::ListIds(
     const std::string& collection) {
+  simnet::Network::OpScope scope(network_, "doc.list");
   return retrier_.Run([&]() -> Result<std::vector<std::string>> {
-    simnet::TransferAttempt request = network_->TryTransfer(collection.size());
+    simnet::TransferAttempt request = Attempt(collection.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
     }
     MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
                            backend_->ListIds(collection));
-    simnet::TransferAttempt response = network_->TryTransfer(IdListBytes(ids));
+    simnet::TransferAttempt response = Attempt(IdListBytes(ids));
     MMLIB_RETURN_IF_ERROR(response.status);
     if (response.corrupted) {
       return Status::Unavailable("response corrupted in flight");
@@ -377,8 +420,9 @@ Result<std::vector<std::string>> RemoteDocumentStore::FindByField(
     const std::string& collection, const std::string& key,
     const std::string& value) {
   // The query executes on the database host; only the matching ids travel.
+  simnet::Network::OpScope scope(network_, "doc.find");
   return retrier_.Run([&]() -> Result<std::vector<std::string>> {
-    simnet::TransferAttempt request = network_->TryTransfer(
+    simnet::TransferAttempt request = Attempt(
         collection.size() + key.size() + value.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
@@ -386,12 +430,53 @@ Result<std::vector<std::string>> RemoteDocumentStore::FindByField(
     }
     MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
                            backend_->FindByField(collection, key, value));
-    simnet::TransferAttempt response = network_->TryTransfer(IdListBytes(ids));
+    simnet::TransferAttempt response = Attempt(IdListBytes(ids));
     MMLIB_RETURN_IF_ERROR(response.status);
     if (response.corrupted) {
       return Status::Unavailable("response corrupted in flight");
     }
     return ids;
+  });
+}
+
+Result<std::vector<std::string>> RemoteDocumentStore::ListCollections() {
+  simnet::Network::OpScope scope(network_, "doc.list");
+  return retrier_.Run([&]() -> Result<std::vector<std::string>> {
+    simnet::TransferAttempt request = Attempt(kScalarResponseBytes);
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           backend_->ListCollections());
+    simnet::TransferAttempt response = Attempt(IdListBytes(names));
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return names;
+  });
+}
+
+Result<Digest> RemoteDocumentStore::DocumentDigest(
+    const std::string& collection, const std::string& id) {
+  simnet::Network::OpScope scope(network_, "doc.digest");
+  return retrier_.Run([&]() -> Result<Digest> {
+    simnet::TransferAttempt request = Attempt(collection.size() + id.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    // The server hashes where the document lives; only the 32-byte digest
+    // travels. This is what makes anti-entropy probes cheap.
+    MMLIB_ASSIGN_OR_RETURN(Digest digest,
+                           backend_->DocumentDigest(collection, id));
+    simnet::TransferAttempt response = Attempt(sizeof(digest.bytes));
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return digest;
   });
 }
 

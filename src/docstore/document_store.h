@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "hash/sha256.h"
 #include "json/json.h"
 #include "simnet/network.h"
 #include "simnet/retry.h"
@@ -67,6 +68,20 @@ class DocumentStore {
       const std::string& collection, const std::string& key,
       const std::string& value);
 
+  /// Names of all non-empty collections, sorted — the enumeration primitive
+  /// of the replication scrubber. Stores that cannot enumerate report
+  /// Unimplemented.
+  virtual Result<std::vector<std::string>> ListCollections() {
+    return Status::Unimplemented("store does not support enumeration");
+  }
+
+  /// SHA-256 of the canonical serialization of a stored document (with its
+  /// "_id" member) — computed where the document lives, so a replica can
+  /// answer an anti-entropy probe without shipping the document. The base
+  /// implementation loads and hashes locally.
+  virtual Result<Digest> DocumentDigest(const std::string& collection,
+                                        const std::string& id);
+
   /// Total bytes of all stored documents (canonical serialization).
   virtual size_t TotalStoredBytes() const = 0;
 
@@ -89,6 +104,7 @@ class InMemoryDocumentStore : public DocumentStore {
   Status Delete(const std::string& collection, const std::string& id) override;
   Result<std::vector<std::string>> ListIds(
       const std::string& collection) override;
+  Result<std::vector<std::string>> ListCollections() override;
   size_t TotalStoredBytes() const override;
   size_t DocumentCount() const override;
 
@@ -121,6 +137,7 @@ class PersistentDocumentStore : public DocumentStore {
   Status Delete(const std::string& collection, const std::string& id) override;
   Result<std::vector<std::string>> ListIds(
       const std::string& collection) override;
+  Result<std::vector<std::string>> ListCollections() override;
   size_t TotalStoredBytes() const override;
   size_t DocumentCount() const override;
 
@@ -154,8 +171,21 @@ class RemoteDocumentStore : public DocumentStore {
     retrier_ = simnet::Retrier(policy, network_);
   }
 
+  /// Routes this store's messages to simnet replica node `replica` — while
+  /// that replica is down or partitioned away, every faultable operation
+  /// fails Unavailable. The replicated store binds one RemoteDocumentStore
+  /// per backend replica.
+  void BindReplica(size_t replica) { replica_ = replica; }
+  size_t bound_replica() const { return replica_; }
+
   /// Retries performed (attempts beyond the first) across all operations.
   uint64_t retry_count() const { return retrier_.retry_count(); }
+
+  /// Operations abandoned because the retry budget ran out (fail-fast path
+  /// of below-quorum reads; see RetryPolicy::total_deadline_seconds).
+  uint64_t deadline_exhausted_count() const {
+    return retrier_.deadline_exhausted_count();
+  }
 
   Result<std::string> Insert(const std::string& collection,
                              json::Value doc) override;
@@ -170,13 +200,29 @@ class RemoteDocumentStore : public DocumentStore {
   Result<std::vector<std::string>> FindByField(
       const std::string& collection, const std::string& key,
       const std::string& value) override;
+  Result<std::vector<std::string>> ListCollections() override;
+  Result<Digest> DocumentDigest(const std::string& collection,
+                                const std::string& id) override;
   size_t TotalStoredBytes() const override;
   size_t DocumentCount() const override;
 
+  /// The wrapped backend (the scrubber repairs replicas through it).
+  DocumentStore* backend() const { return backend_; }
+
  private:
+  /// One faultable message of `bytes` to this store's server: the bound
+  /// replica node when set, the anonymous shared server otherwise.
+  simnet::TransferAttempt Attempt(uint64_t bytes) {
+    if (replica_ != simnet::kNoReplica) {
+      return network_->TryTransferToReplica(replica_, bytes);
+    }
+    return network_->TryTransfer(bytes);
+  }
+
   DocumentStore* backend_;
   simnet::Network* network_;
   simnet::Retrier retrier_;
+  size_t replica_ = simnet::kNoReplica;
 };
 
 }  // namespace mmlib::docstore

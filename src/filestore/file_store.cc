@@ -1,5 +1,7 @@
 #include "filestore/file_store.h"
 
+#include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -19,6 +21,11 @@ constexpr const char* kBinSuffix = ".bin";
 constexpr uint64_t kScalarResponseBytes = sizeof(uint64_t);
 
 }  // namespace
+
+Result<Digest> FileStore::ContentDigest(const std::string& id) {
+  MMLIB_ASSIGN_OR_RETURN(Bytes content, LoadFile(id));
+  return Sha256::Hash(content);
+}
 
 InMemoryFileStore::InMemoryFileStore() : id_generator_(0xf17e) {}
 
@@ -59,6 +66,15 @@ Result<size_t> InMemoryFileStore::FileSize(const std::string& id) {
     return Status::NotFound("no file " + id);
   }
   return it->second.size();
+}
+
+Result<std::vector<std::string>> InMemoryFileStore::ListFileIds() {
+  std::vector<std::string> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, content] : files_) {
+    ids.push_back(id);
+  }
+  return ids;  // std::map iterates in sorted key order
 }
 
 size_t InMemoryFileStore::TotalStoredBytes() const {
@@ -165,6 +181,22 @@ Result<size_t> LocalDirFileStore::FileSize(const std::string& id) {
   return static_cast<size_t>(size);
 }
 
+Result<std::vector<std::string>> LocalDirFileStore::ListFileIds() {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (EndsWith(name, kBinSuffix)) {
+      ids.push_back(name.substr(0, name.size() - std::strlen(kBinSuffix)));
+    }
+  }
+  if (ec) {
+    return Status::IoError("cannot list " + root_ + ": " + ec.message());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 size_t LocalDirFileStore::TotalStoredBytes() const {
   return util::TotalBytesWithSuffix(root_, kBinSuffix);
 }
@@ -174,11 +206,12 @@ size_t LocalDirFileStore::FileCount() const {
 }
 
 Result<std::string> RemoteFileStore::SaveFile(const Bytes& content) {
+  simnet::Network::OpScope scope(network_, "file.save");
   return retrier_.Run([&]() -> Result<std::string> {
     // Request carries the payload. A corrupted upload is caught by the
     // receiver's checksum and rejected before the backend mutates, keeping
     // writes at-most-once.
-    simnet::TransferAttempt request = network_->TryTransfer(content.size());
+    simnet::TransferAttempt request = Attempt(content.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("upload rejected: payload corrupted in flight");
@@ -192,11 +225,11 @@ Result<std::string> RemoteFileStore::SaveFile(const Bytes& content) {
 }
 
 Result<std::string> RemoteFileStore::AllocateFileId() {
+  simnet::Network::OpScope scope(network_, "file.alloc");
   return retrier_.Run([&]() -> Result<std::string> {
     // A lost request burns an id on the backend's generator; ids are never
     // reused, so a re-sent allocation is harmless.
-    simnet::TransferAttempt request =
-        network_->TryTransfer(kScalarResponseBytes);
+    simnet::TransferAttempt request = Attempt(kScalarResponseBytes);
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
@@ -209,11 +242,11 @@ Result<std::string> RemoteFileStore::AllocateFileId() {
 
 Status RemoteFileStore::WriteAllocated(const std::string& id,
                                        const Bytes& content) {
+  simnet::Network::OpScope scope(network_, "file.write");
   return retrier_.Run([&]() -> Status {
     // Writing a pre-allocated id is idempotent (same id, same content), so
     // unlike SaveFile a retried upload cannot create a duplicate.
-    simnet::TransferAttempt request =
-        network_->TryTransfer(id.size() + content.size());
+    simnet::TransferAttempt request = Attempt(id.size() + content.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("upload rejected: payload corrupted in flight");
@@ -225,14 +258,15 @@ Status RemoteFileStore::WriteAllocated(const std::string& id,
 }
 
 Result<Bytes> RemoteFileStore::LoadFile(const std::string& id) {
+  simnet::Network::OpScope scope(network_, "file.load");
   return retrier_.Run([&]() -> Result<Bytes> {
-    simnet::TransferAttempt request = network_->TryTransfer(id.size());
+    simnet::TransferAttempt request = Attempt(id.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
     }
     MMLIB_ASSIGN_OR_RETURN(Bytes content, backend_->LoadFile(id));
-    simnet::TransferAttempt response = network_->TryTransfer(content.size());
+    simnet::TransferAttempt response = Attempt(content.size());
     MMLIB_RETURN_IF_ERROR(response.status);
     if (response.corrupted) {
       // Delivered damaged: end-to-end integrity (per-chunk CRC-32 in the
@@ -244,8 +278,9 @@ Result<Bytes> RemoteFileStore::LoadFile(const std::string& id) {
 }
 
 Status RemoteFileStore::Delete(const std::string& id) {
+  simnet::Network::OpScope scope(network_, "file.delete");
   return retrier_.Run([&]() -> Status {
-    simnet::TransferAttempt request = network_->TryTransfer(id.size());
+    simnet::TransferAttempt request = Attempt(id.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
@@ -257,20 +292,65 @@ Status RemoteFileStore::Delete(const std::string& id) {
 }
 
 Result<size_t> RemoteFileStore::FileSize(const std::string& id) {
+  simnet::Network::OpScope scope(network_, "file.size");
   return retrier_.Run([&]() -> Result<size_t> {
-    simnet::TransferAttempt request = network_->TryTransfer(id.size());
+    simnet::TransferAttempt request = Attempt(id.size());
     MMLIB_RETURN_IF_ERROR(request.status);
     if (request.corrupted) {
       return Status::Unavailable("request corrupted in flight");
     }
     MMLIB_ASSIGN_OR_RETURN(size_t size, backend_->FileSize(id));
-    simnet::TransferAttempt response =
-        network_->TryTransfer(kScalarResponseBytes);
+    simnet::TransferAttempt response = Attempt(kScalarResponseBytes);
     MMLIB_RETURN_IF_ERROR(response.status);
     if (response.corrupted) {
       return Status::Unavailable("response corrupted in flight");
     }
     return size;
+  });
+}
+
+Result<std::vector<std::string>> RemoteFileStore::ListFileIds() {
+  simnet::Network::OpScope scope(network_, "file.list");
+  return retrier_.Run([&]() -> Result<std::vector<std::string>> {
+    simnet::TransferAttempt request = Attempt(kScalarResponseBytes);
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    MMLIB_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                           backend_->ListFileIds());
+    uint64_t listing_bytes = 0;
+    for (const std::string& id : ids) {
+      listing_bytes += id.size();
+    }
+    simnet::TransferAttempt response = Attempt(listing_bytes);
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      // A listing is length-prefixed and self-describing; a damaged one is
+      // rejected by the receiver, never delivered as a wrong id set.
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return ids;
+  });
+}
+
+Result<Digest> RemoteFileStore::ContentDigest(const std::string& id) {
+  simnet::Network::OpScope scope(network_, "file.digest");
+  return retrier_.Run([&]() -> Result<Digest> {
+    simnet::TransferAttempt request = Attempt(id.size());
+    MMLIB_RETURN_IF_ERROR(request.status);
+    if (request.corrupted) {
+      return Status::Unavailable("request corrupted in flight");
+    }
+    // The server hashes where the bytes live; only the 32-byte digest
+    // travels. This is what makes anti-entropy probes cheap.
+    MMLIB_ASSIGN_OR_RETURN(Digest digest, backend_->ContentDigest(id));
+    simnet::TransferAttempt response = Attempt(sizeof(digest.bytes));
+    MMLIB_RETURN_IF_ERROR(response.status);
+    if (response.corrupted) {
+      return Status::Unavailable("response corrupted in flight");
+    }
+    return digest;
   });
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "hash/sha256.h"
 #include "simnet/network.h"
 #include "simnet/retry.h"
 #include "util/bytes.h"
@@ -52,6 +53,24 @@ class FileStore {
   /// Size of a stored file in bytes.
   virtual Result<size_t> FileSize(const std::string& id) = 0;
 
+  /// Ids of all stored files, sorted — the enumeration primitive of the
+  /// replication scrubber (repl::Scrubber). Stores that cannot enumerate
+  /// report Unimplemented.
+  virtual Result<std::vector<std::string>> ListFileIds() {
+    return Status::Unimplemented("store does not support enumeration");
+  }
+
+  /// SHA-256 of the stored content — computed where the bytes live, so a
+  /// replica can answer an anti-entropy probe without shipping the file.
+  /// The base implementation loads and hashes locally.
+  virtual Result<Digest> ContentDigest(const std::string& id);
+
+  /// Hint from a caller whose end-to-end integrity check (per-chunk CRC-32)
+  /// rejected the bytes this store returned for `id`. Plain stores ignore
+  /// it; the replicated store uses it to steer the next fetch to a
+  /// different replica and queue a read-repair.
+  virtual void ReportDamaged(const std::string& id) { (void)id; }
+
   /// Total bytes of all stored files.
   virtual size_t TotalStoredBytes() const = 0;
 
@@ -70,6 +89,7 @@ class InMemoryFileStore : public FileStore {
   Result<Bytes> LoadFile(const std::string& id) override;
   Status Delete(const std::string& id) override;
   Result<size_t> FileSize(const std::string& id) override;
+  Result<std::vector<std::string>> ListFileIds() override;
   size_t TotalStoredBytes() const override;
   size_t FileCount() const override { return files_.size(); }
 
@@ -98,6 +118,7 @@ class LocalDirFileStore : public FileStore {
   Result<Bytes> LoadFile(const std::string& id) override;
   Status Delete(const std::string& id) override;
   Result<size_t> FileSize(const std::string& id) override;
+  Result<std::vector<std::string>> ListFileIds() override;
   size_t TotalStoredBytes() const override;
   size_t FileCount() const override;
 
@@ -131,8 +152,21 @@ class RemoteFileStore : public FileStore {
     retrier_ = simnet::Retrier(policy, network_);
   }
 
+  /// Routes this store's messages to simnet replica node `replica` — while
+  /// that replica is down or partitioned away, every faultable operation
+  /// fails Unavailable. The replicated store binds one RemoteFileStore per
+  /// backend replica.
+  void BindReplica(size_t replica) { replica_ = replica; }
+  size_t bound_replica() const { return replica_; }
+
   /// Retries performed (attempts beyond the first) across all operations.
   uint64_t retry_count() const { return retrier_.retry_count(); }
+
+  /// Operations abandoned because the retry budget ran out (fail-fast path
+  /// of below-quorum reads; see RetryPolicy::total_deadline_seconds).
+  uint64_t deadline_exhausted_count() const {
+    return retrier_.deadline_exhausted_count();
+  }
 
   Result<std::string> SaveFile(const Bytes& content) override;
   Result<std::string> AllocateFileId() override;
@@ -140,13 +174,28 @@ class RemoteFileStore : public FileStore {
   Result<Bytes> LoadFile(const std::string& id) override;
   Status Delete(const std::string& id) override;
   Result<size_t> FileSize(const std::string& id) override;
+  Result<std::vector<std::string>> ListFileIds() override;
+  Result<Digest> ContentDigest(const std::string& id) override;
   size_t TotalStoredBytes() const override;
   size_t FileCount() const override;
 
+  /// The wrapped backend (the scrubber repairs replicas through it).
+  FileStore* backend() const { return backend_; }
+
  private:
+  /// One faultable message of `bytes` to this store's server: the bound
+  /// replica node when set, the anonymous shared server otherwise.
+  simnet::TransferAttempt Attempt(uint64_t bytes) {
+    if (replica_ != simnet::kNoReplica) {
+      return network_->TryTransferToReplica(replica_, bytes);
+    }
+    return network_->TryTransfer(bytes);
+  }
+
   FileStore* backend_;
   simnet::Network* network_;
   simnet::Retrier retrier_;
+  size_t replica_ = simnet::kNoReplica;
 };
 
 }  // namespace mmlib::filestore

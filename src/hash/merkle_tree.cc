@@ -1,5 +1,7 @@
 #include "hash/merkle_tree.h"
 
+#include <algorithm>
+
 #include "hash/sha256.h"
 #include "util/bytes.h"
 
@@ -76,6 +78,50 @@ Bytes MerkleTree::Serialize() const {
   serialized.insert(serialized.end(), trailer_bytes.begin(),
                     trailer_bytes.end());
   return serialized;
+}
+
+size_t BucketForKey(std::string_view key, size_t bucket_count) {
+  if (bucket_count == 0) {
+    return 0;
+  }
+  return Crc32(reinterpret_cast<const uint8_t*>(key.data()), key.size()) %
+         bucket_count;
+}
+
+Result<MerkleTree> BuildBucketTree(std::vector<KeyedDigest> items,
+                                   size_t bucket_count) {
+  if (bucket_count == 0) {
+    return Status::InvalidArgument("bucket tree requires at least one bucket");
+  }
+  // Sorting by key makes the bucket digests independent of enumeration
+  // order, so any two replicas holding the same items build the same tree.
+  std::sort(items.begin(), items.end());
+  std::vector<Sha256> hashers(bucket_count);
+  std::vector<bool> occupied(bucket_count, false);
+  for (const auto& [key, digest] : items) {
+    const size_t bucket = BucketForKey(key, bucket_count);
+    Sha256& hasher = hashers[bucket];
+    // Key length (little-endian, so the digest is endianness-independent)
+    // guards against ambiguous concatenations of key bytes and digest bytes
+    // across adjacent items.
+    uint8_t length_bytes[8];
+    uint64_t key_size = key.size();
+    for (uint8_t& b : length_bytes) {
+      b = static_cast<uint8_t>(key_size & 0xff);
+      key_size >>= 8;
+    }
+    hasher.Update(length_bytes, sizeof(length_bytes));
+    hasher.Update(key);
+    hasher.Update(digest.bytes.data(), digest.bytes.size());
+    occupied[bucket] = true;
+  }
+  std::vector<Digest> leaves(bucket_count);
+  for (size_t b = 0; b < bucket_count; ++b) {
+    if (occupied[b]) {
+      leaves[b] = hashers[b].Finish();
+    }  // An empty bucket keeps the all-zero digest.
+  }
+  return MerkleTree::Build(std::move(leaves));
 }
 
 Result<MerkleTree> MerkleTree::Deserialize(const Bytes& data) {

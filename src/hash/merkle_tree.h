@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "hash/sha256.h"
@@ -66,6 +69,28 @@ class MerkleTree {
   size_t leaf_count_ = 0;
   size_t padded_leaves_ = 0;
 };
+
+/// Leaf count of the replication anti-entropy tree (repl::Scrubber). Keys
+/// hash into this many fixed buckets, so two replicas can compare trees of
+/// identical shape whatever their item counts — the Cassandra-style variant
+/// of the paper's per-layer tree.
+inline constexpr size_t kScrubBucketCount = 64;
+
+/// Stable bucket index of a storage key in [0, bucket_count); a pure
+/// function of the key, identical on every replica.
+size_t BucketForKey(std::string_view key, size_t bucket_count = kScrubBucketCount);
+
+/// One (key, content-digest) item of a replica's inventory.
+using KeyedDigest = std::pair<std::string, Digest>;
+
+/// Builds the anti-entropy tree of a replica's inventory: items are hashed
+/// into `bucket_count` buckets by key (BucketForKey), each bucket's leaf
+/// digests its items' keys and content digests in sorted key order, and an
+/// empty bucket digests to zero. Equal roots therefore mean identical key
+/// sets *and* identical contents; a diff names the buckets to reconcile.
+/// `items` need not be sorted.
+Result<MerkleTree> BuildBucketTree(std::vector<KeyedDigest> items,
+                                   size_t bucket_count = kScrubBucketCount);
 
 }  // namespace mmlib
 

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hash/merkle_tree.h"
+#include "repl/replicated_store.h"
+#include "simnet/network.h"
+
+namespace mmlib::repl {
+
+/// One anti-entropy pass over a replicated store pair's inventories.
+struct ScrubReport {
+  /// Pairwise sessions attempted (reachable pairs only).
+  uint64_t sessions = 0;
+  /// Sessions whose root digests already matched — the common case, and
+  /// the reason anti-entropy is cheap: one 32-byte message each way.
+  uint64_t root_matches = 0;
+  /// Merkle node comparisons performed while descending mismatched trees.
+  uint64_t bucket_comparisons = 0;
+  /// Entries re-copied (or re-deleted) to heal divergence.
+  uint64_t repaired_files = 0;
+  uint64_t repaired_documents = 0;
+  /// Divergent entries with no authority to decide (no recorded digest, no
+  /// majority); left alone for a later pass or a quorum write to settle.
+  uint64_t unresolved = 0;
+  /// True when, after repairs, every replica pair holds identical file and
+  /// document trees (only attainable while all replicas are reachable).
+  bool converged = false;
+};
+
+/// Merkle-tree anti-entropy between replica pairs, run on the virtual
+/// clock. Each replica builds a bucket tree over its inventory *locally*
+/// (hashing where the bytes live costs no network); a session then
+/// exchanges root digests, descends only into mismatched subtrees, and
+/// re-copies divergent entries — so bit-rot injected on one replica heals
+/// in O(log buckets) messages plus the damaged bytes, without any read
+/// having to observe it (paper Section 3.2's diff trick, turned into
+/// Cassandra-style replica repair).
+///
+/// Repair authority, per divergent key: a tombstone on the coordinator
+/// deletes straggler copies; a digest recorded at write time names the
+/// good replica; otherwise the majority of replicas decides; otherwise the
+/// entry is left unresolved. All replica mutation stays inside this class
+/// and the quorum writer (`no-direct-replica-write` lint rule).
+class Scrubber {
+ public:
+  /// Either store may be null (scrub files only / documents only).
+  /// Pointers are borrowed; both stores must share `network`.
+  Scrubber(ReplicatedFileStore* files, ReplicatedDocumentStore* docs,
+           simnet::Network* network, size_t bucket_count = kScrubBucketCount)
+      : files_(files),
+        docs_(docs),
+        network_(network),
+        bucket_count_(bucket_count) {}
+
+  /// Runs one full pass: every reachable replica pair, files then
+  /// documents. Deterministic: pairs in index order, keys in sorted order.
+  Result<ScrubReport> ScrubOnce();
+
+  /// Totals accumulated over all ScrubOnce calls.
+  const ScrubReport& lifetime() const { return lifetime_; }
+
+ private:
+  struct Inventory {
+    std::vector<KeyedDigest> items;
+    MerkleTree tree;
+  };
+
+  Result<Inventory> FileInventory(size_t replica) const;
+  Result<Inventory> DocInventory(size_t replica) const;
+
+  /// Reconciles one divergent key between replicas `a` and `b`;
+  /// `digest_a`/`digest_b` are null for a side missing the key.
+  Status ReconcileFile(size_t a, size_t b, const std::string& key,
+                       const Digest* digest_a, const Digest* digest_b,
+                       ScrubReport* report);
+  Status ReconcileDoc(size_t a, size_t b, const std::string& key,
+                      const Digest* digest_a, const Digest* digest_b,
+                      ScrubReport* report);
+
+  /// Copies file `key` from replica `from` to replica `to` (charged as
+  /// replica-to-replica traffic); deletes instead when `expected` is a
+  /// tombstone. Direct backend writes are legal here and only here.
+  Status RepairFileCopy(size_t from, size_t to, const std::string& key,
+                        ScrubReport* report);
+  Status RepairDocCopy(size_t from, size_t to, const std::string& key,
+                       ScrubReport* report);
+
+  /// Replica holding the digest most common across all replicas for `key`
+  /// (absence counts as a vote); kNoReplica on a tie. The majority fallback
+  /// when no write-time digest exists.
+  size_t MajorityFileHolder(const std::string& key, bool* delete_wins) const;
+  size_t MajorityDocHolder(const std::string& key, bool* delete_wins) const;
+
+  Status ScrubPairFiles(size_t a, size_t b, ScrubReport* report);
+  Status ScrubPairDocs(size_t a, size_t b, ScrubReport* report);
+  bool CheckConverged() const;
+
+  ReplicatedFileStore* files_;
+  ReplicatedDocumentStore* docs_;
+  simnet::Network* network_;
+  size_t bucket_count_;
+  ScrubReport lifetime_;
+};
+
+}  // namespace mmlib::repl

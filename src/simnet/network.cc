@@ -1,13 +1,13 @@
 #include "simnet/network.h"
 
+#include <algorithm>
+
 namespace mmlib::simnet {
 
 void Network::set_fault_plan(const FaultPlan& plan) {
   fault_plan_ = plan;
   fault_rng_ = Rng(plan.seed);
-  drop_count_ = 0;
-  timeout_count_ = 0;
-  corruption_count_ = 0;
+  ResetFaultCounters();
 }
 
 double Network::Transfer(uint64_t bytes) {
@@ -18,26 +18,40 @@ double Network::Transfer(uint64_t bytes) {
   return seconds;
 }
 
-TransferAttempt Network::TryTransfer(uint64_t bytes) {
+void Network::CountFault(FaultCounters* replica_faults,
+                         uint64_t FaultCounters::* kind) {
+  ++(faults_.*kind);
+  if (current_op_ != nullptr) {
+    ++(per_op_faults_[current_op_].*kind);
+  }
+  if (replica_faults != nullptr) {
+    ++(replica_faults->*kind);
+  }
+}
+
+TransferAttempt Network::AttemptWithPlan(const FaultPlan& plan, Rng* rng,
+                                         uint64_t bytes,
+                                         ReplicaState* replica) {
   TransferAttempt attempt;
-  if (!fault_plan_.active()) {
+  if (!plan.active()) {
     attempt.seconds = Transfer(bytes);
     return attempt;
   }
   ++message_count_;
   // One uniform draw per message keeps the fault stream's consumption a pure
   // function of the message sequence, whatever the outcome.
-  const double u = fault_rng_.NextDouble();
-  if (u < fault_plan_.drop_probability) {
-    ++drop_count_;
+  const double u = rng->NextDouble();
+  FaultCounters* replica_faults = replica ? &replica->faults : nullptr;
+  if (u < plan.drop_probability) {
+    CountFault(replica_faults, &FaultCounters::drops);
     attempt.seconds = link_.latency_seconds;
     clock_.AdvanceSeconds(attempt.seconds);
     attempt.status = Status::Unavailable("message dropped in flight");
     return attempt;
   }
-  if (u < fault_plan_.drop_probability + fault_plan_.timeout_probability) {
-    ++timeout_count_;
-    attempt.seconds = fault_plan_.timeout_seconds;
+  if (u < plan.drop_probability + plan.timeout_probability) {
+    CountFault(replica_faults, &FaultCounters::timeouts);
+    attempt.seconds = plan.timeout_seconds;
     clock_.AdvanceSeconds(attempt.seconds);
     attempt.status = Status::DeadlineExceeded("message timed out");
     return attempt;
@@ -45,12 +59,16 @@ TransferAttempt Network::TryTransfer(uint64_t bytes) {
   attempt.seconds = link_.TransferSeconds(bytes);
   clock_.AdvanceSeconds(attempt.seconds);
   total_bytes_ += bytes;
-  if (u < fault_plan_.drop_probability + fault_plan_.timeout_probability +
-              fault_plan_.corrupt_probability) {
-    ++corruption_count_;
+  if (u < plan.drop_probability + plan.timeout_probability +
+              plan.corrupt_probability) {
+    CountFault(replica_faults, &FaultCounters::corruptions);
     attempt.corrupted = true;
   }
   return attempt;
+}
+
+TransferAttempt Network::TryTransfer(uint64_t bytes) {
+  return AttemptWithPlan(fault_plan_, &fault_rng_, bytes, nullptr);
 }
 
 void Network::CorruptPayload(Bytes* payload) {
@@ -63,6 +81,17 @@ void Network::CorruptPayload(Bytes* payload) {
 
 void Network::ChargeSeconds(double seconds) {
   clock_.AdvanceSeconds(seconds);
+}
+
+void Network::ResetFaultCounters() {
+  faults_ = FaultCounters{};
+  per_op_faults_.clear();
+  for (ReplicaState& replica : replicas_) {
+    replica.faults = FaultCounters{};
+    replica.rejects = 0;
+    replica.crashes = 0;
+    replica.restarts = 0;
+  }
 }
 
 void Network::ConfigureNodes(size_t count) {
@@ -117,18 +146,265 @@ TransferAttempt Network::TryTransferToNode(size_t node, uint64_t bytes) {
   return TryTransfer(bytes);
 }
 
+void Network::ConfigureReplicas(size_t count) {
+  replicas_.clear();
+  replicas_.resize(count);
+  replica_events_.clear();
+}
+
+Status Network::SetReplicaFaultPlan(size_t replica, const FaultPlan& plan) {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                   " is not configured");
+  }
+  ReplicaState& state = replicas_[replica];
+  state.has_plan = plan.active();
+  state.plan = plan;
+  state.rng = Rng(plan.seed);
+  return Status::OK();
+}
+
+Status Network::CrashReplica(size_t replica) {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                   " is not configured");
+  }
+  if (!replicas_[replica].up) {
+    return Status::FailedPrecondition("replica " + std::to_string(replica) +
+                                      " is already down");
+  }
+  replicas_[replica].up = false;
+  ++replicas_[replica].crashes;
+  ++crash_count_;
+  clock_.AdvanceSeconds(node_costs_.crash_detect_seconds);
+  return Status::OK();
+}
+
+Status Network::RestartReplica(size_t replica) {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                   " is not configured");
+  }
+  if (replicas_[replica].up) {
+    return Status::FailedPrecondition("replica " + std::to_string(replica) +
+                                      " is already up");
+  }
+  replicas_[replica].up = true;
+  ++replicas_[replica].restarts;
+  ++restart_count_;
+  clock_.AdvanceSeconds(node_costs_.restart_seconds);
+  return Status::OK();
+}
+
+Status Network::Partition(const std::vector<std::vector<size_t>>& groups) {
+  std::vector<int> assignment(replicas_.size(), 0);
+  std::vector<bool> seen(replicas_.size(), false);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t replica : groups[g]) {
+      if (replica >= replicas_.size()) {
+        return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                       " is not configured");
+      }
+      if (seen[replica]) {
+        return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                       " listed in more than one group");
+      }
+      seen[replica] = true;
+      assignment[replica] = static_cast<int>(g) + 1;
+    }
+  }
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    replicas_[r].group = assignment[r];
+  }
+  ++partition_count_;
+  return Status::OK();
+}
+
+void Network::Heal() {
+  for (ReplicaState& replica : replicas_) {
+    replica.group = 0;
+  }
+  ++heal_count_;
+}
+
+void Network::ScheduleReplicaCrash(size_t replica, double at_seconds) {
+  ReplicaEvent event;
+  event.at_seconds = at_seconds;
+  event.kind = ReplicaEvent::Kind::kCrash;
+  event.replica = replica;
+  replica_events_.push_back(std::move(event));
+  std::stable_sort(replica_events_.begin(), replica_events_.end(),
+                   [](const ReplicaEvent& a, const ReplicaEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+}
+
+void Network::ScheduleReplicaRestart(size_t replica, double at_seconds) {
+  ReplicaEvent event;
+  event.at_seconds = at_seconds;
+  event.kind = ReplicaEvent::Kind::kRestart;
+  event.replica = replica;
+  replica_events_.push_back(std::move(event));
+  std::stable_sort(replica_events_.begin(), replica_events_.end(),
+                   [](const ReplicaEvent& a, const ReplicaEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+}
+
+void Network::SchedulePartition(double at_seconds,
+                                std::vector<std::vector<size_t>> groups) {
+  ReplicaEvent event;
+  event.at_seconds = at_seconds;
+  event.kind = ReplicaEvent::Kind::kPartition;
+  event.groups = std::move(groups);
+  replica_events_.push_back(std::move(event));
+  std::stable_sort(replica_events_.begin(), replica_events_.end(),
+                   [](const ReplicaEvent& a, const ReplicaEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+}
+
+void Network::ScheduleHeal(double at_seconds) {
+  ReplicaEvent event;
+  event.at_seconds = at_seconds;
+  event.kind = ReplicaEvent::Kind::kHeal;
+  replica_events_.push_back(std::move(event));
+  std::stable_sort(replica_events_.begin(), replica_events_.end(),
+                   [](const ReplicaEvent& a, const ReplicaEvent& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+}
+
+void Network::ApplyDueReplicaEvents() {
+  // Applying a crash/restart charges detection/restart time, which can make
+  // further events due; loop until the front of the queue is in the future.
+  while (!replica_events_.empty() &&
+         replica_events_.front().at_seconds <= clock_.NowSeconds()) {
+    ReplicaEvent event = std::move(replica_events_.front());
+    replica_events_.erase(replica_events_.begin());
+    switch (event.kind) {
+      case ReplicaEvent::Kind::kCrash:
+        // Crashing an already-down replica is a no-op, not an error: a
+        // schedule derived from a random seed may race its own restarts.
+        (void)CrashReplica(event.replica);
+        break;
+      case ReplicaEvent::Kind::kRestart:
+        (void)RestartReplica(event.replica);
+        break;
+      case ReplicaEvent::Kind::kPartition:
+        (void)Partition(event.groups);
+        break;
+      case ReplicaEvent::Kind::kHeal:
+        Heal();
+        break;
+    }
+  }
+}
+
+TransferAttempt Network::TryTransferToReplica(size_t replica, uint64_t bytes) {
+  ApplyDueReplicaEvents();
+  if (!IsReplicaReachable(replica)) {
+    // Same accounting as a down participant node: one latency charge, no
+    // fault draw, so crash/partition windows never shift later fault
+    // decisions on the surviving replicas.
+    TransferAttempt attempt;
+    ++message_count_;
+    ++replica_reject_count_;
+    if (replica < replicas_.size()) {
+      ++replicas_[replica].rejects;
+    }
+    attempt.seconds = link_.latency_seconds;
+    clock_.AdvanceSeconds(attempt.seconds);
+    attempt.status = Status::Unavailable(
+        "replica " + std::to_string(replica) + " is unreachable");
+    return attempt;
+  }
+  ReplicaState& state = replicas_[replica];
+  if (state.has_plan) {
+    return AttemptWithPlan(state.plan, &state.rng, bytes, &state);
+  }
+  return AttemptWithPlan(fault_plan_, &fault_rng_, bytes, &state);
+}
+
+TransferAttempt Network::TryTransferBetweenReplicas(size_t from, size_t to,
+                                                    uint64_t bytes) {
+  ApplyDueReplicaEvents();
+  if (!ReplicaPairReachable(from, to)) {
+    TransferAttempt attempt;
+    ++message_count_;
+    ++replica_reject_count_;
+    if (to < replicas_.size()) {
+      ++replicas_[to].rejects;
+    }
+    attempt.seconds = link_.latency_seconds;
+    clock_.AdvanceSeconds(attempt.seconds);
+    attempt.status = Status::Unavailable(
+        "replicas " + std::to_string(from) + " and " + std::to_string(to) +
+        " cannot reach each other");
+    return attempt;
+  }
+  TransferAttempt attempt;
+  attempt.seconds = Transfer(bytes);
+  return attempt;
+}
+
+Result<FaultCounters> Network::ReplicaFaultCounters(size_t replica) const {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                   " is not configured");
+  }
+  return replicas_[replica].faults;
+}
+
+Result<uint64_t> Network::ReplicaRejectCount(size_t replica) const {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                   " is not configured");
+  }
+  return replicas_[replica].rejects;
+}
+
+Result<uint64_t> Network::ReplicaCrashCount(size_t replica) const {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                   " is not configured");
+  }
+  return replicas_[replica].crashes;
+}
+
+Result<uint64_t> Network::ReplicaRestartCount(size_t replica) const {
+  if (replica >= replicas_.size()) {
+    return Status::InvalidArgument("replica " + std::to_string(replica) +
+                                   " is not configured");
+  }
+  return replicas_[replica].restarts;
+}
+
 void Network::Reset() {
   clock_ = VirtualClock();
   fault_rng_ = Rng(fault_plan_.seed);
   node_up_.assign(node_up_.size(), true);
+  const size_t replica_count = replicas_.size();
+  std::vector<ReplicaState> fresh(replica_count);
+  for (size_t r = 0; r < replica_count; ++r) {
+    if (replicas_[r].has_plan) {
+      fresh[r].has_plan = true;
+      fresh[r].plan = replicas_[r].plan;
+      fresh[r].rng = Rng(replicas_[r].plan.seed);
+    }
+  }
+  replicas_ = std::move(fresh);
+  replica_events_.clear();
   total_bytes_ = 0;
   message_count_ = 0;
-  drop_count_ = 0;
-  timeout_count_ = 0;
-  corruption_count_ = 0;
+  faults_ = FaultCounters{};
+  per_op_faults_.clear();
   crash_count_ = 0;
   restart_count_ = 0;
   down_node_reject_count_ = 0;
+  replica_reject_count_ = 0;
+  partition_count_ = 0;
+  heal_count_ = 0;
 }
 
 }  // namespace mmlib::simnet

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,23 @@ struct FaultPlan {
   }
 };
 
+/// Per-kind fault tally. Kept both globally, per operation type (see
+/// Network::OpScope), and per storage replica, so a multi-flow experiment
+/// can attribute faults to one flow and one operation instead of reading a
+/// counter that is cumulative across the whole process.
+struct FaultCounters {
+  uint64_t drops = 0;
+  uint64_t timeouts = 0;
+  uint64_t corruptions = 0;
+
+  uint64_t Total() const { return drops + timeouts + corruptions; }
+
+  bool operator==(const FaultCounters& other) const {
+    return drops == other.drops && timeouts == other.timeouts &&
+           corruptions == other.corruptions;
+  }
+};
+
 /// Virtual-time cost of node lifecycle events. Detection models the failure
 /// detector noticing a dead peer; restart models reboot plus process
 /// start-up before the node serves again.
@@ -77,9 +95,20 @@ struct TransferAttempt {
   double seconds = 0.0;
 };
 
+/// Replica node id meaning "not bound to a simulated replica" (clients that
+/// model a store without per-replica lifecycle).
+inline constexpr size_t kNoReplica = static_cast<size_t>(-1);
+
 /// Simulated network shared by the hosts of a distributed evaluation flow.
 /// Every transfer advances a virtual clock and is accounted, so experiments
 /// are deterministic and instantaneous regardless of modeled data volume.
+///
+/// Two independent node spaces exist: *participant nodes* (the training
+/// nodes of a DIST flow, ConfigureNodes) and *replica nodes* (the storage
+/// replicas of mmlib::repl, ConfigureReplicas). Replica nodes additionally
+/// support partition groups, per-replica fault plans with independent
+/// fault-decision streams, and crash/partition schedules driven by the
+/// virtual clock.
 class Network {
  public:
   explicit Network(Link link) : link_(link), fault_rng_(FaultPlan{}.seed) {}
@@ -112,6 +141,43 @@ class Network {
   /// waiting out a retry backoff.
   void ChargeSeconds(double seconds);
 
+  /// --- Per-operation fault attribution. ---
+  /// Scoped label naming the storage operation whose messages are in
+  /// flight; faults that fire while a scope is open are also tallied under
+  /// its label (PerOpFaultCounters). Scopes nest; the innermost label wins.
+  class OpScope {
+   public:
+    OpScope(Network* network, const char* op) : network_(network) {
+      if (network_ != nullptr) {
+        previous_ = network_->current_op_;
+        network_->current_op_ = op;
+      }
+    }
+    ~OpScope() {
+      if (network_ != nullptr) {
+        network_->current_op_ = previous_;
+      }
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    Network* network_;
+    const char* previous_ = nullptr;
+  };
+
+  /// Fault tallies per operation label since the last
+  /// ResetFaultCounters/set_fault_plan/Reset.
+  const std::map<std::string, FaultCounters>& PerOpFaultCounters() const {
+    return per_op_faults_;
+  }
+
+  /// Zeroes every fault counter — global, per-operation, and per-replica —
+  /// without touching the virtual clock, the fault plans, or the
+  /// fault-decision streams. Flows call this on entry so their reported
+  /// fault accounting is per-flow, not cumulative across an experiment run.
+  void ResetFaultCounters();
+
   /// --- Node lifecycle (crash-tolerant distributed flows). ---
   /// Declares `count` participant nodes, all up. Replaces previous state.
   void ConfigureNodes(size_t count);
@@ -141,11 +207,101 @@ class Network {
   /// attempts run out). An up node behaves exactly like TryTransfer.
   TransferAttempt TryTransferToNode(size_t node, uint64_t bytes);
 
+  /// --- Replica nodes (replicated storage, mmlib::repl). ---
+  /// Declares `count` storage replicas, all up, all reachable (group 0),
+  /// with no per-replica fault plans. Replaces previous replica state and
+  /// drops any scheduled replica events.
+  void ConfigureReplicas(size_t count);
+  size_t ReplicaCount() const { return replicas_.size(); }
+
+  /// Installs an independent failure model for one replica's link. The
+  /// replica draws fault decisions from its own stream seeded by
+  /// `plan.seed`, so faults on one replica never shift another replica's
+  /// fault sequence. Pass an inactive plan to fall back to the global plan.
+  Status SetReplicaFaultPlan(size_t replica, const FaultPlan& plan);
+
+  bool IsReplicaUp(size_t replica) const {
+    return replica < replicas_.size() && replicas_[replica].up;
+  }
+
+  /// True when the replica is up and in the coordinator's partition group
+  /// (group 0) — i.e. a client request can reach it right now.
+  bool IsReplicaReachable(size_t replica) const {
+    return replica < replicas_.size() && replicas_[replica].up &&
+           replicas_[replica].group == 0;
+  }
+
+  /// True when two distinct replicas can talk to each other: both up and in
+  /// the same partition group (anti-entropy sessions need this).
+  bool ReplicaPairReachable(size_t a, size_t b) const {
+    return a < replicas_.size() && b < replicas_.size() && a != b &&
+           replicas_[a].up && replicas_[b].up &&
+           replicas_[a].group == replicas_[b].group;
+  }
+
+  /// Kills / restarts a replica; charges the node costs like
+  /// CrashNode/RestartNode. Errors mirror the participant-node variants.
+  Status CrashReplica(size_t replica);
+  Status RestartReplica(size_t replica);
+
+  /// Splits the replicas into partition groups: `groups[i]` lists the
+  /// replicas cut off into group i+1; replicas not listed stay in group 0,
+  /// the side the flow coordinator is on. Messages across group boundaries
+  /// fail Unavailable after one latency charge. InvalidArgument when a
+  /// replica id is unconfigured or listed twice.
+  Status Partition(const std::vector<std::vector<size_t>>& groups);
+
+  /// Heals all partitions: every replica rejoins group 0.
+  void Heal();
+
+  /// --- Replica event schedule (virtual clock). ---
+  /// Queues a crash/restart/partition/heal to fire once the virtual clock
+  /// reaches `at_seconds`. Due events are applied, in schedule order, at
+  /// the start of the next replica-addressed transfer, so a flow's storage
+  /// traffic drives its own degradation deterministically. A scheduled
+  /// crash of an already-down replica (or restart of an up one) is a no-op.
+  void ScheduleReplicaCrash(size_t replica, double at_seconds);
+  void ScheduleReplicaRestart(size_t replica, double at_seconds);
+  void SchedulePartition(double at_seconds,
+                         std::vector<std::vector<size_t>> groups);
+  void ScheduleHeal(double at_seconds);
+
+  /// Applies every scheduled replica event due at the current virtual time;
+  /// called automatically by the replica transfer paths.
+  void ApplyDueReplicaEvents();
+
+  /// Attempts one message of `bytes` addressed to `replica`. Unreachable
+  /// replicas (down or partitioned away from the coordinator) fail
+  /// Unavailable after one latency charge without consuming a fault draw.
+  /// Reachable replicas draw from their own fault plan when one is set,
+  /// otherwise from the global plan.
+  TransferAttempt TryTransferToReplica(size_t replica, uint64_t bytes);
+
+  /// Attempts one replica-to-replica message of `bytes` (anti-entropy
+  /// traffic). Fails Unavailable when the pair cannot reach each other.
+  /// The replication channel is modeled with link-level retransmission, so
+  /// a delivered message is never corrupted; the cost is still charged.
+  TransferAttempt TryTransferBetweenReplicas(size_t from, size_t to,
+                                             uint64_t bytes);
+
+  /// Per-replica tallies since the last ResetFaultCounters/Reset.
+  Result<FaultCounters> ReplicaFaultCounters(size_t replica) const;
+  /// Messages rejected because the replica was down or partitioned.
+  Result<uint64_t> ReplicaRejectCount(size_t replica) const;
+  Result<uint64_t> ReplicaCrashCount(size_t replica) const;
+  Result<uint64_t> ReplicaRestartCount(size_t replica) const;
+
   /// Lifecycle counters since the last Reset.
   uint64_t CrashCount() const { return crash_count_; }
   uint64_t RestartCount() const { return restart_count_; }
   /// Messages that failed because their destination node was down.
   uint64_t DownNodeRejectCount() const { return down_node_reject_count_; }
+  /// Messages that failed because their destination replica was down or
+  /// partitioned away from the sender.
+  uint64_t ReplicaRejectCount() const { return replica_reject_count_; }
+  /// Partition/Heal transitions applied (direct calls and due events).
+  uint64_t PartitionCount() const { return partition_count_; }
+  uint64_t HealCount() const { return heal_count_; }
 
   /// Total simulated time spent in transfers (including faulted attempts
   /// and backoff waits).
@@ -157,31 +313,61 @@ class Network {
   /// Number of messages attempted (successful or faulted).
   uint64_t MessageCount() const { return message_count_; }
 
-  /// Fault counters since the last Reset/set_fault_plan.
-  uint64_t DropCount() const { return drop_count_; }
-  uint64_t TimeoutCount() const { return timeout_count_; }
-  uint64_t CorruptionCount() const { return corruption_count_; }
-  uint64_t FaultCount() const {
-    return drop_count_ + timeout_count_ + corruption_count_;
-  }
+  /// Fault counters since the last ResetFaultCounters/set_fault_plan/Reset.
+  uint64_t DropCount() const { return faults_.drops; }
+  uint64_t TimeoutCount() const { return faults_.timeouts; }
+  uint64_t CorruptionCount() const { return faults_.corruptions; }
+  uint64_t FaultCount() const { return faults_.Total(); }
 
   void Reset();
 
  private:
+  struct ReplicaState {
+    bool up = true;
+    int group = 0;
+    bool has_plan = false;
+    FaultPlan plan;
+    Rng rng{0};
+    FaultCounters faults;
+    uint64_t rejects = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+  };
+
+  struct ReplicaEvent {
+    enum class Kind { kCrash, kRestart, kPartition, kHeal };
+    double at_seconds = 0.0;
+    Kind kind = Kind::kCrash;
+    size_t replica = 0;
+    std::vector<std::vector<size_t>> groups;
+  };
+
+  /// One fault-plan decision over `bytes`; draws from `rng`, tallies into
+  /// the global, per-op, and (when given) per-replica counters.
+  TransferAttempt AttemptWithPlan(const FaultPlan& plan, Rng* rng,
+                                  uint64_t bytes, ReplicaState* replica);
+  void CountFault(FaultCounters* replica_faults,
+                  uint64_t FaultCounters::* kind);
+
   Link link_;
   VirtualClock clock_;
   FaultPlan fault_plan_;
   Rng fault_rng_;
   NodeCosts node_costs_;
   std::vector<bool> node_up_;
+  std::vector<ReplicaState> replicas_;
+  std::vector<ReplicaEvent> replica_events_;  // sorted by at_seconds, stable
+  const char* current_op_ = nullptr;
+  std::map<std::string, FaultCounters> per_op_faults_;
   uint64_t total_bytes_ = 0;
   uint64_t message_count_ = 0;
-  uint64_t drop_count_ = 0;
-  uint64_t timeout_count_ = 0;
-  uint64_t corruption_count_ = 0;
+  FaultCounters faults_;
   uint64_t crash_count_ = 0;
   uint64_t restart_count_ = 0;
   uint64_t down_node_reject_count_ = 0;
+  uint64_t replica_reject_count_ = 0;
+  uint64_t partition_count_ = 0;
+  uint64_t heal_count_ = 0;
 };
 
 }  // namespace mmlib::simnet

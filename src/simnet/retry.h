@@ -22,6 +22,13 @@ struct RetryPolicy {
   /// Backoff is scaled by a factor in [1 - jitter, 1 + jitter], drawn from
   /// the seeded jitter stream — deterministic, unlike wall-clock jitter.
   double jitter_fraction = 0.2;
+  /// Total virtual-clock budget for one operation, measured from its first
+  /// attempt. Once a failed attempt finds the budget spent, the Retrier
+  /// stops — even with attempts left — and returns DeadlineExceeded. 0
+  /// disables the budget (per-attempt cap only). Quorum reads against a
+  /// partitioned replica set rely on this to fail fast instead of spinning
+  /// through the full capped backoff ladder.
+  double total_deadline_seconds = 0.0;
   /// Seed of the jitter stream.
   uint64_t seed = 0x6a77e7;
 };
@@ -46,13 +53,23 @@ class Retrier {
       : policy_(policy), network_(network), jitter_rng_(policy.seed) {}
 
   /// Runs `op` (returning Status or Result<T>) under the retry policy and
-  /// returns its last outcome.
+  /// returns its last outcome. A retryable failure past the operation's
+  /// virtual-clock budget is replaced by DeadlineExceeded so callers can
+  /// distinguish "gave up fast" from the transport's own errors.
   template <typename Fn>
   auto Run(Fn&& op) -> decltype(op()) {
+    const double start_seconds = NowSeconds();
     for (int attempt = 1;; ++attempt) {
       auto outcome = op();
-      if (outcome.ok() || !IsRetryable(StatusOf(outcome)) ||
-          attempt >= std::max(policy_.max_attempts, 1)) {
+      if (outcome.ok() || !IsRetryable(StatusOf(outcome))) {
+        return outcome;
+      }
+      if (DeadlineSpent(start_seconds)) {
+        ++deadline_exhausted_count_;
+        return decltype(op())(Status::DeadlineExceeded(
+            "retry budget exhausted: " + StatusOf(outcome).message()));
+      }
+      if (attempt >= std::max(policy_.max_attempts, 1)) {
         return outcome;
       }
       ChargeBackoff(attempt);
@@ -62,6 +79,12 @@ class Retrier {
 
   /// Total retries (attempts beyond the first) across all operations.
   uint64_t retry_count() const { return retry_count_; }
+
+  /// Operations abandoned because their total virtual-clock budget ran out
+  /// before the policy's attempt cap did.
+  uint64_t deadline_exhausted_count() const {
+    return deadline_exhausted_count_;
+  }
 
   const RetryPolicy& policy() const { return policy_; }
 
@@ -74,10 +97,22 @@ class Retrier {
 
   void ChargeBackoff(int attempt);
 
+  double NowSeconds() const {
+    return network_ != nullptr ? network_->TotalTransferSeconds() : 0.0;
+  }
+
+  /// True when the per-operation budget is enabled and already consumed.
+  /// With no network there is no virtual clock, so the budget cannot tick.
+  bool DeadlineSpent(double start_seconds) const {
+    return policy_.total_deadline_seconds > 0.0 && network_ != nullptr &&
+           NowSeconds() - start_seconds >= policy_.total_deadline_seconds;
+  }
+
   RetryPolicy policy_;
   Network* network_;
   Rng jitter_rng_;
   uint64_t retry_count_ = 0;
+  uint64_t deadline_exhausted_count_ = 0;
 };
 
 }  // namespace mmlib::simnet

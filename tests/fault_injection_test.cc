@@ -95,6 +95,141 @@ TEST(RetrierTest, GivesUpAfterMaxAttempts) {
   EXPECT_EQ(retrier.retry_count(), 3u);
 }
 
+TEST(RetrierTest, TotalDeadlineFailsFastWithAttemptsLeft) {
+  simnet::Network network;
+  simnet::RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_seconds = 0.1;
+  policy.jitter_fraction = 0.0;
+  policy.total_deadline_seconds = 0.35;
+  simnet::Retrier retrier(policy, &network);
+
+  int calls = 0;
+  const Status status = retrier.Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("replica partitioned away");
+  });
+  // Backoffs of 0.1 + 0.2 + 0.4 virtual seconds pass the 0.35 s budget
+  // after the fourth attempt — long before the 100-attempt ladder would
+  // have given up.
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(retrier.deadline_exhausted_count(), 1u);
+  EXPECT_GE(network.TotalTransferSeconds(), policy.total_deadline_seconds);
+}
+
+TEST(RetrierTest, TotalDeadlineDisabledByDefault) {
+  simnet::Network network;
+  simnet::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 10.0;  // would blow any plausible budget
+  simnet::Retrier retrier(policy, &network);
+
+  int calls = 0;
+  const Status status = retrier.Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("flaky");
+  });
+  // With no budget the attempt cap decides, and the transport's own error
+  // surfaces instead of DeadlineExceeded.
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.deadline_exhausted_count(), 0u);
+}
+
+TEST(RetrierTest, TotalDeadlineIgnoresSuccessAndNonRetryableOutcomes) {
+  simnet::Network network;
+  network.ChargeSeconds(10.0);  // clock already far past any budget
+  simnet::RetryPolicy policy;
+  policy.total_deadline_seconds = 1.0;
+  simnet::Retrier retrier(policy, &network);
+
+  // A success never trips the budget (it is only checked after a failed
+  // retryable attempt)...
+  auto ok = retrier.Run([&]() -> Result<int> { return 7; });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  // ...and neither does a non-retryable failure: the budget must not mask
+  // a definitive outcome like NotFound.
+  const auto not_found =
+      retrier.Run([&]() -> Result<int> { return Status::NotFound("gone"); });
+  EXPECT_EQ(not_found.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(retrier.deadline_exhausted_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-flow fault accounting
+// ---------------------------------------------------------------------------
+
+TEST(FaultAccountingTest, ResetZeroesTalliesWithoutTouchingClockOrStreams) {
+  simnet::Network network(simnet::Link{1e6, 1e-3});
+  simnet::FaultPlan plan;
+  plan.drop_probability = 0.1;
+  plan.timeout_probability = 0.1;
+  plan.corrupt_probability = 0.1;
+  plan.timeout_seconds = 0.01;
+  plan.seed = FaultSeed();
+  network.set_fault_plan(plan);
+
+  {
+    simnet::Network::OpScope scope(&network, "flow1.op");
+    for (int i = 0; i < 300; ++i) {
+      (void)network.TryTransfer(1000);
+    }
+  }
+  ASSERT_GT(network.FaultCount(), 0u);
+  ASSERT_EQ(network.PerOpFaultCounters().count("flow1.op"), 1u);
+  const double clock_before = network.TotalTransferSeconds();
+  const uint64_t messages_before = network.MessageCount();
+
+  network.ResetFaultCounters();
+  EXPECT_EQ(network.FaultCount(), 0u);
+  EXPECT_EQ(network.DropCount(), 0u);
+  EXPECT_EQ(network.TimeoutCount(), 0u);
+  EXPECT_EQ(network.CorruptionCount(), 0u);
+  EXPECT_TRUE(network.PerOpFaultCounters().empty());
+  // The reset is accounting-only: virtual time, message counts, and the
+  // fault-decision stream keep going (a second flow sees fresh counters but
+  // the same simulated world).
+  EXPECT_DOUBLE_EQ(network.TotalTransferSeconds(), clock_before);
+  EXPECT_EQ(network.MessageCount(), messages_before);
+
+  {
+    simnet::Network::OpScope scope(&network, "flow2.op");
+    for (int i = 0; i < 300; ++i) {
+      (void)network.TryTransfer(1000);
+    }
+  }
+  // The second flow's tallies stand alone: its label is present, the first
+  // flow's is gone, and the totals reflect only post-reset faults.
+  EXPECT_GT(network.FaultCount(), 0u);
+  EXPECT_EQ(network.PerOpFaultCounters().count("flow1.op"), 0u);
+  ASSERT_EQ(network.PerOpFaultCounters().count("flow2.op"), 1u);
+  EXPECT_EQ(network.PerOpFaultCounters().at("flow2.op").Total(),
+            network.FaultCount());
+}
+
+TEST(FaultAccountingTest, OpScopesNestWithInnermostLabelWinning) {
+  simnet::Network network;
+  simnet::FaultPlan plan;
+  plan.drop_probability = 1.0;  // every message faults deterministically
+  plan.seed = FaultSeed();
+  network.set_fault_plan(plan);
+
+  simnet::Network::OpScope outer(&network, "save.model");
+  (void)network.TryTransfer(10);
+  {
+    simnet::Network::OpScope inner(&network, "file.write");
+    (void)network.TryTransfer(10);
+  }
+  (void)network.TryTransfer(10);
+  const auto& per_op = network.PerOpFaultCounters();
+  ASSERT_EQ(per_op.count("save.model"), 1u);
+  ASSERT_EQ(per_op.count("file.write"), 1u);
+  EXPECT_EQ(per_op.at("save.model").drops, 2u);
+  EXPECT_EQ(per_op.at("file.write").drops, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Crash-safe local persistence
 // ---------------------------------------------------------------------------

@@ -1,0 +1,682 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/recover.h"
+#include "dist/flow.h"
+#include "docstore/document_store.h"
+#include "filestore/file_store.h"
+#include "hash/merkle_tree.h"
+#include "hash/sha256.h"
+#include "models/zoo.h"
+#include "repl/replicated_store.h"
+#include "repl/scrubber.h"
+#include "simnet/network.h"
+#include "util/thread_pool.h"
+
+namespace mmlib {
+namespace {
+
+/// Seed of the fault plans and schedules below; overridable so CI can sweep
+/// several schedules over the same assertions (MMLIB_FAULT_SEED=2 ctest -R
+/// replication ...).
+uint64_t FaultSeed() {
+  const char* env = std::getenv("MMLIB_FAULT_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x5eedfa17;
+}
+
+/// An N-replica storage cluster: one in-memory backend and one
+/// replica-bound remote transport per replica, wrapped by the replicated
+/// stores. Optionally gives every replica its own independently seeded
+/// fault plan.
+struct ReplicatedCluster {
+  explicit ReplicatedCluster(size_t n, repl::QuorumConfig config = {},
+                             double fault_rate = 0.0,
+                             uint64_t fault_seed = 0)
+      : network(simnet::Link{1e6, 1e-3}) {
+    network.ConfigureReplicas(n);
+    std::vector<filestore::RemoteFileStore*> file_ptrs;
+    std::vector<docstore::RemoteDocumentStore*> doc_ptrs;
+    for (size_t r = 0; r < n; ++r) {
+      file_backends.push_back(
+          std::make_unique<filestore::InMemoryFileStore>());
+      doc_backends.push_back(
+          std::make_unique<docstore::InMemoryDocumentStore>());
+      auto file_transport = std::make_unique<filestore::RemoteFileStore>(
+          file_backends.back().get(), &network);
+      file_transport->BindReplica(r);
+      auto doc_transport = std::make_unique<docstore::RemoteDocumentStore>(
+          doc_backends.back().get(), &network);
+      doc_transport->BindReplica(r);
+      if (fault_rate > 0.0) {
+        simnet::FaultPlan plan;
+        plan.drop_probability = fault_rate;
+        plan.timeout_probability = fault_rate;
+        plan.corrupt_probability = fault_rate;
+        plan.timeout_seconds = 0.01;
+        plan.seed = fault_seed + 0x9e3779b9ULL * (r + 1);
+        EXPECT_TRUE(network.SetReplicaFaultPlan(r, plan).ok());
+      }
+      file_ptrs.push_back(file_transport.get());
+      doc_ptrs.push_back(doc_transport.get());
+      file_transports.push_back(std::move(file_transport));
+      doc_transports.push_back(std::move(doc_transport));
+    }
+    files = repl::ReplicatedFileStore::Create(file_ptrs, &network, config)
+                .value();
+    docs = repl::ReplicatedDocumentStore::Create(doc_ptrs, &network, config)
+               .value();
+  }
+
+  simnet::Network network;
+  std::vector<std::unique_ptr<filestore::InMemoryFileStore>> file_backends;
+  std::vector<std::unique_ptr<docstore::InMemoryDocumentStore>> doc_backends;
+  std::vector<std::unique_ptr<filestore::RemoteFileStore>> file_transports;
+  std::vector<std::unique_ptr<docstore::RemoteDocumentStore>> doc_transports;
+  std::unique_ptr<repl::ReplicatedFileStore> files;
+  std::unique_ptr<repl::ReplicatedDocumentStore> docs;
+};
+
+size_t PreferredReplicaOf(const std::string& id, size_t n) {
+  return Crc32(reinterpret_cast<const uint8_t*>(id.data()), id.size()) % n;
+}
+
+// ---------------------------------------------------------------------------
+// Quorum configuration and the healthy write/read path
+// ---------------------------------------------------------------------------
+
+TEST(QuorumConfigTest, MajorityDefaultsAndValidation) {
+  EXPECT_EQ(repl::QuorumConfig::Majority(1), 1u);
+  EXPECT_EQ(repl::QuorumConfig::Majority(3), 2u);
+  EXPECT_EQ(repl::QuorumConfig::Majority(5), 3u);
+
+  ReplicatedCluster cluster(3);
+  EXPECT_EQ(cluster.files->write_quorum(), 2u);
+  EXPECT_EQ(cluster.files->read_quorum(), 2u);
+  EXPECT_EQ(cluster.docs->write_quorum(), 2u);
+
+  // Out-of-range quorums are rejected at construction.
+  std::vector<filestore::RemoteFileStore*> transports;
+  for (const auto& t : cluster.file_transports) {
+    transports.push_back(t.get());
+  }
+  repl::QuorumConfig bad;
+  bad.write_quorum = 5;
+  EXPECT_EQ(repl::ReplicatedFileStore::Create(transports, &cluster.network,
+                                              bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(repl::ReplicatedFileStore::Create({}, &cluster.network)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReplicatedStoreTest, WritesReplicateEverywhereAndStatsStayLogical) {
+  ReplicatedCluster cluster(3);
+  const Bytes content(1000, 42);
+  const std::string id = cluster.files->SaveFile(content).value();
+
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.file_backends[r]->FileCount(), 1u) << "replica " << r;
+    EXPECT_EQ(cluster.file_backends[r]->LoadFile(id).value(), content);
+  }
+  EXPECT_EQ(cluster.files->LoadFile(id).value(), content);
+  // Logical stats report the model store's footprint; physical stats the
+  // replication bill.
+  EXPECT_EQ(cluster.files->FileCount(), 1u);
+  EXPECT_EQ(cluster.files->TotalStoredBytes(), content.size());
+  EXPECT_EQ(cluster.files->PhysicalStoredBytes(), 3 * content.size());
+
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("kind", std::string("model"));
+  const std::string doc_id = cluster.docs->Insert("models", doc).value();
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.doc_backends[r]->DocumentCount(), 1u) << "replica " << r;
+  }
+  EXPECT_EQ(cluster.docs->Get("models", doc_id).value().GetString("kind")
+                .value(),
+            "model");
+  EXPECT_EQ(cluster.docs->DocumentCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded writes: one replica down, quorum intact
+// ---------------------------------------------------------------------------
+
+TEST(ReplicatedStoreTest, WritesCommitAtQuorumWithOneReplicaDown) {
+  ReplicatedCluster cluster(3);
+  ASSERT_TRUE(cluster.network.CrashReplica(1).ok());
+
+  const Bytes content(500, 7);
+  const std::string id = cluster.files->SaveFile(content).value();
+  EXPECT_EQ(cluster.file_backends[0]->LoadFile(id).value(), content);
+  EXPECT_EQ(cluster.file_backends[2]->LoadFile(id).value(), content);
+  EXPECT_EQ(cluster.file_backends[1]->FileCount(), 0u);
+  EXPECT_GT(cluster.files->replica_counters(1).write_skips, 0u);
+  EXPECT_EQ(cluster.files->LoadFile(id).value(), content);
+
+  // Once the replica returns, one anti-entropy pass re-copies the miss and
+  // converges every replica to identical trees.
+  ASSERT_TRUE(cluster.network.RestartReplica(1).ok());
+  repl::Scrubber scrubber(cluster.files.get(), cluster.docs.get(),
+                          &cluster.network);
+  const repl::ScrubReport report = scrubber.ScrubOnce().value();
+  EXPECT_GT(report.repaired_files, 0u);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(cluster.file_backends[1]->LoadFile(id).value(), content);
+  EXPECT_GT(cluster.files->replica_counters(1).scrub_repairs, 0u);
+}
+
+TEST(ReplicatedStoreTest, BelowQuorumWritesFailFastAndLeaveNoTornState) {
+  ReplicatedCluster cluster(3);
+  ASSERT_TRUE(cluster.network.CrashReplica(1).ok());
+  ASSERT_TRUE(cluster.network.CrashReplica(2).ok());
+
+  const double before_seconds = cluster.network.TotalTransferSeconds();
+  const auto saved = cluster.files->SaveFile(Bytes(100, 1));
+  EXPECT_EQ(saved.status().code(), StatusCode::kUnavailable);
+  // Fail-fast: the reachability precheck decides without burning a retry
+  // ladder per replica (six attempts with capped backoff would cost whole
+  // virtual seconds).
+  EXPECT_LT(cluster.network.TotalTransferSeconds() - before_seconds, 0.5);
+  // Nothing stays visible anywhere below quorum.
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.file_backends[r]->FileCount(), 0u) << "replica " << r;
+  }
+
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("k", std::string("v"));
+  EXPECT_EQ(cluster.docs->Insert("models", std::move(doc)).status().code(),
+            StatusCode::kUnavailable);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.doc_backends[r]->DocumentCount(), 0u);
+  }
+}
+
+TEST(ReplicatedStoreTest, IdSequenceIsIdenticalHoweverManyReplicasAreUp) {
+  // Coordinator-side minting: the id sequence must not depend on replica
+  // availability, or healthy and degraded runs would diverge structurally.
+  std::vector<std::string> healthy_ids;
+  {
+    ReplicatedCluster cluster(3);
+    for (int i = 0; i < 4; ++i) {
+      healthy_ids.push_back(
+          cluster.files->SaveFile(Bytes(64, uint8_t(i))).value());
+    }
+  }
+  std::vector<std::string> degraded_ids;
+  {
+    ReplicatedCluster cluster(3);
+    ASSERT_TRUE(cluster.network.CrashReplica(0).ok());
+    for (int i = 0; i < 4; ++i) {
+      degraded_ids.push_back(
+          cluster.files->SaveFile(Bytes(64, uint8_t(i))).value());
+    }
+  }
+  EXPECT_EQ(healthy_ids, degraded_ids);
+}
+
+// ---------------------------------------------------------------------------
+// Read path: fallback, read-repair, quorum checks
+// ---------------------------------------------------------------------------
+
+TEST(ReplicatedStoreTest, ReadFallsBackOnBitRotAndRepairsInPassing) {
+  ReplicatedCluster cluster(3);
+  const Bytes content(800, 9);
+  const std::string id = cluster.files->SaveFile(content).value();
+
+  // Rot the copy on the replica the read path tries first, so the fallback
+  // is actually exercised.
+  const size_t preferred = PreferredReplicaOf(id, 3);
+  Bytes rotted = content;
+  rotted[100] ^= 0x40;
+  ASSERT_TRUE(cluster.file_backends[preferred]  // lint:allow(no-direct-replica-write) deliberate damage
+                  ->WriteAllocated(id, rotted)
+                  .ok());
+
+  // The read serves the committed bytes — the write-time digest catches the
+  // divergent copy — and rewrites the rotted replica on the way out.
+  EXPECT_EQ(cluster.files->LoadFile(id).value(), content);
+  EXPECT_GT(cluster.files->replica_counters(preferred).read_fallbacks, 0u);
+  EXPECT_EQ(cluster.files->replica_counters(preferred).read_repairs, 1u);
+  EXPECT_EQ(cluster.file_backends[preferred]->LoadFile(id).value(), content);
+}
+
+TEST(ReplicatedStoreTest, DocumentReadRepairsDivergentReplica) {
+  ReplicatedCluster cluster(3);
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("version", static_cast<int64_t>(2));
+  const std::string id = cluster.docs->Insert("models", doc).value();
+
+  const size_t preferred =
+      PreferredReplicaOf(repl::ReplicatedDocumentStore::KeyFor("models", id),
+                         3);
+  json::Value stale = json::Value::MakeObject();
+  stale.Set("version", static_cast<int64_t>(1));
+  ASSERT_TRUE(
+      cluster.doc_backends[preferred]  // lint:allow(no-direct-replica-write) deliberate staleness
+          ->InsertWithId("models", id, stale)
+          .ok());
+
+  const json::Value served = cluster.docs->Get("models", id).value();
+  EXPECT_EQ(served.GetInt("version").value(), 2);
+  EXPECT_EQ(cluster.docs->replica_counters(preferred).read_repairs, 1u);
+  EXPECT_EQ(cluster.doc_backends[preferred]
+                ->Get("models", id)
+                .value()
+                .GetInt("version")
+                .value(),
+            2);
+}
+
+TEST(ReplicatedStoreTest, ReadsBelowQuorumFailUnavailable) {
+  ReplicatedCluster cluster(3);
+  const std::string id = cluster.files->SaveFile(Bytes(100, 3)).value();
+
+  ASSERT_TRUE(cluster.network.Partition({{1, 2}}).ok());
+  const auto loaded = cluster.files->LoadFile(id);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+
+  cluster.network.Heal();
+  EXPECT_EQ(cluster.files->LoadFile(id).value(), Bytes(100, 3));
+}
+
+// ---------------------------------------------------------------------------
+// simnet: partition groups, per-replica fault streams, scheduled events
+// ---------------------------------------------------------------------------
+
+TEST(SimnetReplicaTest, PartitionGroupsGateReachability) {
+  simnet::Network network;
+  network.ConfigureReplicas(4);
+  ASSERT_TRUE(network.Partition({{2, 3}}).ok());
+
+  EXPECT_TRUE(network.IsReplicaReachable(0));
+  EXPECT_TRUE(network.IsReplicaReachable(1));
+  EXPECT_FALSE(network.IsReplicaReachable(2));
+  EXPECT_FALSE(network.IsReplicaReachable(3));
+  // Pairs inside one group talk; pairs across the cut do not.
+  EXPECT_TRUE(network.ReplicaPairReachable(0, 1));
+  EXPECT_TRUE(network.ReplicaPairReachable(2, 3));
+  EXPECT_FALSE(network.ReplicaPairReachable(1, 2));
+
+  EXPECT_EQ(network.TryTransferToReplica(2, 100).status.code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(network.TryTransferToReplica(1, 100).status.ok());
+  EXPECT_EQ(network.TryTransferBetweenReplicas(1, 3, 100).status.code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(network.TryTransferBetweenReplicas(2, 3, 100).status.ok());
+
+  // Listing a replica twice (or an unknown one) is a configuration bug.
+  EXPECT_EQ(network.Partition({{0}, {0}}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(network.Partition({{9}}).code(), StatusCode::kInvalidArgument);
+
+  network.Heal();
+  EXPECT_TRUE(network.IsReplicaReachable(3));
+  EXPECT_EQ(network.PartitionCount(), 1u);
+  EXPECT_EQ(network.HealCount(), 1u);
+}
+
+TEST(SimnetReplicaTest, ReplicaFaultStreamsAreIndependent) {
+  simnet::Network network;
+  network.ConfigureReplicas(2);
+  simnet::FaultPlan noisy;
+  noisy.drop_probability = 0.5;
+  noisy.seed = FaultSeed();
+  ASSERT_TRUE(network.SetReplicaFaultPlan(0, noisy).ok());
+  // Replica 1 keeps the (inactive) global plan: no faults at all.
+  for (int i = 0; i < 100; ++i) {
+    (void)network.TryTransferToReplica(0, 100);
+    (void)network.TryTransferToReplica(1, 100);
+  }
+  EXPECT_GT(network.ReplicaFaultCounters(0).value().Total(), 0u);
+  EXPECT_EQ(network.ReplicaFaultCounters(1).value().Total(), 0u);
+  EXPECT_EQ(network.ReplicaFaultCounters(7).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SimnetReplicaTest, ScheduledEventsFireOnTheVirtualClock) {
+  simnet::Network network(simnet::Link{1e6, 1e-3});
+  network.ConfigureReplicas(2);
+  network.ScheduleReplicaCrash(1, /*at_seconds=*/1.0);
+  network.ScheduleReplicaRestart(1, /*at_seconds=*/2.0);
+  network.SchedulePartition(4.0, {{0}});
+  network.ScheduleHeal(6.0);
+
+  // Before t=1 the replica serves.
+  EXPECT_TRUE(network.TryTransferToReplica(1, 100).status.ok());
+
+  network.ChargeSeconds(1.5);  // past the crash, before the restart
+  EXPECT_EQ(network.TryTransferToReplica(1, 100).status.code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(network.ReplicaCrashCount(1).value(), 1u);
+
+  // Past the restart (t ≈ 2.55; the applied restart itself charges another
+  // 0.5 s of reboot time before the message goes out).
+  network.ChargeSeconds(1.0);
+  EXPECT_TRUE(network.TryTransferToReplica(1, 100).status.ok());
+  EXPECT_EQ(network.ReplicaRestartCount(1).value(), 1u);
+
+  network.ChargeSeconds(1.0);  // past the partition (t ≈ 4.05)
+  network.ApplyDueReplicaEvents();
+  EXPECT_FALSE(network.IsReplicaReachable(0));
+  EXPECT_TRUE(network.IsReplicaReachable(1));
+
+  network.ChargeSeconds(2.0);  // past the heal (t ≈ 6.05)
+  network.ApplyDueReplicaEvents();
+  EXPECT_TRUE(network.IsReplicaReachable(0));
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber: Merkle anti-entropy
+// ---------------------------------------------------------------------------
+
+TEST(ScrubberTest, HealthyReplicasMatchByRootExchangeAlone) {
+  ReplicatedCluster cluster(3);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster.files->SaveFile(Bytes(100 + i, uint8_t(i))).ok());
+  }
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("x", static_cast<int64_t>(1));
+  ASSERT_TRUE(cluster.docs->Insert("models", std::move(doc)).ok());
+
+  repl::Scrubber scrubber(cluster.files.get(), cluster.docs.get(),
+                          &cluster.network);
+  const repl::ScrubReport report = scrubber.ScrubOnce().value();
+  EXPECT_EQ(report.sessions, 3u);  // pairs (0,1) (0,2) (1,2)
+  // Every session matched roots for both stores: 32 bytes each way, no
+  // descent, no repairs.
+  EXPECT_EQ(report.root_matches, 6u);
+  EXPECT_EQ(report.bucket_comparisons, 0u);
+  EXPECT_EQ(report.repaired_files, 0u);
+  EXPECT_EQ(report.repaired_documents, 0u);
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(ScrubberTest, BitRotHealsWithoutAnyReadObservingIt) {
+  ReplicatedCluster cluster(3);
+  std::vector<std::string> ids;
+  std::vector<Bytes> contents;
+  for (int i = 0; i < 6; ++i) {
+    contents.emplace_back(200 + 17 * i, uint8_t(i + 1));
+    ids.push_back(cluster.files->SaveFile(contents.back()).value());
+  }
+
+  // Bit-rot on replica 2: two files silently damaged at rest.
+  for (size_t k = 0; k < 2; ++k) {
+    Bytes rotted = contents[k];
+    rotted[rotted.size() / 2] ^= 0x01;
+    ASSERT_TRUE(cluster.file_backends[2]  // lint:allow(no-direct-replica-write) deliberate bit-rot
+                    ->WriteAllocated(ids[k], rotted)
+                    .ok());
+  }
+
+  repl::Scrubber scrubber(cluster.files.get(), cluster.docs.get(),
+                          &cluster.network);
+  const repl::ScrubReport report = scrubber.ScrubOnce().value();
+  EXPECT_GE(report.repaired_files, 2u);
+  EXPECT_GT(report.bucket_comparisons, 0u);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.unresolved, 0u);
+
+  // The damage healed replica-to-replica: no client read ever saw it, and
+  // reads afterwards find every copy intact.
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.files->replica_counters(r).read_fallbacks, 0u);
+  }
+  for (size_t k = 0; k < ids.size(); ++k) {
+    EXPECT_EQ(cluster.files->LoadFile(ids[k]).value(), contents[k]);
+  }
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.files->replica_counters(r).read_fallbacks, 0u)
+        << "replica " << r << " served damaged bytes after the scrub";
+  }
+}
+
+TEST(ScrubberTest, QuorumDeleteTombstoneWinsOverStragglerCopy) {
+  ReplicatedCluster cluster(3);
+  const Bytes content(300, 5);
+  const std::string id = cluster.files->SaveFile(content).value();
+
+  // Replica 1 misses the delete; its copy becomes a straggler.
+  ASSERT_TRUE(cluster.network.CrashReplica(1).ok());
+  ASSERT_TRUE(cluster.files->Delete(id).ok());
+  ASSERT_TRUE(cluster.network.RestartReplica(1).ok());
+  ASSERT_EQ(cluster.file_backends[1]->FileCount(), 1u);
+
+  // Anti-entropy must re-delete the straggler, not re-spread it.
+  repl::Scrubber scrubber(cluster.files.get(), cluster.docs.get(),
+                          &cluster.network);
+  const repl::ScrubReport report = scrubber.ScrubOnce().value();
+  EXPECT_GT(report.repaired_files, 0u);
+  EXPECT_TRUE(report.converged);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.file_backends[r]->FileCount(), 0u) << "replica " << r;
+  }
+  EXPECT_EQ(cluster.files->LoadFile(id).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ScrubberTest, SkipsUnreachablePairsAndCatchesUpAfterHeal) {
+  ReplicatedCluster cluster(3);
+  const std::string id = cluster.files->SaveFile(Bytes(100, 8)).value();
+  ASSERT_TRUE(cluster.network.CrashReplica(2).ok());
+  Bytes rotted(100, 8);
+  rotted[3] ^= 0x02;
+  ASSERT_TRUE(cluster.file_backends[2]  // lint:allow(no-direct-replica-write) deliberate bit-rot
+                  ->WriteAllocated(id, rotted)
+                  .ok());
+
+  repl::Scrubber scrubber(cluster.files.get(), cluster.docs.get(),
+                          &cluster.network);
+  const repl::ScrubReport down = scrubber.ScrubOnce().value();
+  EXPECT_EQ(down.sessions, 1u);  // only (0,1) can talk
+  EXPECT_FALSE(down.converged);  // replica 2 still diverges
+
+  ASSERT_TRUE(cluster.network.RestartReplica(2).ok());
+  const repl::ScrubReport healed = scrubber.ScrubOnce().value();
+  EXPECT_EQ(healed.sessions, 3u);
+  EXPECT_TRUE(healed.converged);
+  EXPECT_EQ(cluster.file_backends[2]->LoadFile(id).value(), Bytes(100, 8));
+  EXPECT_EQ(scrubber.lifetime().sessions, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: DIST-5 flows over a degraded replica set
+// ---------------------------------------------------------------------------
+
+struct ReplicatedFlowOutcome {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  std::vector<std::string> model_ids;
+  std::string last_params_hash;
+  std::vector<uint64_t> write_skips;      // per replica, files + docs
+  std::vector<uint64_t> scrub_repairs;    // per replica, files + docs
+  uint64_t scrub_sessions = 0;
+  bool scrub_converged = false;
+  uint64_t messages = 0;
+  uint64_t replica_crashes = 0;
+  double seconds = 0.0;
+};
+
+struct DegradedSchedule {
+  bool enabled = false;
+  double crash_seconds = 0.0;
+  double restart_seconds = 0.0;
+  std::vector<size_t> crash_replicas;
+  bool restart = true;
+};
+
+/// Runs the DIST-5 evaluation flow (5 nodes, 2 iterations, simulated
+/// training) with all storage behind R=3 W=R=2 replicated stores, each
+/// replica on its own independently seeded flaky link, scrubbing after
+/// every iteration. Optionally degrades the run by crashing replicas on the
+/// virtual clock mid-flow.
+ReplicatedFlowOutcome RunReplicatedDistFlow(size_t pool_size, uint64_t seed,
+                                            const DegradedSchedule& schedule) {
+  repl::QuorumConfig quorum;
+  quorum.write_quorum = 2;
+  quorum.read_quorum = 2;
+  ReplicatedCluster cluster(3, quorum, /*fault_rate=*/0.01,
+                            /*fault_seed=*/seed);
+  if (schedule.enabled) {
+    for (size_t replica : schedule.crash_replicas) {
+      cluster.network.ScheduleReplicaCrash(replica, schedule.crash_seconds);
+      if (schedule.restart) {
+        cluster.network.ScheduleReplicaRestart(replica,
+                                               schedule.restart_seconds);
+      }
+    }
+  }
+  util::ThreadPool pool(pool_size);
+  core::StorageBackends backends{cluster.docs.get(), cluster.files.get(),
+                                 &cluster.network, &pool};
+
+  dist::FlowConfig config;
+  config.approach = dist::ApproachKind::kBaseline;
+  config.model = models::DefaultConfig(models::Architecture::kMobileNetV2);
+  config.model.channel_divisor = 8;
+  config.model.image_size = 28;
+  config.model.num_classes = 125;
+  config.num_nodes = 5;
+  config.u3_iterations = 2;
+  config.dataset_divisor = 4096;
+  config.training_mode = dist::TrainingMode::kSimulated;
+  config.recover_models = true;
+  config.scrub_every_iterations = 1;
+
+  dist::EvaluationFlow flow(config, backends);
+  auto result = flow.Run();
+
+  ReplicatedFlowOutcome outcome;
+  outcome.ok = result.ok();
+  outcome.code = result.status().code();
+  outcome.messages = cluster.network.MessageCount();
+  for (size_t r = 0; r < 3; ++r) {
+    outcome.replica_crashes += cluster.network.ReplicaCrashCount(r).value();
+  }
+  outcome.seconds = cluster.network.TotalTransferSeconds();
+  if (!result.ok()) {
+    return outcome;
+  }
+  for (const dist::UseCaseRecord& record : result->records) {
+    outcome.model_ids.push_back(record.model_id);
+    EXPECT_TRUE(record.recovered) << record.label;
+  }
+  outcome.write_skips.resize(result->replica_counters.size());
+  outcome.scrub_repairs.resize(result->replica_counters.size());
+  for (size_t r = 0; r < result->replica_counters.size(); ++r) {
+    outcome.write_skips[r] = result->replica_counters[r].write_skips;
+    outcome.scrub_repairs[r] = result->replica_counters[r].scrub_repairs;
+  }
+  outcome.scrub_sessions = result->scrub.sessions;
+  outcome.scrub_converged = result->scrub.converged;
+
+  core::ModelRecoverer recoverer(backends);
+  auto last = recoverer.Recover(result->records.back().model_id,
+                                core::RecoverOptions{});
+  EXPECT_TRUE(last.ok()) << last.status();
+  if (last.ok()) {
+    outcome.last_params_hash = last->model.ParamsHash().ToHex();
+  }
+  return outcome;
+}
+
+TEST(ReplicatedFlowTest, DegradedFlowIsBitIdenticalToHealthyRun) {
+  const uint64_t seed = FaultSeed();
+  const ReplicatedFlowOutcome healthy =
+      RunReplicatedDistFlow(/*pool_size=*/1, seed, DegradedSchedule{});
+  ASSERT_TRUE(healthy.ok);
+  ASSERT_EQ(healthy.model_ids.size(), 22u);  // 2 + 5 nodes * 2 * 2 iters
+  ASSERT_FALSE(healthy.last_params_hash.empty());
+  EXPECT_TRUE(healthy.scrub_converged);
+
+  // Kill replica 1 a quarter of the way through (virtual time), bring it
+  // back at the halfway mark. W = R = 2 of 3 holds throughout.
+  DegradedSchedule schedule;
+  schedule.enabled = true;
+  schedule.crash_replicas = {1};
+  schedule.crash_seconds = healthy.seconds * 0.25;
+  schedule.restart_seconds = healthy.seconds * 0.5;
+  const ReplicatedFlowOutcome degraded =
+      RunReplicatedDistFlow(/*pool_size=*/1, seed, schedule);
+  ASSERT_TRUE(degraded.ok);
+
+  // The degradation really happened: the scheduled crash fired and writes
+  // in the outage window committed at quorum without replica 1...
+  EXPECT_EQ(degraded.replica_crashes, 1u);
+  EXPECT_GT(degraded.write_skips[1], healthy.write_skips[1]);
+  // ...the scrubber re-copied the misses and converged the replicas...
+  EXPECT_GT(degraded.scrub_repairs[1], 0u);
+  EXPECT_TRUE(degraded.scrub_converged);
+  // ...and the flow's outputs are bit-identical to the healthy run.
+  EXPECT_EQ(degraded.model_ids, healthy.model_ids);
+  EXPECT_EQ(degraded.last_params_hash, healthy.last_params_hash);
+}
+
+TEST(ReplicatedFlowTest, DegradedFlowIsDeterministicAcrossPoolSizes) {
+  const uint64_t seed = FaultSeed();
+  const ReplicatedFlowOutcome probe =
+      RunReplicatedDistFlow(/*pool_size=*/1, seed, DegradedSchedule{});
+  ASSERT_TRUE(probe.ok);
+
+  DegradedSchedule schedule;
+  schedule.enabled = true;
+  schedule.crash_replicas = {2};
+  schedule.crash_seconds = probe.seconds * 0.3;
+  schedule.restart_seconds = probe.seconds * 0.55;
+
+  const ReplicatedFlowOutcome serial =
+      RunReplicatedDistFlow(/*pool_size=*/1, seed, schedule);
+  ASSERT_TRUE(serial.ok);
+  const ReplicatedFlowOutcome repeat =
+      RunReplicatedDistFlow(/*pool_size=*/1, seed, schedule);
+  const ReplicatedFlowOutcome parallel =
+      RunReplicatedDistFlow(/*pool_size=*/8, seed, schedule);
+  for (const ReplicatedFlowOutcome* other : {&repeat, &parallel}) {
+    ASSERT_TRUE(other->ok);
+    EXPECT_EQ(serial.model_ids, other->model_ids);
+    EXPECT_EQ(serial.last_params_hash, other->last_params_hash);
+    EXPECT_EQ(serial.write_skips, other->write_skips);
+    EXPECT_EQ(serial.scrub_repairs, other->scrub_repairs);
+    EXPECT_EQ(serial.scrub_sessions, other->scrub_sessions);
+    EXPECT_EQ(serial.messages, other->messages);
+    EXPECT_EQ(serial.replica_crashes, other->replica_crashes);
+    EXPECT_EQ(serial.seconds, other->seconds);
+  }
+}
+
+TEST(ReplicatedFlowTest, BelowQuorumFlowFailsUnavailableNotHangsOrTears) {
+  const uint64_t seed = FaultSeed();
+  const ReplicatedFlowOutcome probe =
+      RunReplicatedDistFlow(/*pool_size=*/1, seed, DegradedSchedule{});
+  ASSERT_TRUE(probe.ok);
+
+  // Two of three replicas die mid-flow and never return: W = 2 becomes
+  // unreachable, and the flow must fail fast with Unavailable — not hang in
+  // retry ladders and not complete against a single replica.
+  DegradedSchedule schedule;
+  schedule.enabled = true;
+  schedule.crash_replicas = {1, 2};
+  schedule.crash_seconds = probe.seconds * 0.25;
+  schedule.restart = false;
+  const ReplicatedFlowOutcome outcome =
+      RunReplicatedDistFlow(/*pool_size=*/1, seed, schedule);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.code, StatusCode::kUnavailable);
+  // Fail-fast bound: the run ends within a small multiple of the healthy
+  // flow's virtual time instead of compounding per-replica backoff ladders.
+  EXPECT_LT(outcome.seconds, probe.seconds * 3.0);
+}
+
+}  // namespace
+}  // namespace mmlib

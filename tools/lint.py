@@ -30,6 +30,16 @@ about (see DESIGN.md "Correctness tooling"):
                      DeadlineExceeded even after retries (DESIGN.md "Fault
                      model and retry semantics"). Propagate the error with
                      MMLIB_ASSIGN_OR_RETURN instead of crashing on it.
+  no-direct-replica-write  mutating a single replica directly -- through a
+                     replica transport's backend(), a transport(i) accessor,
+                     or a per-replica backend array -- is forbidden outside
+                     src/repl/. Every replica mutation must flow through the
+                     quorum writer (or the scrubber's reconciler), which
+                     records the write-time digest and commit state; a direct
+                     write silently diverges a replica in a way only
+                     anti-entropy can find (DESIGN.md Section 11). Tests that
+                     deliberately inject bit-rot annotate the line with
+                     lint:allow.
   no-direct-persist  std::ofstream/std::fstream/fopen are forbidden in
                      src/filestore/, src/docstore/ and src/core/ -- every
                      persisted byte must go through util::AtomicWriteFile
@@ -91,6 +101,18 @@ IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
 DIRECT_PERSIST_RE = re.compile(
     r"(?<![\w:])std::(?:ofstream|fstream)\b|(?<![\w:.])(?:std::)?fopen\s*\(")
 PERSIST_DIRS = ("src/filestore/", "src/docstore/", "src/core/")
+# A mutating store call whose receiver addresses one specific replica: a
+# replica transport's raw backend(), a ReplicatedStore transport(i), or a
+# per-replica backend array slot. The receiver/mutator chain may wrap across
+# lines, so this is matched against comment-stripped full text.
+REPLICA_MUTATORS = (
+    r"(?:SaveFile|WriteAllocated|AllocateFileId|AllocateDocId|Insert|"
+    r"InsertWithId|Delete)")
+REPLICA_WRITE_RE = re.compile(
+    r"(?:(?:->|\.)\s*backend\s*\(\s*\)"
+    r"|transport\s*\((?:[^()]|\([^()]*\))*\)"
+    r"|(?:file|doc)_backends\s*\[[^\]]*\]"
+    r")\s*->\s*" + REPLICA_MUTATORS + r"\s*\(")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 NODISCARD_CLASS_RE = {
     "src/util/result.h": re.compile(r"class\s+\[\[nodiscard\]\]\s+Result"),
@@ -217,6 +239,25 @@ def check_direct_persist(relpath, text, findings):
                         "util::AtomicWriteFile or the save journal; a direct "
                         "stream write can tear on crash and is invisible to "
                         "journal replay"))
+
+
+@rule("no-direct-replica-write",
+      "replica mutation bypassing the quorum writer (outside src/repl/)")
+def check_direct_replica_write(relpath, text, findings):
+    rel = relpath.as_posix()
+    if rel.startswith("src/repl/"):
+        return
+    # Strip comments/strings line by line (preserves line numbering), then
+    # match across lines: the receiver chain often wraps.
+    stripped = "\n".join(strip_noncode(line) for line in text.splitlines())
+    for m in REPLICA_WRITE_RE.finditer(stripped):
+        line = stripped.count("\n", 0, m.start()) + 1
+        findings.append(
+            Finding(rel, line, "no-direct-replica-write",
+                    "mutate replicas through the quorum writer "
+                    "(ReplicatedFileStore/ReplicatedDocumentStore) or the "
+                    "scrubber, never one replica directly; a lone-replica "
+                    "write diverges silently until anti-entropy finds it"))
 
 
 @rule("nodiscard-result", "Result/Status must be declared [[nodiscard]]")
