@@ -1,11 +1,11 @@
-#include "check/determinism_auditor.h"
+#include "audit/determinism_auditor.h"
 
 #include <utility>
 
 #include "check/check.h"
 #include "check/validators.h"
 
-namespace mmlib::check {
+namespace mmlib::audit {
 
 namespace {
 
@@ -126,7 +126,7 @@ void DeterminismAuditor::Reset() {
 
 Status AuditDeterminism(nn::Model* model, const Tensor& input, uint64_t seed,
                         size_t runs, DeterminismAuditOptions options) {
-  MMLIB_RETURN_IF_ERROR(ValidatePositive(static_cast<int64_t>(runs),
+  MMLIB_RETURN_IF_ERROR(check::ValidatePositive(static_cast<int64_t>(runs),
                                          "AuditDeterminism runs")
                             .WithContext("determinism audit"));
   DeterminismAuditor auditor(options);
@@ -152,4 +152,4 @@ Status AuditDeterminism(nn::Model* model, const Tensor& input, uint64_t seed,
   return status;
 }
 
-}  // namespace mmlib::check
+}  // namespace mmlib::audit

@@ -20,7 +20,7 @@
 /// input-gradient with the repo's SHA-256, and compares later runs against
 /// the first (reference) run as events stream in, failing fast at the first
 /// diverging layer instead of at the end-of-training parameter diff.
-namespace mmlib::check {
+namespace mmlib::audit {
 
 struct DeterminismAuditOptions {
   /// Hash backward-pass input gradients in addition to forward outputs.
@@ -117,4 +117,4 @@ Status AuditDeterminism(nn::Model* model, const Tensor& input, uint64_t seed,
                         size_t runs = 2,
                         DeterminismAuditOptions options = {});
 
-}  // namespace mmlib::check
+}  // namespace mmlib::audit

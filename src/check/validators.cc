@@ -1,6 +1,5 @@
 #include "check/validators.h"
 
-#include <cmath>
 #include <string>
 
 namespace mmlib::check {
@@ -15,31 +14,6 @@ std::string WithContext(std::string_view context, std::string message) {
 }
 
 }  // namespace
-
-Status ValidateShapesMatch(const Shape& got, const Shape& want,
-                           std::string_view context) {
-  if (got == want) {
-    return Status::OK();
-  }
-  return Status::InvalidArgument(WithContext(
-      context, "shape mismatch: got " + got.ToString() + ", want " +
-                   want.ToString()));
-}
-
-Status ValidateSameShape(const Tensor& a, const Tensor& b,
-                         std::string_view context) {
-  return ValidateShapesMatch(a.shape(), b.shape(), context);
-}
-
-Status ValidateRank(const Shape& shape, size_t rank,
-                    std::string_view context) {
-  if (shape.rank() == rank) {
-    return Status::OK();
-  }
-  return Status::InvalidArgument(WithContext(
-      context, "expected rank " + std::to_string(rank) + ", got shape " +
-                   shape.ToString()));
-}
 
 Status ValidateIndex(int64_t index, int64_t size, std::string_view context) {
   if (index >= 0 && index < size) {
@@ -56,22 +30,6 @@ Status ValidatePositive(int64_t value, std::string_view context) {
   }
   return Status::InvalidArgument(WithContext(
       context, "expected a positive value, got " + std::to_string(value)));
-}
-
-Status ValidateArity(const std::vector<const Tensor*>& inputs, size_t arity,
-                     std::string_view layer_name) {
-  if (inputs.size() != arity) {
-    return Status::InvalidArgument(WithContext(
-        layer_name, "expected " + std::to_string(arity) + " input(s), got " +
-                        std::to_string(inputs.size())));
-  }
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    if (inputs[i] == nullptr) {
-      return Status::InvalidArgument(
-          WithContext(layer_name, "input " + std::to_string(i) + " is null"));
-    }
-  }
-  return Status::OK();
 }
 
 Status ValidateResourceName(std::string_view name, bool allow_dot,
@@ -96,20 +54,6 @@ Status ValidateResourceName(std::string_view name, bool allow_dot,
                     (allow_dot && c == '.');
     if (!ok) {
       return reject(std::string("disallowed character '") + c + "'");
-    }
-  }
-  return Status::OK();
-}
-
-Status ValidateAllFinite(const Tensor& t, std::string_view context) {
-  const float* data = t.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    if (!std::isfinite(data[i])) {
-      return Status::InvalidArgument(WithContext(
-          context, "non-finite value " + std::to_string(data[i]) +
-                       " at flat index " + std::to_string(i) + " of shape " +
-                       t.shape().ToString()));
     }
   }
   return Status::OK();

@@ -2,9 +2,7 @@
 
 #include <cstdint>
 #include <string_view>
-#include <vector>
 
-#include "tensor/tensor.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -13,35 +11,16 @@
 /// MMLIB_CHECK is for internal invariants; these helpers are for conditions
 /// that depend on caller input or on bytes read from storage, so they report
 /// through Status and keep the process alive. They centralize the error
-/// phrasing so every module rejects bad shapes/bounds/values the same way.
+/// phrasing so every module rejects bad indices/values/names the same way.
+/// Tensor- and shape-aware validators live in tensor/validate.h (same
+/// namespace), keeping check/ below tensor/ in the include DAG.
 namespace mmlib::check {
-
-/// OK iff `got == want`; InvalidArgument naming both shapes otherwise.
-Status ValidateShapesMatch(const Shape& got, const Shape& want,
-                           std::string_view context);
-
-/// OK iff the two tensors have equal shapes.
-Status ValidateSameShape(const Tensor& a, const Tensor& b,
-                         std::string_view context);
-
-/// OK iff `shape.rank() == rank`.
-Status ValidateRank(const Shape& shape, size_t rank, std::string_view context);
 
 /// OK iff 0 <= index < size; OutOfRange otherwise.
 Status ValidateIndex(int64_t index, int64_t size, std::string_view context);
 
 /// OK iff value > 0; InvalidArgument otherwise.
 Status ValidatePositive(int64_t value, std::string_view context);
-
-/// OK iff every element of `t` is finite (no NaN, no +/-Inf); reports the
-/// first offending index and value otherwise. O(numel) — call at module
-/// boundaries (loss, persisted snapshots), not in per-element loops.
-Status ValidateAllFinite(const Tensor& t, std::string_view context);
-
-/// OK iff a layer received exactly `arity` non-null inputs. Shared by every
-/// nn layer's Forward.
-Status ValidateArity(const std::vector<const Tensor*>& inputs, size_t arity,
-                     std::string_view layer_name);
 
 /// OK iff `name` is usable as a storage id / collection name that becomes a
 /// filesystem path component: non-empty, at most 200 chars, characters from

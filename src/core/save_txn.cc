@@ -1,7 +1,7 @@
 #include "core/save_txn.h"
 
 #include "util/crash_point.h"
-#include "util/journal.h"
+#include "persist/journal.h"
 
 namespace mmlib::core {
 
@@ -48,7 +48,7 @@ Result<std::string> SaveTransaction::SaveFile(const Bytes& content) {
     // Intent first, write second: a crash between the two leaves a
     // journaled id with no file, which replay tolerates (NotFound).
     MMLIB_RETURN_IF_ERROR(backends_.journal->AppendOp(
-        txn_id_, {util::kJournalFileStore, "", id}));
+        txn_id_, {persist::kJournalFileStore, "", id}));
     MMLIB_CRASH_POINT("savetxn.file.journaled");
     MMLIB_RETURN_IF_ERROR(backends_.files->WriteAllocated(id, content));
     MMLIB_CRASH_POINT("savetxn.file.written");
@@ -67,7 +67,7 @@ Result<std::string> SaveTransaction::Insert(const std::string& collection,
     MMLIB_ASSIGN_OR_RETURN(std::string id,
                            backends_.docs->AllocateDocId(collection));
     MMLIB_RETURN_IF_ERROR(backends_.journal->AppendOp(
-        txn_id_, {util::kJournalDocStore, collection, id}));
+        txn_id_, {persist::kJournalDocStore, collection, id}));
     MMLIB_CRASH_POINT("savetxn.doc.journaled");
     MMLIB_RETURN_IF_ERROR(
         backends_.docs->InsertWithId(collection, id, std::move(doc)));

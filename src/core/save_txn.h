@@ -26,7 +26,7 @@ namespace mmlib::core {
 /// Commit() durably marks the record complete. A process killed anywhere in
 /// between leaves only writes the journal knows about, which the persistent
 /// stores undo (or, past the commit mark, keep) on reopen — see
-/// util/journal.h. In-process rollback still applies to ordinary failures;
+/// persist/journal.h. In-process rollback still applies to ordinary failures;
 /// only a simulated crash (util::CrashPoint::crash_in_progress) skips it,
 /// because a killed process would not have run it either.
 class SaveTransaction {

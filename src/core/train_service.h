@@ -4,7 +4,7 @@
 #include <memory>
 #include <string>
 
-#include "check/determinism_auditor.h"
+#include "audit/determinism_auditor.h"
 #include "core/checkpoint.h"
 #include "data/archive.h"
 #include "data/dataloader.h"
@@ -123,7 +123,7 @@ class ImageTrainService : public TrainService {
   /// be a bit-identical replay (e.g. provenance-based recovery, Fig. 13)
   /// fails with Corruption at the first diverging layer. Pass nullptr to
   /// detach. The auditor must outlive the service's Train calls.
-  void set_determinism_auditor(check::DeterminismAuditor* auditor) {
+  void set_determinism_auditor(audit::DeterminismAuditor* auditor) {
     auditor_ = auditor;
   }
 
@@ -172,7 +172,7 @@ class ImageTrainService : public TrainService {
   nn::Model* bound_model_ = nullptr;
   Bytes pending_optimizer_state_;
   float last_loss_ = 0.0f;
-  check::DeterminismAuditor* auditor_ = nullptr;
+  audit::DeterminismAuditor* auditor_ = nullptr;
   util::ThreadPool* pool_ = nullptr;
   CheckpointManager* checkpoints_ = nullptr;
   std::string checkpoint_run_id_;

@@ -40,7 +40,7 @@ struct StorageBackends {
   /// intent durably before writing, and the persistent stores roll
   /// half-finished saves back on reopen (crash consistency). Null keeps the
   /// in-process-rollback-only behavior (fine for in-memory stores).
-  util::SaveJournal* journal = nullptr;
+  persist::SaveJournal* journal = nullptr;
 
   size_t TotalStoredBytes() const {
     return docs->TotalStoredBytes() + files->TotalStoredBytes();

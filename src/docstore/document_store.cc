@@ -168,7 +168,7 @@ PersistentDocumentStore::PersistentDocumentStore(std::string root)
     : root_(std::move(root)), id_generator_(0xd15c) {}
 
 Result<std::unique_ptr<PersistentDocumentStore>> PersistentDocumentStore::Open(
-    const std::string& root, util::SaveJournal* journal) {
+    const std::string& root, persist::SaveJournal* journal) {
   std::error_code ec;
   std::filesystem::create_directories(root, ec);
   if (ec) {
@@ -187,7 +187,7 @@ Result<std::unique_ptr<PersistentDocumentStore>> PersistentDocumentStore::Open(
   }
   if (journal != nullptr) {
     MMLIB_RETURN_IF_ERROR(journal->Replay(
-        util::kJournalDocStore, [&store](const util::JournalOp& op) {
+        persist::kJournalDocStore, [&store](const persist::JournalOp& op) {
           return store->Delete(op.collection, op.id);
         }));
   }

@@ -10,7 +10,7 @@
 #include "simnet/network.h"
 #include "simnet/retry.h"
 #include "util/id_generator.h"
-#include "util/journal.h"
+#include "persist/journal.h"
 #include "util/result.h"
 
 namespace mmlib::docstore {
@@ -120,12 +120,12 @@ class InMemoryDocumentStore : public DocumentStore {
 /// temporary), and only `*.json` entries count as stored documents.
 /// Opening with a SaveJournal garbage-collects leftover temporaries and
 /// replays pending journal records, undoing document inserts of
-/// half-finished saves (see util/journal.h).
+/// half-finished saves (see persist/journal.h).
 class PersistentDocumentStore : public DocumentStore {
  public:
   /// Opens (and creates if needed) the store rooted at `root`.
   static Result<std::unique_ptr<PersistentDocumentStore>> Open(
-      const std::string& root, util::SaveJournal* journal = nullptr);
+      const std::string& root, persist::SaveJournal* journal = nullptr);
 
   Result<std::string> Insert(const std::string& collection,
                              json::Value doc) override;

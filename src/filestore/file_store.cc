@@ -89,7 +89,7 @@ LocalDirFileStore::LocalDirFileStore(std::string root)
     : root_(std::move(root)), id_generator_(0xf17f) {}
 
 Result<std::unique_ptr<LocalDirFileStore>> LocalDirFileStore::Open(
-    const std::string& root, util::SaveJournal* journal) {
+    const std::string& root, persist::SaveJournal* journal) {
   std::error_code ec;
   std::filesystem::create_directories(root, ec);
   if (ec) {
@@ -106,7 +106,7 @@ Result<std::unique_ptr<LocalDirFileStore>> LocalDirFileStore::Open(
   }
   if (journal != nullptr) {
     MMLIB_RETURN_IF_ERROR(journal->Replay(
-        util::kJournalFileStore, [&store](const util::JournalOp& op) {
+        persist::kJournalFileStore, [&store](const persist::JournalOp& op) {
           return store->Delete(op.id);
         }));
   }

@@ -10,7 +10,7 @@
 #include "simnet/retry.h"
 #include "util/bytes.h"
 #include "util/id_generator.h"
-#include "util/journal.h"
+#include "persist/journal.h"
 #include "util/result.h"
 
 namespace mmlib::filestore {
@@ -106,11 +106,11 @@ class InMemoryFileStore : public FileStore {
 /// leftover temporaries and foreign files do not skew the paper's
 /// storage-consumption numbers. Opening with a SaveJournal garbage-collects
 /// leftover temporaries and replays pending journal records, undoing
-/// file writes of half-finished saves (see util/journal.h).
+/// file writes of half-finished saves (see persist/journal.h).
 class LocalDirFileStore : public FileStore {
  public:
   static Result<std::unique_ptr<LocalDirFileStore>> Open(
-      const std::string& root, util::SaveJournal* journal = nullptr);
+      const std::string& root, persist::SaveJournal* journal = nullptr);
 
   Result<std::string> SaveFile(const Bytes& content) override;
   Result<std::string> AllocateFileId() override;

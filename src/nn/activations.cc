@@ -1,6 +1,7 @@
 #include "nn/activations.h"
 
 #include "check/validators.h"
+#include "tensor/validate.h"
 #include <cmath>
 
 namespace mmlib::nn {

@@ -1,6 +1,6 @@
 #include "nn/batchnorm.h"
 
-#include "check/validators.h"
+#include "tensor/validate.h"
 #include <cmath>
 
 namespace mmlib::nn {

@@ -1,6 +1,6 @@
 #include "nn/conv2d.h"
 
-#include "check/validators.h"
+#include "tensor/validate.h"
 #include "util/thread_pool.h"
 #include <cmath>
 #include <cstring>

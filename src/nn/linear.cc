@@ -1,6 +1,6 @@
 #include "nn/linear.h"
 
-#include "check/validators.h"
+#include "tensor/validate.h"
 #include "util/thread_pool.h"
 #include <cmath>
 

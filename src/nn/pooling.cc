@@ -1,6 +1,6 @@
 #include "nn/pooling.h"
 
-#include "check/validators.h"
+#include "tensor/validate.h"
 #include <limits>
 
 namespace mmlib::nn {

@@ -1,4 +1,4 @@
-#include "util/journal.h"
+#include "persist/journal.h"
 
 #include <cstring>
 #include <filesystem>
@@ -9,7 +9,7 @@
 #include "util/fs.h"
 #include "util/strings.h"
 
-namespace mmlib::util {
+namespace mmlib::persist {
 
 namespace {
 
@@ -46,7 +46,7 @@ Status SaveJournal::LoadExisting() {
   std::vector<std::string> record_names;
   for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
     const std::string filename = entry.path().filename().string();
-    if (EndsWith(filename, kTmpSuffix)) {
+    if (EndsWith(filename, util::kTmpSuffix)) {
       // A record rewrite died before its rename; the previous durable
       // version of the record (if any) is authoritative.
       std::error_code remove_ec;
@@ -104,7 +104,7 @@ Status SaveJournal::WriteRecord(const std::string& txn_id,
   doc.Set("committed", record.committed);
   doc.Set("ops", std::move(ops));
   const std::string text = doc.Dump();
-  return AtomicWriteFile(PathFor(txn_id),
+  return util::AtomicWriteFile(PathFor(txn_id),
                          reinterpret_cast<const uint8_t*>(text.data()),
                          text.size());
 }
@@ -112,7 +112,7 @@ Status SaveJournal::WriteRecord(const std::string& txn_id,
 Status SaveJournal::RemoveRecord(const std::string& txn_id) {
   records_.erase(txn_id);
   const Status status =
-      RemoveFileStrict(PathFor(txn_id), "journal record " + txn_id);
+      util::RemoveFileStrict(PathFor(txn_id), "journal record " + txn_id);
   // Already gone is fine: an interrupted replay may have removed the file
   // before this process learned about it.
   if (status.code() == StatusCode::kNotFound) {
@@ -214,4 +214,4 @@ Status SaveJournal::Replay(const std::string& store_kind, const UndoFn& undo) {
   return Status::OK();
 }
 
-}  // namespace mmlib::util
+}  // namespace mmlib::persist

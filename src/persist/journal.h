@@ -8,7 +8,7 @@
 
 #include "util/result.h"
 
-namespace mmlib::util {
+namespace mmlib::persist {
 
 /// Store kinds a journal op can target; persistent stores replay the ops of
 /// their own kind on reopen.
@@ -103,4 +103,4 @@ class SaveJournal {
   std::map<std::string, Record> records_;
 };
 
-}  // namespace mmlib::util
+}  // namespace mmlib::persist

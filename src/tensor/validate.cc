@@ -1,0 +1,74 @@
+#include "tensor/validate.h"
+
+#include <cmath>
+#include <string>
+
+namespace mmlib::check {
+
+namespace {
+
+std::string WithContext(std::string_view context, std::string message) {
+  if (context.empty()) {
+    return message;
+  }
+  return std::string(context) + ": " + message;
+}
+
+}  // namespace
+
+Status ValidateShapesMatch(const Shape& got, const Shape& want,
+                           std::string_view context) {
+  if (got == want) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(WithContext(
+      context, "shape mismatch: got " + got.ToString() + ", want " +
+                   want.ToString()));
+}
+
+Status ValidateSameShape(const Tensor& a, const Tensor& b,
+                         std::string_view context) {
+  return ValidateShapesMatch(a.shape(), b.shape(), context);
+}
+
+Status ValidateRank(const Shape& shape, size_t rank,
+                    std::string_view context) {
+  if (shape.rank() == rank) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(WithContext(
+      context, "expected rank " + std::to_string(rank) + ", got shape " +
+                   shape.ToString()));
+}
+
+Status ValidateArity(const std::vector<const Tensor*>& inputs, size_t arity,
+                     std::string_view layer_name) {
+  if (inputs.size() != arity) {
+    return Status::InvalidArgument(WithContext(
+        layer_name, "expected " + std::to_string(arity) + " input(s), got " +
+                        std::to_string(inputs.size())));
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i] == nullptr) {
+      return Status::InvalidArgument(
+          WithContext(layer_name, "input " + std::to_string(i) + " is null"));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateAllFinite(const Tensor& t, std::string_view context) {
+  const float* data = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) {
+      return Status::InvalidArgument(WithContext(
+          context, "non-finite value " + std::to_string(data[i]) +
+                       " at flat index " + std::to_string(i) + " of shape " +
+                       t.shape().ToString()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mmlib::check

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/result.h"
+#include "util/status.h"
+
+/// Tensor- and shape-aware recoverable-input validators (DESIGN.md
+/// "Correctness tooling"). These live in the tensor layer — not check/ —
+/// because they depend on Tensor/Shape and check/ sits below tensor/ in the
+/// include DAG (tools/mmlint/layers.toml). They keep the mmlib::check
+/// namespace their callers spell, alongside the scalar validators of
+/// check/validators.h.
+namespace mmlib::check {
+
+/// OK iff `got == want`; InvalidArgument naming both shapes otherwise.
+Status ValidateShapesMatch(const Shape& got, const Shape& want,
+                           std::string_view context);
+
+/// OK iff the two tensors have equal shapes.
+Status ValidateSameShape(const Tensor& a, const Tensor& b,
+                         std::string_view context);
+
+/// OK iff `shape.rank() == rank`.
+Status ValidateRank(const Shape& shape, size_t rank, std::string_view context);
+
+/// OK iff every element of `t` is finite (no NaN, no +/-Inf); reports the
+/// first offending index and value otherwise. O(numel) — call at module
+/// boundaries (loss, persisted snapshots), not in per-element loops.
+Status ValidateAllFinite(const Tensor& t, std::string_view context);
+
+/// OK iff a layer received exactly `arity` non-null inputs. Shared by every
+/// nn layer's Forward.
+Status ValidateArity(const std::vector<const Tensor*>& inputs, size_t arity,
+                     std::string_view layer_name);
+
+}  // namespace mmlib::check

@@ -1,12 +1,30 @@
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
+#include <string>
 #include <utility>
 
-#include "check/check.h"
 #include "util/status.h"
 
 namespace mmlib {
+
+namespace result_internal {
+
+/// Failure handler for misused Result. util/ is the bottom layer of the
+/// include DAG (tools/mmlint/layers.toml), so this header cannot reach for
+/// check/check.h; it reports in the same `MMLIB_CHECK failed:` shape and
+/// aborts so ctest and sanitizer runs surface a stack trace.
+[[noreturn]] inline void ResultFatal(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "MMLIB_CHECK failed: %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace result_internal
 
 /// Result<T> holds either a value of type T or an error Status. It is the
 /// return type of any mmlib operation that can fail and produces a value.
@@ -24,8 +42,11 @@ class [[nodiscard]] Result {
   /// Constructs a Result holding an error (implicit to allow
   /// `return Status::NotFound(...)`). Must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    MMLIB_CHECK(!status_.ok())
-        << "Result constructed from OK status without value";
+    if (status_.ok()) {
+      result_internal::ResultFatal(
+          __FILE__, __LINE__,
+          "Result constructed from OK status without value");
+    }
   }
 
   bool ok() const { return value_.has_value(); }
@@ -59,7 +80,11 @@ class [[nodiscard]] Result {
 
  private:
   void CheckHoldsValue() const {
-    MMLIB_CHECK(ok()) << "value() on error Result: " << status_.ToString();
+    if (!ok()) {
+      result_internal::ResultFatal(
+          __FILE__, __LINE__,
+          "value() on error Result: " + status_.ToString());
+    }
   }
 
   Status status_;

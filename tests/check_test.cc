@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "check/validators.h"
+#include "tensor/validate.h"
 #include "nn/loss.h"
 #include "tensor/tensor.h"
 #include "util/result.h"

@@ -8,7 +8,7 @@
 #include <utility>
 #include <vector>
 
-#include "check/determinism_auditor.h"
+#include "audit/determinism_auditor.h"
 #include "core/adaptive.h"
 #include "core/baseline.h"
 #include "core/checkpoint.h"
@@ -27,7 +27,7 @@
 #include "tensor/tensor.h"
 #include "util/crash_point.h"
 #include "util/fs.h"
-#include "util/journal.h"
+#include "persist/journal.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -137,24 +137,24 @@ TEST(SaveJournalTest, UncommittedRecordSurvivesReopenAndReplaysUndo) {
   const std::string root = FreshRoot("journal-replay");
   std::string txn_id;
   {
-    auto journal = util::SaveJournal::Open(root).value();
+    auto journal = persist::SaveJournal::Open(root).value();
     txn_id = journal->Begin().value();
     ASSERT_TRUE(journal
-                    ->AppendOp(txn_id, {util::kJournalFileStore, "", "f-1"})
+                    ->AppendOp(txn_id, {persist::kJournalFileStore, "", "f-1"})
                     .ok());
     ASSERT_TRUE(journal
                     ->AppendOp(txn_id,
-                               {util::kJournalDocStore, "models", "d-1"})
+                               {persist::kJournalDocStore, "models", "d-1"})
                     .ok());
     // No Close: the process "dies" with the transaction open.
   }
-  auto journal = util::SaveJournal::Open(root).value();
+  auto journal = persist::SaveJournal::Open(root).value();
   EXPECT_EQ(journal->PendingRecordCount(), 1u);
 
   std::vector<std::string> undone;
   ASSERT_TRUE(journal
-                  ->Replay(util::kJournalFileStore,
-                           [&](const util::JournalOp& op) {
+                  ->Replay(persist::kJournalFileStore,
+                           [&](const persist::JournalOp& op) {
                              undone.push_back(op.id);
                              return Status::OK();
                            })
@@ -162,8 +162,8 @@ TEST(SaveJournalTest, UncommittedRecordSurvivesReopenAndReplaysUndo) {
   EXPECT_EQ(undone, std::vector<std::string>{"f-1"});
   EXPECT_EQ(journal->PendingRecordCount(), 1u);  // doc op still unresolved
   ASSERT_TRUE(journal
-                  ->Replay(util::kJournalDocStore,
-                           [&](const util::JournalOp& op) {
+                  ->Replay(persist::kJournalDocStore,
+                           [&](const persist::JournalOp& op) {
                              EXPECT_EQ(op.collection, "models");
                              undone.push_back(op.id);
                              return Status::NotFound("already gone");
@@ -174,8 +174,8 @@ TEST(SaveJournalTest, UncommittedRecordSurvivesReopenAndReplaysUndo) {
 
   // Idempotent: a second replay finds nothing to do.
   ASSERT_TRUE(journal
-                  ->Replay(util::kJournalFileStore,
-                           [&](const util::JournalOp&) {
+                  ->Replay(persist::kJournalFileStore,
+                           [&](const persist::JournalOp&) {
                              ADD_FAILURE() << "unexpected undo";
                              return Status::OK();
                            })
@@ -185,18 +185,18 @@ TEST(SaveJournalTest, UncommittedRecordSurvivesReopenAndReplaysUndo) {
 TEST(SaveJournalTest, CommittedRecordKeepsWritesOnReplay) {
   const std::string root = FreshRoot("journal-commit");
   {
-    auto journal = util::SaveJournal::Open(root).value();
+    auto journal = persist::SaveJournal::Open(root).value();
     const std::string txn_id = journal->Begin().value();
     ASSERT_TRUE(journal
-                    ->AppendOp(txn_id, {util::kJournalFileStore, "", "f-1"})
+                    ->AppendOp(txn_id, {persist::kJournalFileStore, "", "f-1"})
                     .ok());
     ASSERT_TRUE(journal->MarkCommitted(txn_id).ok());
   }
-  auto journal = util::SaveJournal::Open(root).value();
+  auto journal = persist::SaveJournal::Open(root).value();
   EXPECT_EQ(journal->PendingRecordCount(), 1u);
   ASSERT_TRUE(journal
-                  ->Replay(util::kJournalFileStore,
-                           [&](const util::JournalOp&) {
+                  ->Replay(persist::kJournalFileStore,
+                           [&](const persist::JournalOp&) {
                              ADD_FAILURE() << "committed op undone";
                              return Status::OK();
                            })
@@ -210,7 +210,7 @@ TEST(SaveJournalTest, CommittedRecordKeepsWritesOnReplay) {
 
 /// Journal + persistent stores opened from one root, replaying on open.
 struct PersistentBacking {
-  std::unique_ptr<util::SaveJournal> journal;
+  std::unique_ptr<persist::SaveJournal> journal;
   std::unique_ptr<filestore::LocalDirFileStore> files;
   std::unique_ptr<docstore::PersistentDocumentStore> docs;
   core::StorageBackends backends;
@@ -223,7 +223,7 @@ struct PersistentBacking {
 };
 
 void OpenBacking(const std::string& root, PersistentBacking* out) {
-  auto journal = util::SaveJournal::Open(root + "/journal");
+  auto journal = persist::SaveJournal::Open(root + "/journal");
   ASSERT_TRUE(journal.ok()) << journal.status();
   out->journal = std::move(journal).value();
   auto files =
@@ -474,7 +474,7 @@ TEST(ReplayCrashTest, CrashDuringReplayIsRecoveredByTheNextReplay) {
 
   // Second crash: the restarted process dies *inside* replay.
   {
-    auto journal = util::SaveJournal::Open(root + "/journal").value();
+    auto journal = persist::SaveJournal::Open(root + "/journal").value();
     ASSERT_EQ(journal->PendingRecordCount(), 1u);
     util::CrashPoint::Arm("journal.replay.op");
     bool crashed = false;
@@ -605,7 +605,7 @@ TEST_F(TrainCheckpointTest, ResumeIsBitIdenticalToUninterruptedRun) {
 
   // The resumed model's forward/backward trace replays the reference
   // bit for bit (per-layer digests, DeterminismAuditor).
-  check::DeterminismAuditor auditor;
+  audit::DeterminismAuditor auditor;
   Rng rng(11);
   const Tensor input = Tensor::Uniform(
       Shape{2, 3, config_.loader.image_size, config_.loader.image_size},

@@ -1,4 +1,4 @@
-#include "check/determinism_auditor.h"
+#include "audit/determinism_auditor.h"
 
 #include <gtest/gtest.h>
 
@@ -11,7 +11,7 @@
 #include "nn/model.h"
 #include "util/random.h"
 
-namespace mmlib::check {
+namespace mmlib::audit {
 namespace {
 
 nn::Model SmallMlp(uint64_t seed = 9) {
@@ -201,4 +201,4 @@ TEST(DeterminismAuditorTest, AuditedTrainingReplayDetectsCorruption) {
 }
 
 }  // namespace
-}  // namespace mmlib::check
+}  // namespace mmlib::audit

@@ -8,7 +8,7 @@
 #include <utility>
 #include <vector>
 
-#include "check/determinism_auditor.h"
+#include "audit/determinism_auditor.h"
 #include "core/baseline.h"
 #include "core/fetch.h"
 #include "core/model_code.h"
@@ -694,7 +694,7 @@ FlowOutcome RunFaultyDistFlow(size_t pool_size, uint64_t seed) {
       // The recovered model still executes bit-reproducibly.
       Rng rng(7);
       Tensor input = Tensor::Gaussian(Shape{2, 3, 28, 28}, 1.0f, &rng);
-      EXPECT_TRUE(check::AuditDeterminism(&last->model, input, /*seed=*/3)
+      EXPECT_TRUE(audit::AuditDeterminism(&last->model, input, /*seed=*/3)
                       .ok());
     }
   }

@@ -4,7 +4,7 @@
 #include <memory>
 #include <vector>
 
-#include "check/determinism_auditor.h"
+#include "audit/determinism_auditor.h"
 #include "compress/chunked.h"
 #include "core/train_service.h"
 #include "models/zoo.h"
@@ -189,7 +189,7 @@ TEST(ParallelDeterminismTest, AuditedTrainingIdenticalAcrossPools) {
   model_config.num_classes = 10;
   model_config.init_seed = 1;
 
-  check::DeterminismAuditor auditor;
+  audit::DeterminismAuditor auditor;
   Digest params_hash;
   for (size_t threads : kPoolSizes) {
     util::ThreadPool pool(threads);

@@ -1,346 +1,20 @@
 #!/usr/bin/env python3
-"""mmlib repository lint.
+"""Deprecated shim: the regex lint was replaced by the tools/mmlint package.
 
-Enforces repo-specific correctness rules that generic tooling does not know
-about (see DESIGN.md "Correctness tooling"):
-
-  no-raw-rand        rand()/srand()/std::random_device are forbidden outside
-                     src/util/random.* -- all randomness must flow through the
-                     seeded, platform-deterministic mmlib::Rng so training
-                     stays reproducible (paper Section 2.3).
-  no-assert          assert( is forbidden in library code under src/ -- use
-                     MMLIB_CHECK / MMLIB_DCHECK from src/check/check.h, which
-                     survive NDEBUG builds and print formatted context.
-  pragma-once        every header must start its guard with #pragma once.
-  no-iostream        <iostream> is forbidden in the src/ library target; it
-                     drags in static init-order hazards and stdio interleaving.
-                     Use <cstdio> or util/strings.h. (bench/, examples/ and
-                     tests/ may use it.)
-  nodiscard-result   src/util/result.h and src/util/status.h must declare
-                     Result/Status [[nodiscard]] so the compiler flags every
-                     discarded error at the call site.
-  no-raw-thread      std::thread/std::jthread/std::async (and <future>) are
-                     forbidden outside src/util/ -- ad-hoc threads bypass the
-                     deterministic-chunking contract of util::ThreadPool
-                     (DESIGN.md "Threading model") and make results depend on
-                     scheduling. Use ThreadPool::ParallelFor.
-  no-unchecked-remote  bare `.value()` chained onto a store operation is
-                     forbidden in src/dist/ -- distributed flows run against
-                     remote stores whose calls can fail with Unavailable /
-                     DeadlineExceeded even after retries (DESIGN.md "Fault
-                     model and retry semantics"). Propagate the error with
-                     MMLIB_ASSIGN_OR_RETURN instead of crashing on it.
-  no-direct-replica-write  mutating a single replica directly -- through a
-                     replica transport's backend(), a transport(i) accessor,
-                     or a per-replica backend array -- is forbidden outside
-                     src/repl/. Every replica mutation must flow through the
-                     quorum writer (or the scrubber's reconciler), which
-                     records the write-time digest and commit state; a direct
-                     write silently diverges a replica in a way only
-                     anti-entropy can find (DESIGN.md Section 11). Tests that
-                     deliberately inject bit-rot annotate the line with
-                     lint:allow.
-  no-direct-persist  std::ofstream/std::fstream/fopen are forbidden in
-                     src/filestore/, src/docstore/ and src/core/ -- every
-                     persisted byte must go through util::AtomicWriteFile
-                     (tmp-write + flush + rename, with crash points) or the
-                     write-ahead journal (DESIGN.md "Crash model and
-                     recovery"); a direct stream write can leave a torn file
-                     that replay does not know about.
-
-Usage:
-  python3 tools/lint.py            # lint the whole repo, exit non-zero on findings
-  python3 tools/lint.py FILE...    # lint specific files only
-  python3 tools/lint.py --list-rules
-
-A finding on a specific line can be suppressed with a trailing
-`// lint:allow(<rule-id>)` comment; use sparingly and say why.
+Run `python3 -m tools.mmlint` instead — same nine rules, now on a real
+token stream, plus layering and call-graph checks. This wrapper forwards
+all arguments so existing invocations keep working.
 """
 
-import argparse
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-CPP_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
-
-# Directories scanned for C++ sources, relative to the repo root.
-SCAN_DIRS = ("src", "tests", "bench", "examples")
-
-
-def is_header(path: Path) -> bool:
-    return path.suffix in {".h", ".hpp"}
-
-
-def in_dir(relpath: Path, dirname: str) -> bool:
-    return relpath.parts and relpath.parts[0] == dirname
-
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
-LINE_COMMENT_RE = re.compile(r"//.*$")
-STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
-
-RAW_RAND_RE = re.compile(r"(?<![\w:])(?:std::)?(?:s?rand(?:om)?\s*\(|random_device)")
-# std::thread::hardware_concurrency is a query, not a thread spawn; it stays
-# legal everywhere (ThreadPool sizes its default from it).
-RAW_THREAD_RE = re.compile(
-    r"(?<![\w:])std::(?:thread(?!::hardware_concurrency)|jthread|async)\b"
-    r"|#\s*include\s*<future>")
-ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
-# A store operation with `.value()` chained straight onto the call. The
-# argument list is matched across one nesting level of parentheses.
-UNCHECKED_REMOTE_RE = re.compile(
-    r"(?:SaveFile|LoadFile|Delete|FileSize|FileCount|Insert|Get|ListIds|"
-    r"FindByField)\s*\((?:[^()]|\([^()]*\))*\)\s*\.\s*value\s*\(")
-IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
-# Direct file-write channels in persistence code. std::ifstream (read-only)
-# stays legal; everything that can create or mutate a file on disk must go
-# through util::AtomicWriteFile or the journal.
-DIRECT_PERSIST_RE = re.compile(
-    r"(?<![\w:])std::(?:ofstream|fstream)\b|(?<![\w:.])(?:std::)?fopen\s*\(")
-PERSIST_DIRS = ("src/filestore/", "src/docstore/", "src/core/")
-# A mutating store call whose receiver addresses one specific replica: a
-# replica transport's raw backend(), a ReplicatedStore transport(i), or a
-# per-replica backend array slot. The receiver/mutator chain may wrap across
-# lines, so this is matched against comment-stripped full text.
-REPLICA_MUTATORS = (
-    r"(?:SaveFile|WriteAllocated|AllocateFileId|AllocateDocId|Insert|"
-    r"InsertWithId|Delete)")
-REPLICA_WRITE_RE = re.compile(
-    r"(?:(?:->|\.)\s*backend\s*\(\s*\)"
-    r"|transport\s*\((?:[^()]|\([^()]*\))*\)"
-    r"|(?:file|doc)_backends\s*\[[^\]]*\]"
-    r")\s*->\s*" + REPLICA_MUTATORS + r"\s*\(")
-PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
-NODISCARD_CLASS_RE = {
-    "src/util/result.h": re.compile(r"class\s+\[\[nodiscard\]\]\s+Result"),
-    "src/util/status.h": re.compile(r"class\s+\[\[nodiscard\]\]\s+Status"),
-}
-
-
-def strip_noncode(line: str) -> str:
-    """Removes string literals and // comments so rules match code only."""
-    line = STRING_RE.sub('""', line)
-    return LINE_COMMENT_RE.sub("", line)
-
-
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-RULES = {}
-
-
-def rule(rule_id, doc):
-    def wrap(fn):
-        RULES[rule_id] = (fn, doc)
-        return fn
-
-    return wrap
-
-
-@rule("no-raw-rand", "rand()/srand()/std::random_device outside src/util/random")
-def check_raw_rand(relpath, text, findings):
-    rel = relpath.as_posix()
-    if rel.startswith("src/util/random"):
-        return
-    for i, line in enumerate(text.splitlines(), 1):
-        if RAW_RAND_RE.search(strip_noncode(line)):
-            findings.append(
-                Finding(rel, i, "no-raw-rand",
-                        "use the seeded mmlib::Rng from util/random.h; raw "
-                        "rand()/std::random_device breaks reproducibility"))
-
-
-@rule("no-assert", "assert( in src/ library code (use MMLIB_CHECK/MMLIB_DCHECK)")
-def check_assert(relpath, text, findings):
-    if not in_dir(relpath, "src"):
-        return
-    for i, line in enumerate(text.splitlines(), 1):
-        if ASSERT_RE.search(strip_noncode(line)):
-            findings.append(
-                Finding(relpath.as_posix(), i, "no-assert",
-                        "use MMLIB_CHECK/MMLIB_DCHECK from check/check.h "
-                        "instead of assert()"))
-
-
-@rule("pragma-once", "headers must contain #pragma once")
-def check_pragma_once(relpath, text, findings):
-    if not is_header(relpath):
-        return
-    if not PRAGMA_ONCE_RE.search(text):
-        findings.append(
-            Finding(relpath.as_posix(), 1, "pragma-once",
-                    "header is missing #pragma once"))
-
-
-@rule("no-iostream", "<iostream> in the src/ library target")
-def check_iostream(relpath, text, findings):
-    if not in_dir(relpath, "src"):
-        return
-    for i, line in enumerate(text.splitlines(), 1):
-        if IOSTREAM_RE.search(strip_noncode(line)):
-            findings.append(
-                Finding(relpath.as_posix(), i, "no-iostream",
-                        "library code must not include <iostream>; use "
-                        "<cstdio>, <sstream>, or util/strings.h"))
-
-
-@rule("no-raw-thread", "std::thread/std::async outside src/util/")
-def check_raw_thread(relpath, text, findings):
-    rel = relpath.as_posix()
-    if rel.startswith("src/util/"):
-        return
-    for i, line in enumerate(text.splitlines(), 1):
-        if RAW_THREAD_RE.search(strip_noncode(line)):
-            findings.append(
-                Finding(rel, i, "no-raw-thread",
-                        "spawn parallel work through util::ThreadPool's "
-                        "deterministic ParallelFor, not raw std::thread/"
-                        "std::async; ad-hoc threads break the bit-identical-"
-                        "across-thread-counts contract"))
-
-
-@rule("no-unchecked-remote",
-      "bare .value() on a store operation in src/dist/")
-def check_unchecked_remote(relpath, text, findings):
-    rel = relpath.as_posix()
-    if not rel.startswith("src/dist/"):
-        return
-    for i, line in enumerate(text.splitlines(), 1):
-        if UNCHECKED_REMOTE_RE.search(strip_noncode(line)):
-            findings.append(
-                Finding(rel, i, "no-unchecked-remote",
-                        "remote store calls can fail with Unavailable/"
-                        "DeadlineExceeded even after retries; propagate with "
-                        "MMLIB_ASSIGN_OR_RETURN instead of .value()"))
-
-
-@rule("no-direct-persist",
-      "std::ofstream/fopen file writes in persistence code")
-def check_direct_persist(relpath, text, findings):
-    rel = relpath.as_posix()
-    if not rel.startswith(PERSIST_DIRS):
-        return
-    for i, line in enumerate(text.splitlines(), 1):
-        if DIRECT_PERSIST_RE.search(strip_noncode(line)):
-            findings.append(
-                Finding(rel, i, "no-direct-persist",
-                        "persistence code must write through "
-                        "util::AtomicWriteFile or the save journal; a direct "
-                        "stream write can tear on crash and is invisible to "
-                        "journal replay"))
-
-
-@rule("no-direct-replica-write",
-      "replica mutation bypassing the quorum writer (outside src/repl/)")
-def check_direct_replica_write(relpath, text, findings):
-    rel = relpath.as_posix()
-    if rel.startswith("src/repl/"):
-        return
-    # Strip comments/strings line by line (preserves line numbering), then
-    # match across lines: the receiver chain often wraps.
-    stripped = "\n".join(strip_noncode(line) for line in text.splitlines())
-    for m in REPLICA_WRITE_RE.finditer(stripped):
-        line = stripped.count("\n", 0, m.start()) + 1
-        findings.append(
-            Finding(rel, line, "no-direct-replica-write",
-                    "mutate replicas through the quorum writer "
-                    "(ReplicatedFileStore/ReplicatedDocumentStore) or the "
-                    "scrubber, never one replica directly; a lone-replica "
-                    "write diverges silently until anti-entropy finds it"))
-
-
-@rule("nodiscard-result", "Result/Status must be declared [[nodiscard]]")
-def check_nodiscard(relpath, text, findings):
-    rel = relpath.as_posix()
-    pattern = NODISCARD_CLASS_RE.get(rel)
-    if pattern is None:
-        return
-    if not pattern.search(text):
-        findings.append(
-            Finding(rel, 1, "nodiscard-result",
-                    "error-carrying class lost its [[nodiscard]] annotation; "
-                    "discarded Result/Status would go unnoticed"))
-
-
-def lint_file(path: Path, findings):
-    try:
-        relpath = path.resolve().relative_to(REPO_ROOT)
-    except ValueError:
-        relpath = path
-    text = path.read_text(encoding="utf-8", errors="replace")
-
-    file_findings = []
-    for fn, _doc in RULES.values():
-        fn(relpath, text, file_findings)
-
-    # Honor line-scoped `// lint:allow(rule-id)` suppressions.
-    lines = text.splitlines()
-    for f in file_findings:
-        line_text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
-        allows = set(ALLOW_RE.findall(line_text))
-        if f.rule not in allows:
-            findings.append(f)
-
-
-def collect_files(args_paths):
-    if args_paths:
-        files = []
-        for arg in args_paths:
-            p = Path(arg)
-            if p.is_dir():
-                files.extend(sorted(f for f in p.rglob("*") if f.suffix in CPP_SUFFIXES))
-            elif p.exists():
-                files.append(p)
-            else:
-                sys.exit(f"lint: no such file or directory: {arg}")
-        return [f for f in files if f.suffix in CPP_SUFFIXES]
-    files = []
-    for d in SCAN_DIRS:
-        root = REPO_ROOT / d
-        if root.is_dir():
-            files.extend(sorted(f for f in root.rglob("*") if f.suffix in CPP_SUFFIXES))
-    return files
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__,
-                                     formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("paths", nargs="*",
-                        help="files or directories to lint (default: whole repo)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule table and exit")
-    args = parser.parse_args()
-
-    if args.list_rules:
-        for rule_id, (_fn, doc) in sorted(RULES.items()):
-            print(f"{rule_id:18} {doc}")
-        return 0
-
-    findings = []
-    files = collect_files(args.paths)
-    for f in files:
-        lint_file(f, findings)
-
-    for f in findings:
-        print(f)
-    if findings:
-        print(f"\nlint: {len(findings)} finding(s) in {len(files)} file(s)",
-              file=sys.stderr)
-        return 1
-    print(f"lint: OK ({len(files)} files clean)")
-    return 0
+from tools.mmlint.cli import main  # noqa: E402
 
 
 if __name__ == "__main__":
+    print("tools/lint.py is deprecated; use `python3 -m tools.mmlint`",
+          file=sys.stderr)
     sys.exit(main())

@@ -1,0 +1,14 @@
+"""mmlint v2 — token- and graph-aware static analysis for mmlib.
+
+Three layers (DESIGN.md "Correctness tooling"):
+  1. a real C++ lexer feeding the nine legacy repo rules, plus an
+     unused-suppression audit over `lint:allow(...)` comments;
+  2. an include-graph pass enforcing the architecture DAG declared in
+     tools/mmlint/layers.toml;
+  3. a per-TU function index + call graph powering no-wall-clock,
+     no-unordered-order-leak, and crash-point-coverage.
+
+Run `python3 -m tools.mmlint --list-rules` for the rule catalog.
+"""
+
+__version__ = "2.0.0"

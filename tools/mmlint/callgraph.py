@@ -1,0 +1,500 @@
+"""Per-TU function index, call graph, and the three graph rules.
+
+The index is a heuristic parse of the token stream (no macro expansion, no
+template instantiation): function definitions are found by matching
+`name ( ... ) {` shapes at namespace/class level, with scope tracked through
+namespace and class/struct braces. Calls are `identifier (` occurrences
+inside a function body; virtual dispatch and overloads are resolved by NAME
+MERGING — a call to `WriteAllocated` reaches every function named
+`WriteAllocated` defined anywhere in src/. That over-approximation is the
+right bias for both graph rules that consume reachability:
+
+  * crash-point-coverage asks "can the crash matrix kill inside this
+    persistence call's dynamic extent" — any override containing an
+    MMLIB_CRASH_POINT makes the site exercisable;
+  * no-unordered-order-leak asks "can this iteration order reach hashed or
+    serialized bytes" — any path counts.
+
+Rules implemented here:
+
+  no-wall-clock             std::chrono::{system,steady,high_resolution}_clock,
+                            time(), clock() outside src/util/ and src/simnet/
+                            (the virtual clock). Wall-clock reads anywhere
+                            else are nondeterminism waiting to leak into a
+                            flow result.
+  no-unordered-order-leak   iteration over std::unordered_map/unordered_set
+                            inside a function that transitively feeds hash/,
+                            compress/, BytesWriter serialization, or a
+                            Merkle builder.
+  crash-point-coverage      every AtomicWriteFile / WriteAllocated /
+                            InsertWithId / journal-mutation call site in
+                            src/ must reach a registered MMLIB_CRASH_POINT
+                            through the call graph, so the PR-4 crash matrix
+                            provably spans every persistence path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .lexer import IDENT, NUMBER, PUNCT, STRING, Token
+from .rules_token import FileContext, _is_call, _match_paren, _tok
+
+_KEYWORDS_NOT_CALLS = frozenset((
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "throw", "new", "delete", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "decltype", "noexcept", "assert", "defined",
+    "alignas", "typeid", "co_await", "co_return", "co_yield"))
+
+_SCOPE_KEYWORDS = frozenset(("namespace", "class", "struct", "union", "enum"))
+
+
+@dataclass
+class Function:
+    name: str           # last component, e.g. "WriteAllocated"
+    qualified: str      # e.g. "LocalDirFileStore::WriteAllocated"
+    path: str
+    line: int
+    calls: List[Tuple[str, int]] = field(default_factory=list)
+    crash_points: List[Tuple[str, int]] = field(default_factory=list)
+    body: Tuple[int, int] = (0, 0)  # token index range [start, end)
+
+
+@dataclass
+class FunctionIndex:
+    functions: List[Function] = field(default_factory=list)
+    by_name: Dict[str, List[Function]] = field(default_factory=dict)
+    # Names of variables/fields declared with an unordered container type,
+    # per file path.
+    unordered_names: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add(self, fn: Function) -> None:
+        self.functions.append(fn)
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+
+def build_index(contexts: List[FileContext]) -> FunctionIndex:
+    index = FunctionIndex()
+    for ctx in contexts:
+        _index_file(ctx, index)
+    return index
+
+
+def _index_file(ctx: FileContext, index: FunctionIndex) -> None:
+    toks = ctx.lexed.tokens
+    index.unordered_names[ctx.relpath] = _collect_unordered_names(toks)
+
+    scope: List[str] = []       # namespace / class name stack
+    scope_kind: List[str] = []  # "named" | "anon" | "body"
+    i = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT and t.value == "{":
+            opened = _classify_brace(toks, i)
+            if opened is None:
+                scope.append("")
+                scope_kind.append("body")
+                i += 1
+                continue
+            kind, name = opened
+            if kind == "function":
+                end = _match_brace(toks, i)
+                fn = _make_function(ctx, toks, name, i, end)
+                index.add(fn)
+                i = end + 1 if end > 0 else i + 1
+                continue
+            scope.append(name)
+            scope_kind.append(kind)
+            i += 1
+            continue
+        if t.kind == PUNCT and t.value == "}":
+            if scope:
+                scope.pop()
+                scope_kind.pop()
+            i += 1
+            continue
+        i += 1
+
+
+def _classify_brace(toks: List[Token],
+                    brace_idx: int) -> Optional[Tuple[str, str]]:
+    """What does the '{' at brace_idx open?
+
+    Returns ("namespace"|"class"|"function", name), or None for a plain
+    block / initializer, in which case the brace is tracked anonymously.
+    """
+    # Slice back to the previous statement boundary.
+    start = brace_idx - 1
+    depth = 0
+    while start >= 0:
+        v = toks[start].value
+        k = toks[start].kind
+        if k == PUNCT:
+            if v in (")", "]", ">"):
+                depth += 1
+            elif v in ("(", "[", "<"):
+                depth -= 1
+            elif depth == 0 and v in (";", "{", "}"):
+                break
+        start -= 1
+    slice_toks = toks[start + 1:brace_idx]
+    if not slice_toks:
+        return None
+
+    words = [t.value for t in slice_toks if t.kind == IDENT]
+    if slice_toks[-1].value == "=":
+        return None  # brace-initializer
+    if "namespace" in words:
+        # `namespace a::b {` or anonymous `namespace {`
+        name_parts = [t.value for t in slice_toks if t.kind == IDENT
+                      and t.value not in ("namespace", "inline")]
+        return ("namespace", "::".join(name_parts) if name_parts else "")
+    for j, t in enumerate(slice_toks):
+        if t.kind == IDENT and t.value in ("class", "struct", "union", "enum"):
+            # Name = identifier right after (skipping `enum class`, attrs,
+            # MMLIB_EXPORT-style macros are rare here).
+            for u in slice_toks[j + 1:]:
+                if u.kind == IDENT and u.value not in ("class", "final",
+                                                       "alignas"):
+                    return ("class", u.value)
+            return ("class", "")
+    # Function definition: find a parameter list `( ... )` whose close is
+    # followed by {, const, noexcept, override, final, ->, &, &&, :, try.
+    k = 0
+    while k < len(slice_toks):
+        t = slice_toks[k]
+        if t.kind == IDENT and k + 1 < len(slice_toks) \
+                and slice_toks[k + 1].value == "(" \
+                and t.value not in _KEYWORDS_NOT_CALLS:
+            close = _match_paren(slice_toks, k + 1)
+            if close >= 0:
+                after = slice_toks[close + 1:]
+                tail_ok = not after or after[0].value in (
+                    "const", "noexcept", "override", "final", "->", "&",
+                    "&&", ":", "try", "mutable") or (
+                        after[0].kind == IDENT and after[0].value == "throw")
+                if tail_ok and _plausible_function_tail(after):
+                    name = _qualified_name(slice_toks, k)
+                    return ("function", name)
+            k = close + 1 if close > k else k + 1
+            continue
+        k += 1
+    return None
+
+
+def _plausible_function_tail(after: List[Token]) -> bool:
+    """Rejects `for (...) {` false matches: after a parameter list only
+    qualifiers, a ctor-init list, or a trailing return type may appear."""
+    for t in after:
+        if t.kind in (IDENT, NUMBER, STRING):
+            continue
+        if t.value in ("(", ")", ",", "::", "<", ">", "&", "&&", "*", ":",
+                       "->", "[", "]", "{", "}", ".", "="):
+            continue
+        return False
+    return True
+
+
+def _qualified_name(slice_toks: List[Token], name_idx: int) -> str:
+    """Builds `A::B::name` from explicit qualifiers before the name."""
+    parts = [slice_toks[name_idx].value]
+    j = name_idx - 1
+    while j - 1 >= 0 and slice_toks[j].value == "::" \
+            and slice_toks[j - 1].kind == IDENT:
+        parts.insert(0, slice_toks[j - 1].value)
+        j -= 2
+    return "::".join(parts)
+
+
+def _match_brace(toks: List[Token], open_idx: int) -> int:
+    depth = 0
+    for j in range(open_idx, len(toks)):
+        if toks[j].kind == PUNCT:
+            if toks[j].value == "{":
+                depth += 1
+            elif toks[j].value == "}":
+                depth -= 1
+                if depth == 0:
+                    return j
+    return len(toks) - 1
+
+
+def _make_function(ctx: FileContext, toks: List[Token], qualified: str,
+                   open_idx: int, close_idx: int) -> Function:
+    name = qualified.split("::")[-1]
+    fn = Function(name=name, qualified=qualified, path=ctx.relpath,
+                  line=toks[open_idx].line, body=(open_idx, close_idx + 1))
+    i = open_idx
+    while i < close_idx:
+        t = toks[i]
+        if t.kind == IDENT and _is_call(toks, i):
+            if t.value == "MMLIB_CRASH_POINT":
+                site = _tok(toks, i + 2)
+                fn.crash_points.append(
+                    (site.value if site.kind == STRING else "?", t.line))
+            elif t.value not in _KEYWORDS_NOT_CALLS:
+                fn.calls.append((t.value, t.line))
+        i += 1
+    return fn
+
+
+def _collect_unordered_names(toks: List[Token]) -> Set[str]:
+    """Names declared with std::unordered_map/unordered_set<...> anywhere in
+    the TU (locals, parameters, fields — scope is not tracked; a TU-level
+    name set is plenty for a lint)."""
+    names: Set[str] = set()
+    for i, t in enumerate(toks):
+        if not (t.kind == IDENT
+                and t.value in ("unordered_map", "unordered_set")):
+            continue
+        j = i + 1
+        if _tok(toks, j).value == "<":
+            depth = 0
+            while j < len(toks):
+                v = toks[j].value
+                if v == "<":
+                    depth += 1
+                elif v == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif v == ">>":  # nested template closer
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                j += 1
+            j += 1
+        # Skip refs/pointers/cv to the declared name.
+        while _tok(toks, j).value in ("&", "*", "const", "&&"):
+            j += 1
+        cand = _tok(toks, j)
+        if cand.kind == IDENT:
+            names.add(cand.value)
+    return names
+
+
+# ---------------------------------------------------------------- reachability
+
+
+def reachable_functions(index: FunctionIndex,
+                        roots: List[Function]) -> Set[int]:
+    """ids of Function objects reachable from roots via name-merged calls."""
+    seen: Set[int] = set()
+    stack = list(roots)
+    seen.update(id(f) for f in stack)
+    while stack:
+        fn = stack.pop()
+        for callee_name, _line in fn.calls:
+            for target in index.by_name.get(callee_name, ()):
+                if id(target) not in seen:
+                    seen.add(id(target))
+                    stack.append(target)
+    return seen
+
+
+# ------------------------------------------------------------------ the rules
+
+
+_WALL_CLOCKS = frozenset(
+    ("system_clock", "steady_clock", "high_resolution_clock"))
+_WALL_CLOCK_EXEMPT = ("src/util/", "src/simnet/")
+
+
+def check_wall_clock(ctx: FileContext, findings: List[Finding]) -> None:
+    if not ctx.relpath.startswith("src/") \
+            or ctx.relpath.startswith(_WALL_CLOCK_EXEMPT):
+        return
+    toks = ctx.lexed.tokens
+    for i, t in enumerate(toks):
+        if t.kind != IDENT:
+            continue
+        if t.value in _WALL_CLOCKS:
+            # std::chrono::steady_clock or chrono::steady_clock
+            if _tok(toks, i - 1).value == "::" \
+                    and _tok(toks, i - 2).value == "chrono":
+                findings.append(_wall_clock_finding(ctx, t.line, t.value))
+            continue
+        if t.value in ("time", "clock") and _is_call(toks, i):
+            prev = _tok(toks, i - 1).value
+            if prev in (".", "->"):
+                continue  # member call on some object, not libc
+            if prev == "::" and _tok(toks, i - 2).value != "std":
+                continue
+            findings.append(_wall_clock_finding(ctx, t.line, t.value + "()"))
+
+
+def _wall_clock_finding(ctx: FileContext, line: int, what: str) -> Finding:
+    return Finding(
+        "no-wall-clock", ctx.relpath, line,
+        f"wall-clock read ({what}) outside src/util/ and the simnet "
+        "virtual clock; real time differs across runs and machines, so any "
+        "value derived from it breaks the bit-identical-replay invariant — "
+        "use util::Clock or the flow's simnet virtual clock")
+
+
+# Functions whose outputs are order-sensitive: bytes that get hashed,
+# compressed, or serialized. Module membership covers hash/ and compress/;
+# the name list covers serialization entry points defined elsewhere.
+_ORDER_SINK_MODULES = frozenset(("hash", "compress"))
+_ORDER_SINK_QUALIFIERS = ("BytesWriter::",)
+_ORDER_SINK_NAMES = frozenset(
+    ("ToBytes", "BuildMerkleTree", "ContentHash"))
+_ORDER_SINK_PREFIXES = ("Serialize",)
+
+
+def _is_order_sink(fn: Function) -> bool:
+    module = fn.path.split("/")[1] if fn.path.startswith("src/") else ""
+    if module in _ORDER_SINK_MODULES:
+        return True
+    if any(q in fn.qualified for q in _ORDER_SINK_QUALIFIERS):
+        return True
+    if fn.name in _ORDER_SINK_NAMES:
+        return True
+    return fn.name.startswith(_ORDER_SINK_PREFIXES)
+
+
+def check_unordered_order_leak(contexts: List[FileContext],
+                               index: FunctionIndex,
+                               findings: List[Finding]) -> None:
+    sink_ids = {id(f) for f in index.functions if _is_order_sink(f)}
+    ctx_by_path = {c.relpath: c for c in contexts}
+    for fn in index.functions:
+        if not fn.path.startswith("src/"):
+            continue
+        ctx = ctx_by_path.get(fn.path)
+        if ctx is None:
+            continue
+        unordered = index.unordered_names.get(fn.path, set())
+        if not unordered:
+            continue
+        iter_lines = _unordered_iteration_lines(ctx, fn, unordered)
+        if not iter_lines:
+            continue
+        # Order-sensitive? The function itself, or anything it reaches.
+        reached = reachable_functions(index, [fn])
+        if _is_order_sink(fn) or reached & sink_ids:
+            for line, name in iter_lines:
+                findings.append(Finding(
+                    "no-unordered-order-leak", fn.path, line,
+                    f"iteration over unordered container `{name}` in "
+                    f"`{fn.qualified}`, which feeds hashed/serialized "
+                    "output; unordered iteration order varies across "
+                    "libstdc++ versions and process runs, silently breaking "
+                    "bit-identity — iterate a std::map, or sort the keys "
+                    "first"))
+
+
+def _unordered_iteration_lines(ctx: FileContext, fn: Function,
+                               unordered: Set[str]) -> List[Tuple[int, str]]:
+    toks = ctx.lexed.tokens
+    start, end = fn.body
+    hits: List[Tuple[int, str]] = []
+    i = start
+    while i < end:
+        t = toks[i]
+        # Range-for: `for ( decl : range-expr )` with an unordered name in
+        # the range expression.
+        if t.kind == IDENT and t.value == "for" \
+                and _tok(toks, i + 1).value == "(":
+            close = _match_paren(toks, i + 1)
+            if close > 0:
+                inner = toks[i + 2:close]
+                colon = _find_toplevel_colon(inner)
+                if colon >= 0:
+                    for u in inner[colon + 1:]:
+                        if u.kind == IDENT and u.value in unordered:
+                            hits.append((t.line, u.value))
+                            break
+        # Iterator walk: `x.begin()` / `x.cbegin()` on an unordered name.
+        if t.kind == IDENT and t.value in unordered \
+                and _tok(toks, i + 1).value in (".", "->") \
+                and _tok(toks, i + 2).value in ("begin", "cbegin") \
+                and _tok(toks, i + 3).value == "(":
+            hits.append((t.line, t.value))
+        i += 1
+    return hits
+
+
+def _find_toplevel_colon(toks: List[Token]) -> int:
+    depth = 0
+    for j, t in enumerate(toks):
+        if t.kind == PUNCT:
+            if t.value in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.value in (")", "]", "}", ">"):
+                depth -= 1
+            elif t.value == ":" and depth == 0:
+                return j
+            elif t.value == "::":
+                continue
+    return -1
+
+
+# Persistence sinks: a call to any of these mutates durable state, so the
+# crash matrix must be able to kill inside its dynamic extent.
+_PERSIST_SINKS = frozenset((
+    "AtomicWriteFile", "WriteAllocated", "InsertWithId", "AppendOp",
+    "MarkCommitted", "Replay"))
+
+
+@dataclass
+class CoverageSite:
+    path: str
+    line: int
+    function: str
+    sink: str
+    covered: bool
+    crash_sites: List[str]
+
+
+def check_crash_point_coverage(
+        index: FunctionIndex,
+        findings: List[Finding]) -> List[CoverageSite]:
+    """Checks every persistence call site in src/ reaches a crash point;
+    returns the full site list for the coverage report."""
+    sites: List[CoverageSite] = []
+    fn_by_id = {id(f): f for f in index.functions}
+    for fn in index.functions:
+        if not fn.path.startswith("src/"):
+            continue
+        for callee, line in fn.calls:
+            if callee not in _PERSIST_SINKS:
+                continue
+            # Reachable set from this function (the call edge to the sink's
+            # definitions is part of the graph, so an MMLIB_CRASH_POINT
+            # inside any same-named definition covers the site).
+            reached = reachable_functions(index, [fn])
+            crash_sites: List[str] = []
+            for fid in reached:
+                for site_name, _l in fn_by_id[fid].crash_points:
+                    crash_sites.append(site_name)
+            covered = bool(crash_sites)
+            sites.append(CoverageSite(
+                path=fn.path, line=line, function=fn.qualified, sink=callee,
+                covered=covered,
+                crash_sites=sorted(set(crash_sites))))
+            if not covered:
+                findings.append(Finding(
+                    "crash-point-coverage", fn.path, line,
+                    f"persistence call {callee}() in `{fn.qualified}` is "
+                    "not reachable from any MMLIB_CRASH_POINT, so the crash "
+                    "matrix (tests/crash_recovery_test.cc) can never "
+                    "exercise a kill on this path; add an "
+                    'MMLIB_CRASH_POINT("...") before the write or route it '
+                    "through a covered helper"))
+    sites.sort(key=lambda s: (s.path, s.line, s.sink))
+    return sites
+
+
+def coverage_summary(sites: List[CoverageSite]) -> Dict:
+    covered = sum(1 for s in sites if s.covered)
+    return {
+        "persistence_call_sites": len(sites),
+        "covered": covered,
+        "coverage_percent": round(100.0 * covered / len(sites), 1)
+        if sites else 100.0,
+        "registered_crash_points": None,  # filled by engine
+    }

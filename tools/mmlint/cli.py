@@ -1,0 +1,90 @@
+"""mmlint command line.
+
+Usage:
+  python3 -m tools.mmlint                  # lint the repo, text output
+  python3 -m tools.mmlint FILE...          # lint specific files/dirs
+  python3 -m tools.mmlint --format=sarif --output mmlint.sarif
+  python3 -m tools.mmlint --list-rules
+  python3 -m tools.mmlint --coverage-report
+  python3 -m tools.mmlint --write-baseline   # accept current findings
+
+Exit status: 0 when no non-baselined findings (and no stale suppressions),
+1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import engine, output
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mmlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: whole repo)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="output format")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout "
+                             "(a text summary still goes to stdout)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=str(engine.BASELINE_FILE),
+                        help="baseline file (default: "
+                             "tools/mmlint/baseline.json)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline and "
+                             "exit 0 (use only for legacy debt, never for "
+                             "new code)")
+    parser.add_argument("--coverage-report", action="store_true",
+                        help="print the per-call-site crash-point coverage "
+                             "table")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, doc in sorted(engine.all_rule_docs().items()):
+            print(f"{rule_id:24} {doc}")
+        return 0
+
+    try:
+        result = engine.lint(paths=args.paths or None,
+                             baseline_path=Path(args.baseline))
+    except FileNotFoundError as e:
+        print(f"mmlint: {e}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        engine.write_baseline(result.findings + result.baselined,
+                              Path(args.baseline))
+        print(f"mmlint: baseline written with "
+              f"{len(result.findings) + len(result.baselined)} entr(y/ies) "
+              f"to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        report = output.render_json(result)
+    elif args.format == "sarif":
+        report = output.render_sarif(result)
+    else:
+        report = output.render_text(result,
+                                    verbose_coverage=args.coverage_report)
+
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        summary = output.render_text(result,
+                                     verbose_coverage=args.coverage_report)
+        sys.stdout.write(summary)
+    else:
+        sys.stdout.write(report)
+        if args.format != "text":
+            sys.stderr.write(output.render_text(
+                result, verbose_coverage=args.coverage_report))
+
+    return 0 if result.ok else 1

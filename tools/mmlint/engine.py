@@ -1,0 +1,223 @@
+"""mmlint engine: file collection, rule dispatch, suppression handling,
+baseline filtering, and the crash-point coverage report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from . import callgraph, includes, rules_token
+from .findings import Finding, assign_fingerprints
+from .lexer import lex
+from .rules_token import RULES, FileContext
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_FILE = Path(__file__).resolve().parent / "baseline.json"
+
+CPP_SUFFIXES = (".cc", ".cpp", ".h", ".hpp")
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+# Rules implemented outside rules_token.py, for --list-rules.
+EXTRA_RULES = {
+    "layering": "include must follow the architecture DAG "
+                "(tools/mmlint/layers.toml)",
+    "no-wall-clock": "std::chrono clocks / time() / clock() outside "
+                     "src/util/ and src/simnet/",
+    "no-unordered-order-leak": "unordered_map/set iteration feeding "
+                               "hashed/serialized output",
+    "crash-point-coverage": "persistence call site unreachable from any "
+                            "MMLIB_CRASH_POINT",
+    "unused-suppression": "stale lint:allow(...) comment that suppresses "
+                          "nothing (not itself suppressible)",
+}
+
+
+def all_rule_docs() -> Dict[str, str]:
+    docs = {rule_id: doc for rule_id, (_fn, doc) in RULES.items()}
+    docs.update(EXTRA_RULES)
+    return docs
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding] = field(default_factory=list)  # active
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    coverage_sites: List[callgraph.CoverageSite] = field(default_factory=list)
+    coverage: Dict = field(default_factory=dict)
+    file_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_repo_files(paths: Optional[List[str]] = None,
+                       root: Path = REPO_ROOT) -> List[Path]:
+    if paths:
+        files: List[Path] = []
+        for arg in paths:
+            p = Path(arg)
+            if p.is_dir():
+                files.extend(sorted(
+                    f for f in p.rglob("*") if f.suffix in CPP_SUFFIXES))
+            elif p.exists():
+                files.append(p)
+            else:
+                raise FileNotFoundError(f"no such file or directory: {arg}")
+        return [f for f in files if f.suffix in CPP_SUFFIXES]
+    files = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(sorted(
+                f for f in base.rglob("*") if f.suffix in CPP_SUFFIXES))
+    return files
+
+
+def make_contexts(files: List[Path],
+                  root: Path = REPO_ROOT) -> List[FileContext]:
+    contexts = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        text = f.read_text(encoding="utf-8", errors="replace")
+        contexts.append(FileContext(relpath=rel, lexed=lex(text), text=text))
+    return contexts
+
+
+def run_rules(contexts: List[FileContext],
+              bands: Optional[Dict[str, int]] = None,
+              full_graph: bool = True) -> Tuple[List[Finding],
+                                                List[callgraph.CoverageSite]]:
+    """Runs every rule over the contexts. `full_graph=False` skips the
+    declaration check (for linting a file subset)."""
+    findings: List[Finding] = []
+    if bands is None:
+        bands = includes.load_bands()
+
+    # Layer 1: token rules.
+    for ctx in contexts:
+        for fn, _doc in RULES.values():
+            fn(ctx, findings)
+
+    # Layer 2: include graph.
+    src_contexts = [c for c in contexts if c.relpath.startswith("src/")]
+    if full_graph:
+        src_modules = sorted(
+            {includes.module_of(c.relpath) for c in src_contexts}
+            - {""})
+        includes.check_declaration(bands, src_modules, findings)
+    for ctx in src_contexts:
+        includes.check_layering(ctx, bands, findings)
+
+    # Layer 3: function index + call graph. Crash-point coverage needs the
+    # WHOLE src/ graph — on a file subset, crash points living in other TUs
+    # are invisible and every site would look uncovered — so it only runs
+    # on full-repo invocations (the leak rule merely under-approximates on
+    # subsets, which is safe).
+    index = callgraph.build_index(src_contexts)
+    for ctx in src_contexts:
+        callgraph.check_wall_clock(ctx, findings)
+    callgraph.check_unordered_order_leak(src_contexts, index, findings)
+    if full_graph:
+        coverage_sites = callgraph.check_crash_point_coverage(index, findings)
+    else:
+        coverage_sites = []
+
+    apply_suppressions(contexts, findings)
+    return findings, coverage_sites
+
+
+def apply_suppressions(contexts: List[FileContext],
+                       findings: List[Finding]) -> None:
+    """Honors `// lint:allow(rule-id)` and flags stale/unknown allows."""
+    known_rules = set(all_rule_docs())
+    by_path = {c.relpath: c for c in contexts}
+    kept: List[Finding] = []
+    for f in findings:
+        ctx = by_path.get(f.path)
+        suppressed = False
+        if ctx is not None and f.suppressible:
+            for allow in ctx.lexed.allows:
+                if allow.line == f.line and allow.rule == f.rule:
+                    allow.used = True
+                    suppressed = True
+        if not suppressed:
+            kept.append(f)
+    findings[:] = kept
+    for ctx in contexts:
+        for allow in ctx.lexed.allows:
+            if allow.used:
+                continue
+            if allow.rule not in known_rules:
+                findings.append(Finding(
+                    "unused-suppression", ctx.relpath, allow.line,
+                    f"lint:allow({allow.rule}) names an unknown rule; "
+                    "see --list-rules", suppressible=False))
+            else:
+                findings.append(Finding(
+                    "unused-suppression", ctx.relpath, allow.line,
+                    f"stale lint:allow({allow.rule}): nothing on this line "
+                    "triggers the rule any more; delete the comment so "
+                    "suppressions stay meaningful", suppressible=False))
+
+
+def load_baseline(path: Path = BASELINE_FILE) -> List[Dict]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        data = data.get("findings", [])
+    return data
+
+
+def write_baseline(findings: List[Finding],
+                   path: Path = BASELINE_FILE) -> None:
+    entries = [{"fingerprint": f.fingerprint, "rule": f.rule, "path": f.path}
+               for f in sorted(findings,
+                               key=lambda x: (x.path, x.line, x.rule))]
+    path.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+
+
+def lint(paths: Optional[List[str]] = None,
+         root: Path = REPO_ROOT,
+         baseline_path: Path = BASELINE_FILE,
+         bands: Optional[Dict[str, int]] = None) -> LintResult:
+    files = collect_repo_files(paths, root)
+    contexts = make_contexts(files, root)
+    findings, coverage_sites = run_rules(
+        contexts, bands=bands, full_graph=not paths)
+
+    file_lines = {c.relpath: c.text.splitlines() for c in contexts}
+    assign_fingerprints(findings, file_lines)
+
+    baseline = load_baseline(baseline_path)
+    baseline_fps = {e["fingerprint"] for e in baseline}
+    result = LintResult(file_count=len(files))
+    seen_fps = set()
+    for f in sorted(findings, key=lambda x: (x.path, x.line, x.rule)):
+        seen_fps.add(f.fingerprint)
+        if f.fingerprint in baseline_fps:
+            result.baselined.append(f)
+        else:
+            result.findings.append(f)
+    if not paths:  # stale entries are only meaningful on a full-repo run
+        result.stale_baseline = sorted(
+            e["fingerprint"] for e in baseline
+            if e["fingerprint"] not in seen_fps)
+
+    result.coverage_sites = coverage_sites
+    if not paths:  # coverage is only computed on full-repo runs
+        result.coverage = callgraph.coverage_summary(coverage_sites)
+        # Count distinct registered crash point sites over src/.
+        src_contexts = [c for c in contexts if c.relpath.startswith("src/")]
+        index = callgraph.build_index(src_contexts)
+        sites = {name for fn in index.functions
+                 for name, _ in fn.crash_points}
+        result.coverage["registered_crash_points"] = len(sites)
+    return result

@@ -1,0 +1,51 @@
+"""Finding type and stable fingerprints for the baseline."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    suppressible: bool = True
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def assign_fingerprints(findings: List[Finding],
+                        file_lines: Dict[str, List[str]]) -> None:
+    """Computes content-addressed fingerprints.
+
+    A fingerprint hashes (rule, path, stripped source line text, occurrence
+    index among identical keys) — not the line *number* — so a baseline entry
+    survives unrelated edits that shift the finding up or down the file.
+    """
+    counts: Dict[str, int] = {}
+    for f in sorted(findings, key=lambda x: (x.path, x.line, x.rule)):
+        lines = file_lines.get(f.path, [])
+        text = lines[f.line - 1].strip() if 0 < f.line <= len(lines) else ""
+        key = f"{f.rule}|{f.path}|{text}"
+        nth = counts.get(key, 0)
+        counts[key] = nth + 1
+        digest = hashlib.sha256(f"{key}|{nth}".encode()).hexdigest()[:16]
+        f.fingerprint = digest

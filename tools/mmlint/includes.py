@@ -1,0 +1,128 @@
+"""Include-graph extraction and the `layering` rule.
+
+Modules are the first-level directories under src/. tools/mmlint/layers.toml
+assigns every module a band; a file may include its own module and modules
+in strictly lower bands. Upward and lateral includes are findings.
+
+The declaration itself is validated: every module that exists on disk must
+be banded, every banded module must exist, and bands must be integers —
+so layers.toml cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+from .rules_token import FileContext
+
+LAYERS_FILE = Path(__file__).resolve().parent / "layers.toml"
+
+
+def load_bands(path: Path = LAYERS_FILE) -> Dict[str, int]:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib
+        data = tomllib.loads(text)
+        bands = data.get("bands", {})
+    except ModuleNotFoundError:  # Python < 3.11: parse the subset we emit
+        bands = _parse_bands_subset(text)
+    out: Dict[str, int] = {}
+    for module, band in bands.items():
+        if not isinstance(band, int):
+            raise ValueError(
+                f"layers.toml: band for {module!r} must be an integer, "
+                f"got {band!r}")
+        out[module] = band
+    return out
+
+
+def _parse_bands_subset(text: str) -> Dict[str, int]:
+    bands: Dict[str, int] = {}
+    in_bands = False
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            in_bands = line == "[bands]"
+            continue
+        if in_bands:
+            m = re.match(r"([A-Za-z0-9_-]+)\s*=\s*(-?\d+)$", line)
+            if not m:
+                raise ValueError(f"layers.toml: cannot parse line {raw!r}")
+            bands[m.group(1)] = int(m.group(2))
+    return bands
+
+
+def module_of(relpath: str) -> str:
+    """src/foo/bar.h -> foo; '' for files outside src/."""
+    parts = relpath.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return ""
+
+
+def check_declaration(bands: Dict[str, int], src_modules: List[str],
+                      findings: List[Finding]) -> None:
+    for module in sorted(src_modules):
+        if module not in bands:
+            findings.append(Finding(
+                "layering", f"src/{module}", 1,
+                f"module src/{module}/ has no band in tools/mmlint/"
+                "layers.toml; place it in the architecture DAG",
+                suppressible=False))
+    for module in sorted(bands):
+        if module not in src_modules:
+            findings.append(Finding(
+                "layering", "tools/mmlint/layers.toml", 1,
+                f"layers.toml declares module {module!r} which does not "
+                "exist under src/; remove the stale band",
+                suppressible=False))
+
+
+def check_layering(ctx: FileContext, bands: Dict[str, int],
+                   findings: List[Finding]) -> None:
+    src_module = module_of(ctx.relpath)
+    if not src_module or src_module not in bands:
+        return  # declaration errors are reported once by check_declaration
+    for d in ctx.lexed.directives:
+        target = d.include_target() if d.keyword == "include" else None
+        if target is None or not target.startswith('"'):
+            continue  # system headers are not part of the module DAG
+        include_path = target.strip('"')
+        target_module = include_path.split("/")[0]
+        if target_module == src_module or target_module not in bands:
+            continue
+        src_band = bands[src_module]
+        target_band = bands[target_module]
+        if target_band < src_band:
+            continue
+        direction = "lateral" if target_band == src_band else "upward"
+        findings.append(Finding(
+            "layering", ctx.relpath, d.line,
+            f'{direction} include of "{include_path}": {src_module} '
+            f"(band {src_band}) may only include modules below band "
+            f"{src_band}, but {target_module} is band {target_band}; "
+            "see tools/mmlint/layers.toml for the architecture DAG"))
+
+
+def collect_edges(
+        contexts: List[FileContext]) -> List[Tuple[str, str, str, int]]:
+    """(source module, target module, path, line) for every cross-module
+    include under src/ — used by reports and tests."""
+    edges = []
+    for ctx in contexts:
+        src_module = module_of(ctx.relpath)
+        if not src_module:
+            continue
+        for d in ctx.lexed.directives:
+            target = d.include_target() if d.keyword == "include" else None
+            if target is None or not target.startswith('"'):
+                continue
+            target_module = target.strip('"').split("/")[0]
+            if target_module != src_module:
+                edges.append((src_module, target_module, ctx.relpath, d.line))
+    return edges

@@ -1,0 +1,296 @@
+"""C++ lexer for mmlint.
+
+Produces a token stream with exact line numbers, with comments, string
+literals, character literals, raw strings, and preprocessor directives
+handled for real — so rules that run on tokens can never fire inside a
+comment or a string (the false-positive class the old regex lint could only
+approximate by stripping `//...` and one level of quotes per line).
+
+The lexer is deliberately not a full C++ front end: it does not expand
+macros or parse declarations. It guarantees:
+
+  * `//` and `/* */` comments never produce code tokens, but their text is
+    kept (with line numbers) so `lint:allow(...)` annotations survive;
+  * string literals (including raw strings `R"delim(...)delim"` and encoding
+    prefixes u8/u/U/L) become single `string` tokens carrying their content;
+  * preprocessor directives (with `\\` line continuations) are captured as
+    `Directive` records and do not leak tokens into the code stream, so a
+    macro *definition* mentioning e.g. MMLIB_CRASH_POINT is not a call site;
+  * every token knows its 1-based line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+
+# Multi-character operators, longest first so greedy matching is correct.
+_PUNCTUATORS = (
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*", "##",
+)
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"(?:\d|\.\d)[0-9a-fA-FxX\.'pP]*(?:[+-]?[0-9]+)?")
+_RAW_PREFIX_RE = re.compile(r"(?:u8|u|U|L)?R$")
+_ENC_PREFIX_RE = re.compile(r"(?:u8|u|U|L)$")
+
+ALLOW_RE = re.compile(r"lint:allow\(([A-Za-z0-9_-]+)\)")
+
+
+@dataclass
+class Token:
+    kind: str
+    value: str
+    line: int
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+
+
+@dataclass
+class Directive:
+    """One preprocessor directive, continuations folded, comments removed."""
+    line: int
+    text: str  # normalized: starts with '#', single spaces
+
+    @property
+    def keyword(self) -> str:
+        m = re.match(r"#\s*([A-Za-z_]+)", self.text)
+        return m.group(1) if m else ""
+
+    def include_target(self) -> Optional[str]:
+        """For #include directives: `<name>` or `"name"` (quotes kept)."""
+        m = re.match(r'#\s*include\s*(<[^>]*>|"[^"]*")', self.text)
+        return m.group(1) if m else None
+
+
+@dataclass
+class Allow:
+    """One `lint:allow(rule-id)` annotation found in a comment."""
+    line: int
+    rule: str
+    used: bool = False
+
+
+@dataclass
+class LexedFile:
+    tokens: List[Token] = field(default_factory=list)
+    directives: List[Directive] = field(default_factory=list)
+    allows: List[Allow] = field(default_factory=list)
+    comments: List[Token] = field(default_factory=list)  # kind is "comment"
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.n = len(text)
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < self.n else ""
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos:self.pos + count]
+        self.line += chunk.count("\n")
+        self.pos += count
+        return chunk
+
+    def at_end(self) -> bool:
+        return self.pos >= self.n
+
+
+def lex(text: str) -> LexedFile:
+    out = LexedFile()
+    s = _Scanner(text)
+    at_line_start = True  # only whitespace seen since the last newline
+
+    while not s.at_end():
+        c = s.peek()
+
+        # Whitespace.
+        if c in " \t\r\v\f":
+            s.advance()
+            continue
+        if c == "\n":
+            s.advance()
+            at_line_start = True
+            continue
+
+        # Comments.
+        if c == "/" and s.peek(1) == "/":
+            start_line = s.line
+            start = s.pos
+            while not s.at_end() and s.peek() != "\n":
+                s.advance()
+            _record_comment(out, s.text[start:s.pos], start_line)
+            continue
+        if c == "/" and s.peek(1) == "*":
+            start_line = s.line
+            start = s.pos
+            s.advance(2)
+            while not s.at_end() and not (s.peek() == "*" and s.peek(1) == "/"):
+                s.advance()
+            s.advance(2)
+            _record_comment(out, s.text[start:s.pos], start_line)
+            continue
+
+        # Preprocessor directive (only at start of line).
+        if c == "#" and at_line_start:
+            out.directives.append(_lex_directive(s, out))
+            at_line_start = True
+            continue
+        at_line_start = False
+
+        # String / char literals (with optional encoding or raw prefix).
+        if c == '"':
+            out.tokens.append(_lex_string(s, raw=False))
+            continue
+        if c == "'":
+            out.tokens.append(_lex_char(s))
+            continue
+
+        # Identifier (may be a raw/encoding prefix glued to a literal).
+        if _IDENT_START.match(c):
+            start_line = s.line
+            m = _IDENT_RE.match(s.text, s.pos)
+            word = m.group(0)
+            nxt = s.text[m.end():m.end() + 1]
+            if nxt == '"' and _RAW_PREFIX_RE.search(word) and word in (
+                    "R", "u8R", "uR", "UR", "LR"):
+                s.advance(len(word))
+                out.tokens.append(_lex_string(s, raw=True))
+                continue
+            if nxt in "\"'" and _ENC_PREFIX_RE.fullmatch(word):
+                s.advance(len(word))
+                if s.peek() == '"':
+                    out.tokens.append(_lex_string(s, raw=False))
+                else:
+                    out.tokens.append(_lex_char(s))
+                continue
+            s.advance(len(word))
+            out.tokens.append(Token(IDENT, word, start_line))
+            continue
+
+        # Number.
+        if c.isdigit() or (c == "." and s.peek(1).isdigit()):
+            start_line = s.line
+            m = _NUMBER_RE.match(s.text, s.pos)
+            s.advance(len(m.group(0)))
+            out.tokens.append(Token(NUMBER, m.group(0), start_line))
+            continue
+
+        # Punctuation, longest match first.
+        for op in _PUNCTUATORS:
+            if s.text.startswith(op, s.pos):
+                out.tokens.append(Token(PUNCT, op, s.line))
+                s.advance(len(op))
+                break
+        else:
+            out.tokens.append(Token(PUNCT, c, s.line))
+            s.advance()
+
+    return out
+
+
+def _record_comment(out: LexedFile, comment_text: str, line: int) -> None:
+    out.comments.append(Token("comment", comment_text, line))
+    for m in ALLOW_RE.finditer(comment_text):
+        # Annotations in a multi-line block comment attach to the line the
+        # annotation itself sits on.
+        extra = comment_text.count("\n", 0, m.start())
+        out.allows.append(Allow(line=line + extra, rule=m.group(1)))
+
+
+def _lex_directive(s: _Scanner, out: LexedFile) -> Directive:
+    start_line = s.line
+    parts: List[str] = []
+    while not s.at_end():
+        c = s.peek()
+        if c == "\n":
+            break
+        if c == "\\" and s.peek(1) == "\n":
+            s.advance(2)
+            parts.append(" ")
+            continue
+        if c == "/" and s.peek(1) == "/":
+            start = s.pos
+            comment_line = s.line
+            while not s.at_end() and s.peek() != "\n":
+                s.advance()
+            _record_comment(out, s.text[start:s.pos], comment_line)
+            break
+        if c == "/" and s.peek(1) == "*":
+            start = s.pos
+            comment_line = s.line
+            s.advance(2)
+            while not s.at_end() and not (s.peek() == "*" and s.peek(1) == "/"):
+                s.advance()
+            s.advance(2)
+            _record_comment(out, s.text[start:s.pos], comment_line)
+            parts.append(" ")
+            continue
+        parts.append(s.advance())
+    text = re.sub(r"\s+", " ", "".join(parts)).strip()
+    return Directive(line=start_line, text=text)
+
+
+def _lex_string(s: _Scanner, raw: bool) -> Token:
+    start_line = s.line
+    if raw:
+        # R"delim( ... )delim"
+        s.advance()  # opening quote
+        delim = []
+        while not s.at_end() and s.peek() != "(":
+            delim.append(s.advance())
+        s.advance()  # '('
+        closer = ")" + "".join(delim) + '"'
+        start = s.pos
+        idx = s.text.find(closer, s.pos)
+        if idx < 0:
+            idx = s.n
+        content = s.text[start:idx]
+        s.advance(idx - s.pos + len(closer) if idx < s.n else s.n - s.pos)
+        return Token(STRING, content, start_line)
+    s.advance()  # opening quote
+    content = []
+    while not s.at_end():
+        c = s.peek()
+        if c == "\\":
+            content.append(s.advance(2))
+            continue
+        if c == '"' or c == "\n":
+            break
+        content.append(s.advance())
+    if s.peek() == '"':
+        s.advance()
+    return Token(STRING, "".join(content), start_line)
+
+
+def _lex_char(s: _Scanner) -> Token:
+    start_line = s.line
+    s.advance()  # opening quote
+    content = []
+    while not s.at_end():
+        c = s.peek()
+        if c == "\\":
+            content.append(s.advance(2))
+            continue
+        if c == "'" or c == "\n":
+            break
+        content.append(s.advance())
+    if s.peek() == "'":
+        s.advance()
+    return Token(CHAR, "".join(content), start_line)

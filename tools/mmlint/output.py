@@ -1,0 +1,103 @@
+"""Output formatting: human text, machine JSON, and SARIF 2.1.0."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import LintResult, all_rule_docs
+
+
+def render_text(result: LintResult, verbose_coverage: bool = False) -> str:
+    lines: List[str] = []
+    for f in result.findings:
+        lines.append(str(f))
+    if result.baselined:
+        lines.append(f"mmlint: {len(result.baselined)} baselined finding(s) "
+                     "suppressed (tools/mmlint/baseline.json)")
+    for fp in result.stale_baseline:
+        lines.append(f"mmlint: warning: stale baseline entry {fp} no longer "
+                     "matches anything; remove it from baseline.json")
+    cov = result.coverage
+    if cov:  # empty on file-subset runs (coverage needs the whole graph)
+        lines.append(
+            "mmlint: crash-point coverage: "
+            f"{cov['covered']}/{cov['persistence_call_sites']} persistence "
+            f"call site(s) reachable from a crash point "
+            f"({cov['coverage_percent']}%), "
+            f"{cov['registered_crash_points']} registered crash point(s)")
+    if verbose_coverage:
+        for s in result.coverage_sites:
+            mark = "ok" if s.covered else "UNCOVERED"
+            via = ", ".join(s.crash_sites[:4])
+            more = (f" (+{len(s.crash_sites) - 4} more)"
+                    if len(s.crash_sites) > 4 else "")
+            lines.append(f"  [{mark}] {s.path}:{s.line} {s.function} -> "
+                         f"{s.sink}() via {via}{more}")
+    if result.ok:
+        lines.append(f"mmlint: OK ({result.file_count} files clean)")
+    else:
+        lines.append(f"mmlint: {len(result.findings)} finding(s) in "
+                     f"{result.file_count} file(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    doc = {
+        "findings": [f.to_json() for f in result.findings],
+        "baselined": [f.to_json() for f in result.baselined],
+        "stale_baseline": result.stale_baseline,
+        "coverage": result.coverage,
+        "coverage_sites": [
+            {"path": s.path, "line": s.line, "function": s.function,
+             "sink": s.sink, "covered": s.covered,
+             "crash_sites": s.crash_sites}
+            for s in result.coverage_sites],
+        "files": result.file_count,
+        "ok": result.ok,
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def render_sarif(result: LintResult) -> str:
+    docs = all_rule_docs()
+    rules = [{"id": rule_id,
+              "shortDescription": {"text": doc}}
+             for rule_id, doc in sorted(docs.items())]
+    results: List[Dict] = []
+    for f in result.findings + result.baselined:
+        results.append({
+            "ruleId": f.rule,
+            "level": "note" if f in result.baselined else "error",
+            "message": {"text": f.message},
+            "partialFingerprints": {"mmlint/v1": f.fingerprint},
+            "suppressions": (
+                [{"kind": "external",
+                  "justification": "tools/mmlint/baseline.json"}]
+                if f in result.baselined else []),
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(f.line, 1)},
+                }
+            }],
+        })
+    doc = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "mmlint",
+                    "informationUri":
+                        "https://example.invalid/mmlib/tools/mmlint",
+                    "version": "2.0.0",
+                    "rules": rules,
+                }
+            },
+            "results": results,
+            "properties": {"crashPointCoverage": result.coverage},
+        }],
+    }
+    return json.dumps(doc, indent=2) + "\n"

@@ -1,0 +1,31 @@
+// fixture-path: src/persist/fixture_coverage.cc
+#include <string>
+
+// A macro *definition* mentioning a sink is not a call site.
+#define FIXTURE_WRITE(p, b) AtomicWriteFile((p), (b))
+
+namespace mmlib::persist {
+
+void CoveredWrite(const std::string& path, const std::string& bytes) {
+  MMLIB_CRASH_POINT("fixture.covered.before_write");
+  AtomicWriteFile(path, bytes);  // covered: crash point in this function
+}
+
+void HelperWrite(const std::string& path, const std::string& bytes) {
+  MMLIB_CRASH_POINT("fixture.helper");
+  AtomicWriteFile(path, bytes);  // covered
+}
+
+void RoutedWrite(const std::string& path, const std::string& bytes) {
+  HelperWrite(path, bytes);  // no sink call here: the helper owns the site
+}
+
+void UncoveredWrite(const std::string& path, const std::string& bytes) {
+  AtomicWriteFile(path, bytes);  // finding: no crash point reachable
+}
+
+void AllowedUncovered(const std::string& path, const std::string& bytes) {
+  AtomicWriteFile(path, bytes);  // lint:allow(crash-point-coverage)
+}
+
+}  // namespace mmlib::persist

@@ -1,0 +1,11 @@
+// fixture-path: src/check/fixture_layering.cc
+// Bands come from the real tools/mmlint/layers.toml: util=0, check=1,
+// hash=1, core=6.
+#include <vector>           // system header: never part of the module DAG
+
+#include "check/check.h"    // own module: ok
+#include "core/model.h"     // upward (band 6 > band 1): finding
+#include "core/types.h"     // lint:allow(layering)
+#include "hash/sha256.h"    // lateral (band 1 == band 1): finding
+#include "util/strings.h"   // downward (band 0 < band 1): ok
+#include "util/fs.h"        // lint:allow(layering)  <- stale: downward is legal

@@ -1,0 +1,21 @@
+// fixture-path: src/core/fixture_assert.cc
+
+namespace mmlib {
+
+int Clamp(int x) {
+  assert(x >= 0);  // finding
+  return x;
+}
+
+int ClampAllowed(int x) {
+  assert(x >= 0);  // lint:allow(no-assert)
+  return x;
+}
+
+int NotAnAssert(Reporter* reporter, int x) {
+  reporter->Check(x);
+  int assertion = x;  // different identifier: no finding
+  return assertion;
+}
+
+}  // namespace mmlib

@@ -1,0 +1,23 @@
+// fixture-path: src/persist/fixture_persist.cc
+#include <cstdio>
+#include <fstream>
+
+namespace mmlib::persist {
+
+void TearProne(const std::string& path) {
+  std::ofstream out(path);              // finding
+  FILE* f = fopen(path.c_str(), "wb");  // finding
+  (void)f;
+}
+
+void AllowedRaw(const std::string& path) {
+  std::ofstream out(path);  // lint:allow(no-direct-persist)
+}
+
+void Fine(FileOps* wrapper, const std::string& path,
+          const std::string& bytes) {
+  wrapper->fopen(path);                // member call, not libc: no finding
+  util::AtomicWriteFile(path, bytes);  // the sanctioned path
+}
+
+}  // namespace mmlib::persist

@@ -1,0 +1,26 @@
+// fixture-path: src/core/fixture_replica.cc
+
+namespace mmlib {
+
+void BypassQuorum(ReplicaCluster& cluster, FileId id, const std::string& b) {
+  cluster.file_backends[0]->WriteAllocated(id, b);  // finding
+  cluster.backend(1)->Delete(id);                   // finding
+  transport(2)->SaveFile(id, b);                    // finding
+}
+
+void AllowedWrapped(ReplicaCluster& cluster, DocId id, const Document& doc) {
+  cluster.doc_backends[0]  // lint:allow(no-direct-replica-write)
+      ->InsertWithId(id, doc);
+}
+
+void QuorumPath(ReplicatedFileStore& store, ReplicatedFileStore* ptr,
+                FileId id, const std::string& b) {
+  store.SaveFile(id, b);  // quorum writer by value: no finding
+  ptr->SaveFile(id, b);   // plain-identifier receiver: no finding
+}
+
+void StaleAllow(ReplicaCluster& cluster) {
+  cluster.Heal();  // lint:allow(no-direct-replica-write)
+}
+
+}  // namespace mmlib

@@ -1,0 +1,5 @@
+// fixture-path: src/json/fixture_iostream.cc
+#include <iostream>
+#include <sstream>
+#include <iostream>  // lint:allow(no-iostream)
+#include <cstdio>    // lint:allow(no-iostream)

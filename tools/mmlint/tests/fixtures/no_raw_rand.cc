@@ -1,0 +1,29 @@
+// fixture-path: src/nn/fixture_rand.cc
+#include <cstdlib>
+#include <random>
+
+namespace mmlib::nn {
+
+int BadEntropy() {
+  std::random_device rd;  // finding: random_device
+  srand(42);              // finding: srand
+  return rand();          // finding: rand
+}
+
+int AllowedEntropy() {
+  return rand();  // lint:allow(no-raw-rand)
+}
+
+int NotTheLibcRand() {
+  int brand = mylib::rand(7);  // qualified by another library: no finding
+  // rand() inside a comment never fires.
+  const char* doc = "seed with rand() once";  // nor inside a string
+  (void)doc;
+  return brand;
+}
+
+int StaleAllow() {
+  return 7;  // lint:allow(no-raw-rand)
+}
+
+}  // namespace mmlib::nn

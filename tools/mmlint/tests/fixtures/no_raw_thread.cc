@@ -1,0 +1,23 @@
+// fixture-path: src/repl/fixture_thread.cc
+#include <future>
+#include <thread>
+
+namespace mmlib {
+
+void SpawnRaw() {
+  std::thread t([] {});                   // finding
+  t.join();
+  auto f = std::async([] { return 1; });  // finding
+  (void)f;
+}
+
+void SpawnAllowed() {
+  std::thread t([] {});  // lint:allow(no-raw-thread)
+  t.join();
+}
+
+unsigned QueryOnly() {
+  return std::thread::hardware_concurrency();  // query, not a spawn
+}
+
+}  // namespace mmlib

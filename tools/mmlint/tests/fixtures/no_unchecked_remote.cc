@@ -1,0 +1,25 @@
+// fixture-path: src/dist/fixture_remote.cc
+
+namespace mmlib::dist {
+
+void Bad(RemoteStore* store, const Document& doc) {
+  auto bytes = store->LoadFile(7).value();  // finding
+  auto id = store->Insert(doc).value();     // finding
+  (void)bytes;
+  (void)id;
+}
+
+void Allowed(RemoteStore* store) {
+  auto bytes = store->LoadFile(7).value();  // lint:allow(no-unchecked-remote)
+  (void)bytes;
+}
+
+Status Good(RemoteStore* store) {
+  MMLIB_ASSIGN_OR_RETURN(auto bytes, store->LoadFile(7));
+  auto pending = store->LoadFile(8);  // no .value(): fine
+  (void)bytes;
+  (void)pending;
+  return OkStatus();
+}
+
+}  // namespace mmlib::dist

@@ -1,0 +1,4 @@
+// fixture-path: src/util/result.h
+#pragma once
+template <typename T>
+class Result {};

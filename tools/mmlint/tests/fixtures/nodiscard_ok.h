@@ -1,0 +1,3 @@
+// fixture-path: src/util/status.h
+#pragma once
+class [[nodiscard]] Status {};

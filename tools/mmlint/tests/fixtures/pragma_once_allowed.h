@@ -1,0 +1,2 @@
+// fixture-path: src/util/fixture_allowed.h  lint:allow(pragma-once)
+struct FixtureAllowedPragma {};

@@ -1,0 +1,2 @@
+// fixture-path: src/util/fixture_missing.h
+struct FixtureMissingPragma {};

@@ -1,0 +1,3 @@
+// fixture-path: src/util/fixture_ok.h
+#pragma once
+struct FixtureOkPragma {};

@@ -1,0 +1,45 @@
+// fixture-path: src/core/fixture_leak.cc
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mmlib {
+
+void SerializeBlob(std::string* out) { out->push_back('x'); }
+
+std::string LeakyDigest(const std::unordered_map<int, int>& counts) {
+  std::string out;
+  for (const auto& kv : counts) {  // finding: feeds SerializeBlob
+    out.push_back(static_cast<char>(kv.second));
+  }
+  SerializeBlob(&out);
+  return out;
+}
+
+std::string AllowedDigest(const std::unordered_map<int, int>& counts) {
+  std::string out;
+  for (const auto& kv : counts) {  // lint:allow(no-unordered-order-leak)
+    out.push_back(static_cast<char>(kv.second));
+  }
+  SerializeBlob(&out);
+  return out;
+}
+
+int CountOnly(const std::unordered_set<int>& values) {
+  int n = 0;
+  for (int v : values) {  // no sink reachable: no finding
+    n += v;
+  }
+  return n;
+}
+
+std::string IteratorWalk(const std::unordered_map<int, int>& counts) {
+  std::string out;
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // finding
+    out.push_back(static_cast<char>(it->second));
+  }
+  SerializeBlob(&out);
+  return out;
+}
+
+}  // namespace mmlib

@@ -1,0 +1,34 @@
+// fixture-path: src/core/fixture_clock.cc
+#include <chrono>
+#include <ctime>
+
+namespace mmlib {
+
+long Nondeterministic() {
+  auto t0 = std::chrono::steady_clock::now();         // finding
+  auto t1 = std::chrono::system_clock::now();         // finding
+  auto t2 = std::chrono::high_resolution_clock::now();  // finding
+  long secs = time(nullptr);                          // finding
+  long ticks = clock();                               // finding
+  (void)t0;
+  (void)t1;
+  (void)t2;
+  return secs + ticks;
+}
+
+long Allowed() {
+  return time(nullptr);  // lint:allow(no-wall-clock)
+}
+
+long NotWallClock(Stopwatch* sw) {
+  long a = sw->time();     // member call: no finding
+  long b = sw->clock();    // member call: no finding
+  long c = fake::time(0);  // qualified by another namespace: no finding
+  return a + b + c;
+}
+
+long StaleAllow() {
+  return 0;  // lint:allow(no-wall-clock)
+}
+
+}  // namespace mmlib

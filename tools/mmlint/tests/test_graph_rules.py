@@ -1,0 +1,196 @@
+"""Call-graph rules: function indexing, wall-clock, unordered-order-leak,
+and crash-point coverage, against fixtures with golden findings."""
+
+import unittest
+
+from tools.mmlint import callgraph, engine
+from tools.mmlint.tests.util import (as_triples, fixture_context, golden,
+                                     make_context)
+
+
+class FunctionIndexTest(unittest.TestCase):
+    def test_qualified_names_and_calls(self):
+        ctx = make_context(
+            "src/core/a.cc",
+            "namespace mmlib {\n"
+            "Status Store::Save(int id) {\n"
+            "  Helper(id);\n"
+            "  return OkStatus();\n"
+            "}\n"
+            "void Helper(int id) { Log(id); }\n"
+            "}  // namespace mmlib\n")
+        index = callgraph.build_index([ctx])
+        names = sorted(f.qualified for f in index.functions)
+        self.assertEqual(names, ["Helper", "Store::Save"])
+        save = index.by_name["Save"][0]
+        self.assertIn("Helper", [c for c, _ in save.calls])
+
+    def test_control_flow_keywords_are_not_calls(self):
+        ctx = make_context(
+            "src/core/a.cc",
+            "int F(int x) {\n"
+            "  if (x) { while (x) { x = static_cast<int>(x - 1); } }\n"
+            "  for (int i = 0; i < x; ++i) { x += i; }\n"
+            "  return x;\n"
+            "}\n")
+        index = callgraph.build_index([ctx])
+        self.assertEqual(len(index.functions), 1)
+        self.assertEqual(index.functions[0].calls, [])
+
+    def test_crash_points_recorded_with_site_names(self):
+        ctx = fixture_context("crash_coverage.cc")
+        index = callgraph.build_index([ctx])
+        sites = {name for fn in index.functions
+                 for name, _ in fn.crash_points}
+        self.assertEqual(sites, {"fixture.covered.before_write",
+                                 "fixture.helper"})
+
+    def test_macro_definition_is_not_a_call_site(self):
+        ctx = fixture_context("crash_coverage.cc")
+        index = callgraph.build_index([ctx])
+        # FIXTURE_WRITE's body mentions AtomicWriteFile inside a #define;
+        # only the four in-function calls may count.
+        calls = sum(1 for fn in index.functions
+                    for c, _ in fn.calls if c == "AtomicWriteFile")
+        self.assertEqual(calls, 4)
+
+    def test_reachability_is_name_merged(self):
+        a = make_context("src/core/a.cc",
+                         "void Entry() { Step(); }\n")
+        b = make_context("src/repl/b.cc",
+                         "void Impl::Step() { Leaf(); }\n"
+                         "void Leaf() {}\n")
+        index = callgraph.build_index([a, b])
+        roots = index.by_name["Entry"]
+        reached = callgraph.reachable_functions(index, roots)
+        reached_names = {f.name for f in index.functions
+                         if id(f) in reached}
+        self.assertEqual(reached_names, {"Entry", "Step", "Leaf"})
+
+
+class WallClockTest(unittest.TestCase):
+    def run_rule(self, ctx):
+        findings = []
+        callgraph.check_wall_clock(ctx, findings)
+        engine.apply_suppressions([ctx], findings)
+        return findings
+
+    def test_fixture(self):
+        ctx = fixture_context("wall_clock.cc")
+        self.assertEqual(as_triples(self.run_rule(ctx)),
+                         golden("wall_clock.expected.json"))
+
+    def test_util_and_simnet_are_exempt(self):
+        body = ("long Now() {\n"
+                "  return std::chrono::steady_clock::now()"
+                ".time_since_epoch().count();\n"
+                "}\n")
+        for path in ("src/util/clock.cc", "src/simnet/virtual_clock.cc"):
+            self.assertEqual(self.run_rule(make_context(path, body)), [])
+
+    def test_tests_are_exempt(self):
+        ctx = make_context("tests/timing_test.cc",
+                           "long T() { return clock(); }\n")
+        self.assertEqual(self.run_rule(ctx), [])
+
+
+class UnorderedLeakTest(unittest.TestCase):
+    def run_rule(self, contexts):
+        index = callgraph.build_index(contexts)
+        findings = []
+        callgraph.check_unordered_order_leak(contexts, index, findings)
+        engine.apply_suppressions(contexts, findings)
+        return findings
+
+    def test_fixture(self):
+        ctx = fixture_context("unordered_leak.cc")
+        self.assertEqual(as_triples(self.run_rule([ctx])),
+                         golden("unordered_leak.expected.json"))
+
+    def test_sink_by_module(self):
+        ctx = make_context(
+            "src/hash/digest.cc",
+            "uint64_t Mix(const std::unordered_set<int>& s) {\n"
+            "  uint64_t h = 0;\n"
+            "  for (int v : s) { h = h * 31 + v; }\n"
+            "  return h;\n"
+            "}\n")
+        findings = self.run_rule([ctx])
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].rule, "no-unordered-order-leak")
+
+    def test_cross_file_transitive_sink(self):
+        caller = make_context(
+            "src/models/walk.cc",
+            "void Walk(const std::unordered_map<int, int>& m,"
+            " BytesWriter* w) {\n"
+            "  for (const auto& kv : m) { Emit(kv.first); }\n"
+            "}\n"
+            "void Emit(int v) { WriteTagged(v); }\n")
+        sink = make_context(
+            "src/json/writer.cc",
+            "void BytesWriter::WriteTagged(int v) { buf_.push_back(v); }\n")
+        findings = self.run_rule([caller, sink])
+        self.assertEqual([f.rule for f in findings],
+                         ["no-unordered-order-leak"])
+        self.assertEqual(findings[0].path, "src/models/walk.cc")
+
+
+class CrashCoverageTest(unittest.TestCase):
+    def test_fixture(self):
+        ctx = fixture_context("crash_coverage.cc")
+        index = callgraph.build_index([ctx])
+        findings = []
+        sites = callgraph.check_crash_point_coverage(index, findings)
+        engine.apply_suppressions([ctx], findings)
+
+        self.assertEqual(as_triples(findings),
+                         golden("crash_coverage.expected.json"))
+        by_fn = {s.function: s for s in sites}
+        self.assertEqual(len(sites), 4)
+        self.assertTrue(by_fn["CoveredWrite"].covered)
+        self.assertTrue(by_fn["HelperWrite"].covered)
+        self.assertFalse(by_fn["UncoveredWrite"].covered)
+        self.assertFalse(by_fn["AllowedUncovered"].covered)
+        self.assertEqual(by_fn["CoveredWrite"].crash_sites,
+                         ["fixture.covered.before_write"])
+
+        summary = callgraph.coverage_summary(sites)
+        self.assertEqual(summary["persistence_call_sites"], 4)
+        self.assertEqual(summary["covered"], 2)
+        self.assertEqual(summary["coverage_percent"], 50.0)
+
+    def test_coverage_through_helper_call_chain(self):
+        ctx = make_context(
+            "src/filestore/fs_write.cc",
+            "void Outer(const std::string& p, const std::string& b) {\n"
+            "  AtomicWriteFile(p, b);\n"
+            "}\n"
+            "void AtomicWriteFile(const std::string& p,"
+            " const std::string& b) {\n"
+            "  MMLIB_CRASH_POINT(\"fs.write\");\n"
+            "  RawWrite(p, b);\n"
+            "}\n")
+        index = callgraph.build_index([ctx])
+        findings = []
+        sites = callgraph.check_crash_point_coverage(index, findings)
+        # Outer's site is covered because the sink's own definition
+        # registers a crash point reachable through the call edge.
+        self.assertEqual(findings, [])
+        self.assertEqual(len(sites), 1)
+        self.assertTrue(sites[0].covered)
+
+    def test_whole_repo_coverage_is_total(self):
+        contexts = [c for c in
+                    engine.make_contexts(engine.collect_repo_files())
+                    if c.relpath.startswith("src/")]
+        index = callgraph.build_index(contexts)
+        findings = []
+        sites = callgraph.check_crash_point_coverage(index, findings)
+        self.assertEqual([str(f) for f in findings], [])
+        self.assertGreater(len(sites), 0)
+        self.assertTrue(all(s.covered for s in sites))
+
+
+if __name__ == "__main__":
+    unittest.main()

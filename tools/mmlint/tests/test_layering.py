@@ -1,0 +1,102 @@
+"""Include-graph layering tests: band loading, declaration validation, and
+the layering rule against the real layers.toml bands."""
+
+import unittest
+
+from tools.mmlint import includes
+from tools.mmlint.tests.util import (as_triples, fixture_context, golden,
+                                     make_context)
+from tools.mmlint import engine
+
+
+class BandsTest(unittest.TestCase):
+    def test_real_layers_toml_loads(self):
+        bands = includes.load_bands()
+        self.assertEqual(bands["util"], 0)
+        self.assertGreater(bands["dist"], bands["core"])
+        self.assertGreater(bands["core"], bands["filestore"])
+        for module, band in bands.items():
+            self.assertIsInstance(band, int, module)
+
+    def test_fallback_parser_agrees_with_tomllib(self):
+        text = includes.LAYERS_FILE.read_text(encoding="utf-8")
+        self.assertEqual(includes._parse_bands_subset(text),
+                         includes.load_bands())
+
+    def test_module_of(self):
+        self.assertEqual(includes.module_of("src/core/model.h"), "core")
+        self.assertEqual(includes.module_of("tests/foo_test.cc"), "")
+        self.assertEqual(includes.module_of("src/top.h"), "")
+
+
+class DeclarationTest(unittest.TestCase):
+    def test_missing_module_is_reported(self):
+        findings = []
+        includes.check_declaration({"util": 0}, ["util", "newmod"], findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("src/newmod", findings[0].message)
+        self.assertFalse(findings[0].suppressible)
+
+    def test_stale_band_is_reported(self):
+        findings = []
+        includes.check_declaration({"util": 0, "gone": 1}, ["util"], findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("'gone'", findings[0].message)
+
+    def test_repo_modules_exactly_match_declaration(self):
+        contexts = engine.make_contexts(engine.collect_repo_files())
+        src_modules = sorted(
+            {includes.module_of(c.relpath)
+             for c in contexts if c.relpath.startswith("src/")} - {""})
+        findings = []
+        includes.check_declaration(includes.load_bands(), src_modules,
+                                   findings)
+        self.assertEqual(findings, [])
+
+
+class LayeringRuleTest(unittest.TestCase):
+    def test_fixture_against_real_bands(self):
+        ctx = fixture_context("layering.cc")
+        bands = includes.load_bands()
+        findings = []
+        includes.check_layering(ctx, bands, findings)
+        engine.apply_suppressions([ctx], findings)
+        self.assertEqual(as_triples(findings), golden("layering.expected.json"))
+
+    def test_direction_is_named(self):
+        bands = {"util": 0, "core": 1, "dist": 2}
+        up = make_context("src/core/a.cc", '#include "dist/rpc.h"\n')
+        lat = make_context("src/util/b.cc", '#include "util2/x.h"\n')
+        findings = []
+        includes.check_layering(up, bands, findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("upward", findings[0].message)
+        findings = []
+        includes.check_layering(
+            make_context("src/dist/c.cc", '#include "core/model.h"\n'),
+            bands, findings)
+        self.assertEqual(findings, [])  # downward is legal
+        findings = []
+        includes.check_layering(lat, bands, findings)
+        self.assertEqual(findings, [])  # util2 not banded: declaration's job
+
+    def test_lateral_include_flagged(self):
+        bands = {"hash": 1, "check": 1}
+        ctx = make_context("src/check/a.cc", '#include "hash/sha256.h"\n')
+        findings = []
+        includes.check_layering(ctx, bands, findings)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("lateral", findings[0].message)
+
+    def test_repo_has_no_layering_violations(self):
+        contexts = [c for c in engine.make_contexts(engine.collect_repo_files())
+                    if c.relpath.startswith("src/")]
+        bands = includes.load_bands()
+        findings = []
+        for ctx in contexts:
+            includes.check_layering(ctx, bands, findings)
+        self.assertEqual([str(f) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()

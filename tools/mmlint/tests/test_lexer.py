@@ -1,0 +1,112 @@
+"""Lexer unit tests: comment/string stripping, directives, allows, lines."""
+
+import unittest
+
+from tools.mmlint.lexer import CHAR, IDENT, NUMBER, PUNCT, STRING, lex
+
+
+def values(lexed, kind=None):
+    return [t.value for t in lexed.tokens if kind is None or t.kind == kind]
+
+
+class CommentTest(unittest.TestCase):
+    def test_comments_produce_no_code_tokens(self):
+        out = lex("int a; // rand() assert(x)\n/* std::thread t; */ int b;")
+        self.assertEqual(values(out), ["int", "a", ";", "int", "b", ";"])
+        self.assertEqual(len(out.comments), 2)
+
+    def test_block_comment_lines_tracked(self):
+        out = lex("/* line1\nline2\nline3 */\nint x;")
+        self.assertEqual(out.tokens[0].value, "int")
+        self.assertEqual(out.tokens[0].line, 4)
+
+    def test_allow_extraction(self):
+        out = lex("int a;  // lint:allow(no-assert)\n"
+                  "int b;  // lint:allow(no-raw-rand)\n")
+        self.assertEqual([(a.line, a.rule) for a in out.allows],
+                         [(1, "no-assert"), (2, "no-raw-rand")])
+
+    def test_allow_in_block_comment_attaches_to_its_line(self):
+        out = lex("/* intro\n   lint:allow(layering)\n*/\n")
+        self.assertEqual([(a.line, a.rule) for a in out.allows],
+                         [(2, "layering")])
+
+
+class LiteralTest(unittest.TestCase):
+    def test_string_is_single_token(self):
+        out = lex('call("assert(x) rand()");')
+        strings = [t for t in out.tokens if t.kind == STRING]
+        self.assertEqual(len(strings), 1)
+        self.assertEqual(strings[0].value, "assert(x) rand()")
+
+    def test_escaped_quote(self):
+        out = lex(r'f("a\"b");')
+        strings = [t for t in out.tokens if t.kind == STRING]
+        self.assertEqual(strings[0].value, r"a\"b")
+
+    def test_raw_string(self):
+        out = lex('auto s = R"x(no "tokens" here; rand();)x"; int y;')
+        strings = [t for t in out.tokens if t.kind == STRING]
+        self.assertEqual(len(strings), 1)
+        self.assertIn("rand();", strings[0].value)
+        self.assertEqual(values(out, IDENT), ["auto", "s", "int", "y"])
+
+    def test_encoding_prefixes(self):
+        out = lex('auto a = u8"x"; auto b = L"y"; auto c = U\'z\';')
+        self.assertEqual(len([t for t in out.tokens if t.kind == STRING]), 2)
+        self.assertEqual(len([t for t in out.tokens if t.kind == CHAR]), 1)
+
+    def test_char_literal_with_escape(self):
+        out = lex(r"char c = '\'';")
+        chars = [t for t in out.tokens if t.kind == CHAR]
+        self.assertEqual(len(chars), 1)
+
+
+class DirectiveTest(unittest.TestCase):
+    def test_directives_do_not_leak_tokens(self):
+        out = lex("#define WRITE(p) AtomicWriteFile(p)\nint x;")
+        self.assertEqual(values(out), ["int", "x", ";"])
+        self.assertEqual(out.directives[0].keyword, "define")
+
+    def test_continuation_folded(self):
+        out = lex("#define M(a, b) \\\n  ((a) + (b))\nint x;")
+        self.assertEqual(len(out.directives), 1)
+        self.assertIn("((a) + (b))", out.directives[0].text)
+        self.assertEqual(out.tokens[0].line, 3)
+
+    def test_include_target(self):
+        out = lex('#include <vector>\n#include "util/fs.h"\n')
+        self.assertEqual(out.directives[0].include_target(), "<vector>")
+        self.assertEqual(out.directives[1].include_target(), '"util/fs.h"')
+
+    def test_hash_mid_line_is_not_a_directive(self):
+        out = lex("int a = x # y;\n")  # nonsense C++, but not a directive
+        self.assertEqual(len(out.directives), 0)
+
+
+class TokenShapeTest(unittest.TestCase):
+    def test_attribute_brackets_stay_single(self):
+        out = lex("class [[nodiscard]] Status;")
+        self.assertEqual(values(out, PUNCT), ["[", "[", "]", "]", ";"])
+
+    def test_multichar_punct_longest_match(self):
+        out = lex("a::b->c <<= 1;")
+        puncts = values(out, PUNCT)
+        self.assertIn("::", puncts)
+        self.assertIn("->", puncts)
+        self.assertIn("<<=", puncts)
+
+    def test_numbers(self):
+        out = lex("int a = 0x1F; double b = 1.5e-3; int c = 1'000;")
+        nums = values(out, NUMBER)
+        self.assertIn("0x1F", nums)
+        self.assertEqual(len(nums), 3)
+
+    def test_line_numbers(self):
+        out = lex("int a;\n\nint b;\n")
+        idents = [t for t in out.tokens if t.kind == IDENT]
+        self.assertEqual([t.line for t in idents], [1, 1, 3, 3])
+
+
+if __name__ == "__main__":
+    unittest.main()

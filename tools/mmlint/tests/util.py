@@ -1,0 +1,56 @@
+"""Shared helpers for the mmlint self-tests.
+
+Fixture files live in tests/fixtures/ (outside the repo scan dirs, so the
+real lint never sees them). Each fixture declares the repo-relative path it
+pretends to live at with a `// fixture-path: src/...` comment on line 1;
+rules are scoped by directory, so the pretend path selects which rules fire.
+
+Golden findings are `<fixture>.expected.json`: a sorted list of
+[rule, path, line] triples covering EVERY finding the fixture produces
+(including unused-suppression entries for stale allows).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import List
+
+from tools.mmlint import engine
+from tools.mmlint.findings import Finding
+from tools.mmlint.lexer import lex
+from tools.mmlint.rules_token import RULES, FileContext
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+_PATH_RE = re.compile(r"fixture-path:\s*(\S+)")
+
+
+def fixture_context(name: str) -> FileContext:
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    m = _PATH_RE.search(text)
+    assert m, f"fixture {name} is missing a fixture-path comment"
+    return FileContext(relpath=m.group(1), lexed=lex(text), text=text)
+
+
+def make_context(relpath: str, text: str) -> FileContext:
+    return FileContext(relpath=relpath, lexed=lex(text), text=text)
+
+
+def run_token_rules(contexts: List[FileContext]) -> List[Finding]:
+    """Token layer + suppression handling, no graph rules."""
+    findings: List[Finding] = []
+    for ctx in contexts:
+        for fn, _doc in RULES.values():
+            fn(ctx, findings)
+    engine.apply_suppressions(contexts, findings)
+    return findings
+
+
+def as_triples(findings: List[Finding]) -> List[List]:
+    return sorted([f.rule, f.path, f.line] for f in findings)
+
+
+def golden(name: str) -> List[List]:
+    data = json.loads((FIXTURES / name).read_text(encoding="utf-8"))
+    return sorted([e["rule"], e["path"], e["line"]] for e in data)
