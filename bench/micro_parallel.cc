@@ -1,8 +1,12 @@
 /// Thread-pool scaling microbenchmark: sweeps MMLIB-style pool sizes over
-/// the three parallelized pipelines (conv forward, Merkle-leaf hashing,
-/// chunked codec encode), verifies that every result is bit-identical to
-/// the 1-thread run (the deterministic-chunking contract), and writes the
-/// measurements to BENCH_parallel.json.
+/// the parallelized pipelines (conv/linear forward and backward through the
+/// kernel-plan layer, Merkle-leaf hashing, chunked codec encode), verifies
+/// that every result is bit-identical to the 1-thread run (the
+/// deterministic-chunking contract), and writes the measurements to
+/// BENCH_parallel.json.
+///
+/// `--smoke` runs one rep per configuration and a smaller codec payload —
+/// no useful timings, but the full bit-identity sweep — for CI.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -14,6 +18,7 @@
 #include "json/json.h"
 #include "models/zoo.h"
 #include "nn/conv2d.h"
+#include "nn/linear.h"
 #include "util/clock.h"
 #include "util/thread_pool.h"
 
@@ -22,6 +27,8 @@ using namespace mmlib;
 namespace {
 
 constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+bool g_smoke = false;
 
 struct Measurement {
   size_t threads = 0;
@@ -37,6 +44,9 @@ struct Section {
 /// Median-of-runs timing for one operation.
 template <typename Fn>
 double TimeOp(int reps, const Fn& fn) {
+  if (g_smoke) {
+    reps = 1;
+  }
   std::vector<double> samples;
   samples.reserve(reps);
   for (int r = 0; r < reps; ++r) {
@@ -46,6 +56,12 @@ double TimeOp(int reps, const Fn& fn) {
   }
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
+}
+
+bool SameBits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
 }
 
 Section BenchConvForward() {
@@ -68,11 +84,103 @@ Section BenchConvForward() {
     if (threads == 1) {
       reference = output;
     }
-    const bool identical =
-        output.shape() == reference.shape() &&
-        std::memcmp(output.data(), reference.data(),
-                    static_cast<size_t>(output.numel()) * sizeof(float)) == 0;
-    section.results.push_back({threads, seconds, identical});
+    section.results.push_back({threads, seconds, SameBits(output, reference)});
+  }
+  return section;
+}
+
+Section BenchConvBackward() {
+  Rng rng(11);
+  nn::Conv2d conv("bench", 8, 16, 3, 1, 1, 1, &rng);
+  Rng input_rng(12);
+  const Tensor input =
+      Tensor::Gaussian(Shape{8, 8, 32, 32}, 1.0f, &input_rng);
+  Rng gout_rng(13);
+  const Tensor gout =
+      Tensor::Gaussian(Shape{8, 16, 32, 32}, 1.0f, &gout_rng);
+
+  Section section{"conv_backward", {}};
+  Tensor ref_gin;
+  Tensor ref_gw;
+  for (size_t threads : kThreadSweep) {
+    util::ThreadPool pool(threads);
+    nn::ExecutionContext ctx = nn::ExecutionContext::Deterministic(3);
+    ctx.set_pool(&pool);
+    (void)conv.Forward({&input}, &ctx).value();
+    Tensor grad_input;
+    const double seconds = TimeOp(5, [&] {
+      conv.ZeroGrad();
+      grad_input = std::move(conv.Backward(gout, &ctx).value()[0]);
+    });
+    const Tensor& grad_weight = conv.params()[0].grad;
+    if (threads == 1) {
+      ref_gin = grad_input;
+      ref_gw = grad_weight;
+    }
+    section.results.push_back(
+        {threads, seconds,
+         SameBits(grad_input, ref_gin) && SameBits(grad_weight, ref_gw)});
+  }
+  return section;
+}
+
+Section BenchLinearForward() {
+  Rng rng(21);
+  nn::Linear fc("bench", 512, 512, &rng);
+  Rng input_rng(22);
+  const Tensor input = Tensor::Gaussian(Shape{64, 512}, 1.0f, &input_rng);
+
+  Section section{"linear_forward", {}};
+  Tensor reference;
+  for (size_t threads : kThreadSweep) {
+    util::ThreadPool pool(threads);
+    nn::ExecutionContext ctx = nn::ExecutionContext::Deterministic(3);
+    ctx.set_pool(&pool);
+    Tensor output;
+    const double seconds = TimeOp(10, [&] {
+      output = fc.Forward({&input}, &ctx).value();
+    });
+    if (threads == 1) {
+      reference = output;
+    }
+    section.results.push_back({threads, seconds, SameBits(output, reference)});
+  }
+  return section;
+}
+
+Section BenchLinearBackward() {
+  Rng rng(31);
+  nn::Linear fc("bench", 512, 512, &rng);
+  Rng input_rng(32);
+  const Tensor input = Tensor::Gaussian(Shape{64, 512}, 1.0f, &input_rng);
+  Rng gout_rng(33);
+  const Tensor gout = Tensor::Gaussian(Shape{64, 512}, 1.0f, &gout_rng);
+
+  Section section{"linear_backward", {}};
+  Tensor ref_gin;
+  Tensor ref_gw;
+  Tensor ref_gb;
+  for (size_t threads : kThreadSweep) {
+    util::ThreadPool pool(threads);
+    nn::ExecutionContext ctx = nn::ExecutionContext::Deterministic(3);
+    ctx.set_pool(&pool);
+    (void)fc.Forward({&input}, &ctx).value();
+    Tensor grad_input;
+    const double seconds = TimeOp(10, [&] {
+      fc.ZeroGrad();
+      grad_input = std::move(fc.Backward(gout, &ctx).value()[0]);
+    });
+    const Tensor& grad_weight = fc.params()[0].grad;
+    const Tensor& grad_bias = fc.params()[1].grad;
+    if (threads == 1) {
+      ref_gin = grad_input;
+      ref_gw = grad_weight;
+      ref_gb = grad_bias;
+    }
+    section.results.push_back({threads, seconds,
+                               SameBits(grad_input, ref_gin) &&
+                                   SameBits(grad_weight, ref_gw) &&
+                                   SameBits(grad_bias, ref_gb)});
   }
   return section;
 }
@@ -104,7 +212,7 @@ Section BenchMerkleBuild() {
 
 Section BenchCodecEncode() {
   // Compressible payload shaped like a serialized parameter snapshot.
-  Bytes payload(4 * 1024 * 1024);
+  Bytes payload((g_smoke ? 1 : 4) * 1024 * 1024);
   Rng rng(5);
   for (size_t i = 0; i < payload.size(); ++i) {
     payload[i] = static_cast<uint8_t>(rng.NextBelow(29));
@@ -147,19 +255,27 @@ json::Value SectionToJson(const Section& section) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    }
+  }
+
   bench::PrintHeader(
       "micro_parallel", "Thread-pool scaling of the parallel pipelines",
       "Deterministic chunking: chunk boundaries depend only on the problem\n"
       "size, so every pool size must produce bit-identical results; the\n"
       "sweep verifies that while measuring throughput (DESIGN.md\n"
-      "\"Threading model\").");
+      "\"Threading model\" and \"Kernel plan layer\").");
 
   const size_t hardware_threads = util::ThreadPool::DefaultThreadCount();
-  std::printf("hardware/default threads: %zu\n\n", hardware_threads);
+  std::printf("hardware/default threads: %zu%s\n\n", hardware_threads,
+              g_smoke ? " (smoke mode: 1 rep, timings not meaningful)" : "");
 
   const std::vector<Section> sections = {
-      BenchConvForward(), BenchMerkleBuild(), BenchCodecEncode()};
+      BenchConvForward(),    BenchConvBackward(), BenchLinearForward(),
+      BenchLinearBackward(), BenchMerkleBuild(),  BenchCodecEncode()};
 
   TablePrinter table(
       {"section", "threads", "sec/op", "speedup", "bit-identical"});
@@ -186,18 +302,20 @@ int main() {
     }
   }
 
-  json::Value doc = json::Value::MakeObject();
-  doc.Set("bench", "micro_parallel");
-  doc.Set("hardware_threads", static_cast<int64_t>(hardware_threads));
-  doc.Set("all_bit_identical", all_identical);
-  doc.Set("sections", std::move(section_array));
-  const std::string json_text = doc.DumpPretty();
-  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
-  if (out != nullptr) {
-    std::fwrite(json_text.data(), 1, json_text.size(), out);
-    std::fputc('\n', out);
-    std::fclose(out);
-    std::printf("\nwrote BENCH_parallel.json\n");
+  if (!g_smoke) {
+    json::Value doc = json::Value::MakeObject();
+    doc.Set("bench", "micro_parallel");
+    doc.Set("hardware_threads", static_cast<int64_t>(hardware_threads));
+    doc.Set("all_bit_identical", all_identical);
+    doc.Set("sections", std::move(section_array));
+    const std::string json_text = doc.DumpPretty();
+    std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+    if (out != nullptr) {
+      std::fwrite(json_text.data(), 1, json_text.size(), out);
+      std::fputc('\n', out);
+      std::fclose(out);
+      std::printf("\nwrote BENCH_parallel.json\n");
+    }
   }
 
   std::printf("all results bit-identical across pool sizes: %s\n",

@@ -1,0 +1,154 @@
+#include "kernels/im2col.h"
+
+#include <algorithm>
+
+#include "kernels/gemm.h"
+
+namespace mmlib::kernels {
+
+namespace {
+
+/// Input plane base of (sample n, channel c).
+inline const float* PlaneOf(const ConvGeom& g, const float* input, int64_t n,
+                            int64_t channel) {
+  return input + (n * g.in_channels + channel) * g.height * g.width;
+}
+
+}  // namespace
+
+void Im2ColPanels(const ConvGeom& geom, const float* input, int64_t n,
+                  int64_t g, int64_t col_begin, int64_t ncols, float* dst) {
+  const int64_t NR = kGemmNR;
+  const int64_t K = geom.patch_size();
+  const int64_t panels = CeilDiv(ncols, NR);
+
+  if (geom.is_pointwise()) {
+    // col[k][pix] is just channel plane k of the group: contiguous copies.
+    for (int64_t p = 0; p < panels; ++p) {
+      float* out = dst + p * K * NR;
+      const int64_t base = col_begin + p * NR;
+      const int64_t live = std::min(NR, ncols - p * NR);
+      for (int64_t c = 0; c < K; ++c) {
+        const float* plane = PlaneOf(geom, input, n, g * geom.group_in() + c);
+        for (int64_t j = 0; j < NR; ++j) {
+          out[c * NR + j] = j < live ? plane[base + j] : 0.0f;
+        }
+      }
+    }
+    return;
+  }
+
+  const int64_t kernel = geom.kernel;
+  for (int64_t p = 0; p < panels; ++p) {
+    float* out = dst + p * K * NR;
+    const int64_t live = std::min(NR, ncols - p * NR);
+    // Per-panel pixel coordinates, hoisted out of the k loop.
+    int64_t base_y[kGemmNR];
+    int64_t base_x[kGemmNR];
+    for (int64_t j = 0; j < NR; ++j) {
+      const int64_t pix = col_begin + p * NR + (j < live ? j : live - 1);
+      base_y[j] = (pix / geom.out_w) * geom.stride - geom.padding;
+      base_x[j] = (pix % geom.out_w) * geom.stride - geom.padding;
+    }
+    int64_t k = 0;
+    for (int64_t c = 0; c < geom.group_in(); ++c) {
+      const float* plane = PlaneOf(geom, input, n, g * geom.group_in() + c);
+      for (int64_t ky = 0; ky < kernel; ++ky) {
+        for (int64_t kx = 0; kx < kernel; ++kx, ++k) {
+          float* orow = out + k * NR;
+          for (int64_t j = 0; j < NR; ++j) {
+            const int64_t y = base_y[j] + ky;
+            const int64_t x = base_x[j] + kx;
+            const bool in = j < live && y >= 0 && y < geom.height && x >= 0 &&
+                            x < geom.width;
+            orow[j] = in ? plane[y * geom.width + x] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Im2ColPatchPanels(const ConvGeom& geom, const float* input, int64_t n,
+                       int64_t g, int64_t col_begin, int64_t ncols,
+                       float* dst) {
+  const int64_t NR = kGemmNR;
+  const int64_t K = geom.patch_size();
+  const int64_t panels = CeilDiv(K, NR);
+  const int64_t taps = geom.kernel * geom.kernel;
+
+  for (int64_t p = 0; p < panels; ++p) {
+    float* out = dst + p * ncols * NR;
+    const int64_t live = std::min(NR, K - p * NR);
+    // Decompose the panel's patch indices once.
+    const float* plane[kGemmNR];
+    int64_t off_y[kGemmNR];
+    int64_t off_x[kGemmNR];
+    for (int64_t j = 0; j < NR; ++j) {
+      const int64_t k = p * NR + (j < live ? j : live - 1);
+      const int64_t c = k / taps;
+      const int64_t t = k % taps;
+      plane[j] = PlaneOf(geom, input, n, g * geom.group_in() + c);
+      off_y[j] = t / geom.kernel;
+      off_x[j] = t % geom.kernel;
+    }
+    for (int64_t pix = 0; pix < ncols; ++pix) {
+      const int64_t abs_pix = col_begin + pix;
+      const int64_t base_y = (abs_pix / geom.out_w) * geom.stride -
+                             geom.padding;
+      const int64_t base_x = (abs_pix % geom.out_w) * geom.stride -
+                             geom.padding;
+      float* orow = out + pix * NR;
+      for (int64_t j = 0; j < NR; ++j) {
+        const int64_t y = base_y + off_y[j];
+        const int64_t x = base_x + off_x[j];
+        const bool in = j < live && y >= 0 && y < geom.height && x >= 0 &&
+                        x < geom.width;
+        orow[j] = in ? plane[j][y * geom.width + x] : 0.0f;
+      }
+    }
+  }
+}
+
+void Col2ImScatter(const ConvGeom& geom, const float* colgrad, int64_t n,
+                   int64_t g, int64_t col_begin, int64_t ncols,
+                   float* grad_input) {
+  const int64_t K = geom.patch_size();
+  const int64_t kernel = geom.kernel;
+  const int64_t plane_size = geom.height * geom.width;
+  float* group_base =
+      grad_input + (n * geom.in_channels + g * geom.group_in()) * plane_size;
+
+  if (geom.is_pointwise()) {
+    for (int64_t pix = 0; pix < ncols; ++pix) {
+      const int64_t abs_pix = col_begin + pix;
+      for (int64_t c = 0; c < K; ++c) {
+        group_base[c * plane_size + abs_pix] += colgrad[c * ncols + pix];
+      }
+    }
+    return;
+  }
+
+  for (int64_t pix = 0; pix < ncols; ++pix) {
+    const int64_t abs_pix = col_begin + pix;
+    const int64_t base_y = (abs_pix / geom.out_w) * geom.stride -
+                           geom.padding;
+    const int64_t base_x = (abs_pix % geom.out_w) * geom.stride -
+                           geom.padding;
+    int64_t k = 0;
+    for (int64_t c = 0; c < geom.group_in(); ++c) {
+      float* plane = group_base + c * plane_size;
+      for (int64_t ky = 0; ky < kernel; ++ky) {
+        const int64_t y = base_y + ky;
+        for (int64_t kx = 0; kx < kernel; ++kx, ++k) {
+          const int64_t x = base_x + kx;
+          if (y >= 0 && y < geom.height && x >= 0 && x < geom.width) {
+            plane[y * geom.width + x] += colgrad[k * ncols + pix];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mmlib::kernels

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mmlib::kernels {
+
+/// Convolution geometry shared by the plan layer and its kernels. All
+/// derived quantities are pure functions of the layer shape, so every
+/// buffer size and chunk boundary computed from a ConvGeom is independent
+/// of the thread count.
+struct ConvGeom {
+  int64_t batch = 0;
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+  int64_t groups = 1;
+  int64_t height = 0;  // input spatial extent
+  int64_t width = 0;
+  int64_t out_h = 0;
+  int64_t out_w = 0;
+
+  int64_t group_in() const { return in_channels / groups; }
+  int64_t group_out() const { return out_channels / groups; }
+  /// Rows of the im2col matrix: one per (channel, ky, kx) of a group.
+  int64_t patch_size() const { return group_in() * kernel * kernel; }
+  /// Columns of the im2col matrix: one per output pixel.
+  int64_t out_pixels() const { return out_h * out_w; }
+  /// True when the im2col matrix IS the input plane (no gather needed).
+  bool is_pointwise() const {
+    return kernel == 1 && stride == 1 && padding == 0;
+  }
+};
+
+/// Materializes columns [col_begin, col_begin+ncols) of the im2col matrix
+/// of (sample n, group g) directly in GEMM panel-major layout (B side,
+/// k dimension = patch_size): panel p holds output pixels
+/// [col_begin + p*NR, ... + NR), k-major, zero-filled past ncols and for
+/// padded border taps. Pointwise geometry takes a contiguous-copy fast
+/// path that never recomputes coordinates.
+void Im2ColPanels(const ConvGeom& geom, const float* input, int64_t n,
+                  int64_t g, int64_t col_begin, int64_t ncols, float* dst);
+
+/// Same gather transposed, for the weight-gradient GEMM: panel-major over
+/// the PATCH dimension (B side, k dimension = pixels): panel p holds patch
+/// rows [p*NR, p*NR+NR) as columns, pixel-major —
+/// dst[p*(ncols*NR) + pix*NR + j] = col[p*NR + j][col_begin + pix].
+void Im2ColPatchPanels(const ConvGeom& geom, const float* input, int64_t n,
+                       int64_t g, int64_t col_begin, int64_t ncols,
+                       float* dst);
+
+/// Scatters a column-gradient tile back to the input gradient:
+/// grad_input(n, g) += col2im(colgrad), where `colgrad` is row-major
+/// patch_size x ncols covering output pixels [col_begin, col_begin+ncols).
+/// Adds run in pixel-major, then patch-index order — the same fixed order
+/// for every tiling, so backward results stay bit-identical at any pool
+/// size as long as one (sample, group) is processed by one chunk.
+void Col2ImScatter(const ConvGeom& geom, const float* colgrad, int64_t n,
+                   int64_t g, int64_t col_begin, int64_t ncols,
+                   float* grad_input);
+
+}  // namespace mmlib::kernels

@@ -1,0 +1,56 @@
+#include "kernels/plan_cache.h"
+
+namespace mmlib::kernels {
+
+PlanCache& PlanCache::Instance() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+std::shared_ptr<const ConvPlan> PlanCache::GetConvPlan(const ConvGeom& geom) {
+  const ConvKey key{geom.batch,   geom.in_channels, geom.out_channels,
+                    geom.kernel,  geom.stride,      geom.padding,
+                    geom.groups,  geom.height,      geom.width};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conv_plans_.find(key);
+  if (it != conv_plans_.end()) {
+    ++stats_.conv_hits;
+    return it->second;
+  }
+  ++stats_.conv_misses;
+  auto plan = std::make_shared<const ConvPlan>(geom);
+  conv_plans_.emplace(key, plan);
+  return plan;
+}
+
+std::shared_ptr<const LinearPlan> PlanCache::GetLinearPlan(
+    int64_t batch, int64_t in_features, int64_t out_features) {
+  const LinearKey key{batch, in_features, out_features};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = linear_plans_.find(key);
+  if (it != linear_plans_.end()) {
+    ++stats_.linear_hits;
+    return it->second;
+  }
+  ++stats_.linear_misses;
+  auto plan = std::make_shared<const LinearPlan>(batch, in_features,
+                                                 out_features);
+  linear_plans_.emplace(key, plan);
+  return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.size = conv_plans_.size() + linear_plans_.size();
+  return s;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  conv_plans_.clear();
+  linear_plans_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace mmlib::kernels

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "kernels/conv_plan.h"
+#include "kernels/linear_plan.h"
+
+namespace mmlib::kernels {
+
+/// Process-wide cache of kernel plans keyed by shape. Layers hit the cache
+/// once per (shape, batch) combination and then hold the shared_ptr, so
+/// repeated training steps — and distinct layers with the same geometry —
+/// reuse both the plan and its scratch pool. Internally synchronized.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t conv_hits = 0;
+    uint64_t conv_misses = 0;
+    uint64_t linear_hits = 0;
+    uint64_t linear_misses = 0;
+    size_t size = 0;
+  };
+
+  static PlanCache& Instance();
+
+  std::shared_ptr<const ConvPlan> GetConvPlan(const ConvGeom& geom);
+  std::shared_ptr<const LinearPlan> GetLinearPlan(int64_t batch,
+                                                  int64_t in_features,
+                                                  int64_t out_features);
+
+  Stats stats() const;
+  /// Drops all cached plans and zeroes the counters (tests only).
+  void Clear();
+
+ private:
+  PlanCache() = default;
+
+  // Full geometry: (batch, in_c, out_c, kernel, stride, padding, groups,
+  // height, width). out_h/out_w are derived, so they are not in the key.
+  using ConvKey = std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t,
+                             int64_t, int64_t, int64_t, int64_t>;
+  using LinearKey = std::tuple<int64_t, int64_t, int64_t>;
+
+  mutable std::mutex mu_;
+  // std::map, not unordered_map, so iteration order can never leak into
+  // anything hashed (the no-unordered-order-leak lint's concern).
+  std::map<ConvKey, std::shared_ptr<const ConvPlan>> conv_plans_;
+  std::map<LinearKey, std::shared_ptr<const LinearPlan>> linear_plans_;
+  Stats stats_;
+};
+
+}  // namespace mmlib::kernels

@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "kernels/plan_cache.h"
 #include "tensor/validate.h"
 #include "util/thread_pool.h"
 #include <cmath>
@@ -92,6 +93,25 @@ Result<Tensor> Conv2d::Forward(const std::vector<const Tensor*>& inputs,
   const int64_t patch_size = group_in_ * kernel_size_ * kernel_size_;
   const bool fast_det = kernel_size_ == 1 && padding_ == 0;
 
+  // Deterministic executions go through the kernel-plan layer: the plan's
+  // reduction order is a pure function of the shape, so any pool size
+  // produces bit-identical results. Non-deterministic executions stay on
+  // the direct loop below, which models scheduler-driven reduction splits.
+  if (ctx->deterministic()) {
+    const kernels::ConvGeom geom{batch,        in_channels_, out_channels_,
+                                 kernel_size_, stride_,      padding_,
+                                 groups_,      height,       width,
+                                 out_h,        out_w};
+    if (!plan_ || plan_->geom().batch != batch ||
+        plan_->geom().height != height || plan_->geom().width != width) {
+      plan_ = kernels::PlanCache::Instance().GetConvPlan(geom);
+    }
+    if (plan_->algo() != kernels::ConvAlgo::kDirect) {
+      plan_->Forward(x.data(), weight, y.data(), ctx->pool());
+      return y;
+    }
+  }
+
   // Shard over (sample, group): every task writes a disjoint channel block
   // of y, and each output element is a complete fixed-order AccumulateDot,
   // so results are bit-identical for any chunking and any thread count.
@@ -150,6 +170,26 @@ Result<std::vector<Tensor>> Conv2d::Backward(const Tensor& grad_output,
   Tensor grad_input(x.shape());
 
   const bool deterministic = ctx->deterministic();
+
+  // Mirror Forward's dispatch: deterministic executions of planned shapes
+  // run both gradient GEMMs through the plan layer.
+  if (deterministic) {
+    const kernels::ConvGeom geom{batch,        in_channels_, out_channels_,
+                                 kernel_size_, stride_,      padding_,
+                                 groups_,      height,       width,
+                                 out_h,        out_w};
+    if (!plan_ || plan_->geom().batch != batch ||
+        plan_->geom().height != height || plan_->geom().width != width) {
+      plan_ = kernels::PlanCache::Instance().GetConvPlan(geom);
+    }
+    if (plan_->algo() != kernels::ConvAlgo::kDirect) {
+      plan_->Backward(x.data(), weight, grad_output.data(), grad_input.data(),
+                      grad_weight, ctx->pool());
+      std::vector<Tensor> grads;
+      grads.push_back(std::move(grad_input));
+      return grads;
+    }
+  }
   // Weight gradients accumulate across every output position — on parallel
   // devices this is the classic source of convolution-backward
   // nondeterminism (atomic reduction order). Here every chunk accumulates

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "kernels/conv_plan.h"
 #include "nn/layer.h"
 
 namespace mmlib::nn {
@@ -11,11 +13,13 @@ namespace mmlib::nn {
 /// gives a depthwise convolution as used by MobileNetV2). No bias — all zoo
 /// architectures follow conv → batch-norm, where a bias is redundant.
 ///
-/// Determinism: 1x1 convolutions have a fast deterministic kernel; spatial
-/// kernels (k > 1) fall back to compensated summation in deterministic mode,
-/// which costs extra time (the mechanism behind paper Figure 13, where
-/// ResNet-18's 3x3-heavy basic blocks slow down more than the
-/// bottleneck-based ResNet-50/152).
+/// Determinism: in deterministic mode, non-trivial shapes run through a
+/// kernels::ConvPlan (im2col + cache-blocked GEMM) whose reduction order is
+/// a pure function of the shape, so results are bit-identical at any pool
+/// size. Depthwise/tiny shapes, and every non-deterministic execution, use
+/// the direct loop below; non-deterministic mode keeps its scheduler-driven
+/// reduction splits (the mechanism behind paper Figure 13's determinism
+/// overhead comparison).
 class Conv2d : public Layer {
  public:
   Conv2d(std::string name, int64_t in_channels, int64_t out_channels,
@@ -52,6 +56,9 @@ class Conv2d : public Layer {
   int64_t cached_out_h_ = 0;  // output extent of the last Forward
   int64_t cached_out_w_ = 0;
   bool has_forward_ = false;
+  /// Plan for the last Forward geometry; refreshed from the PlanCache when
+  /// the input shape changes. Null until the first deterministic Forward.
+  std::shared_ptr<const kernels::ConvPlan> plan_;
 };
 
 }  // namespace mmlib::nn

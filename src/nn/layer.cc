@@ -44,10 +44,19 @@ void Layer::ZeroGrad() {
 }
 
 Digest Layer::ParamHash() const {
-  Sha256 hasher;
+  std::vector<Digest> digests;
+  digests.reserve(params_.size());
   for (const Param& p : params_) {
-    hasher.Update(p.name);
-    const Digest d = p.value.ContentHash();
+    digests.push_back(p.value.ContentHash());
+  }
+  return ParamHashWith(digests);
+}
+
+Digest Layer::ParamHashWith(const std::vector<Digest>& param_digests) const {
+  Sha256 hasher;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    hasher.Update(params_[i].name);
+    const Digest& d = param_digests[i];
     hasher.Update(d.bytes.data(), d.bytes.size());
   }
   return hasher.Finish();

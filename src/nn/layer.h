@@ -76,6 +76,12 @@ class Layer {
   /// This is the per-layer hash used as Merkle-tree leaf (paper Section 3.2).
   Digest ParamHash() const;
 
+  /// ParamHash() with the per-parameter content digests supplied by the
+  /// caller (params()[i].value.ContentHash(), in order). Lets Model hash
+  /// parameter tensors in parallel with byte-weighted chunking while the
+  /// leaf digest stays byte-identical to ParamHash().
+  Digest ParamHashWith(const std::vector<Digest>& param_digests) const;
+
   /// Serializes all parameter and buffer values (not gradients).
   void SerializeParams(BytesWriter* writer) const;
 

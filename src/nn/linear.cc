@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "kernels/plan_cache.h"
 #include "tensor/validate.h"
 #include "util/thread_pool.h"
 #include <cmath>
@@ -43,6 +44,20 @@ Result<Tensor> Linear::Forward(const std::vector<const Tensor*>& inputs,
   const float* weight = params_[0].value.data();
   const float* bias = params_[1].value.data();
 
+  // Deterministic executions of non-trivial shapes go through the kernel
+  // plan layer; non-deterministic executions keep the direct loop and its
+  // scheduler-driven reduction splits.
+  if (ctx->deterministic()) {
+    if (!plan_ || plan_->batch() != batch) {
+      plan_ = kernels::PlanCache::Instance().GetLinearPlan(batch, in_features_,
+                                                           out_features_);
+    }
+    if (plan_->algo() != kernels::LinearAlgo::kDirect) {
+      plan_->Forward(x.data(), weight, bias, y.data(), ctx->pool());
+      return y;
+    }
+  }
+
   // Shard over (sample, output row): every task writes exactly one output
   // element via a complete fixed-order dot product, so results are
   // bit-identical for any chunking and any thread count.
@@ -85,6 +100,23 @@ Result<std::vector<Tensor>> Linear::Backward(const Tensor& grad_output,
   const size_t gb_numel = static_cast<size_t>(params_[1].grad.numel());
 
   Tensor grad_input(cached_input_.shape());
+
+  // Mirror Forward's dispatch: planned shapes run the data-gradient and
+  // weight-gradient GEMMs through the plan layer.
+  if (ctx->deterministic()) {
+    if (!plan_ || plan_->batch() != batch) {
+      plan_ = kernels::PlanCache::Instance().GetLinearPlan(batch, in_features_,
+                                                           out_features_);
+    }
+    if (plan_->algo() != kernels::LinearAlgo::kDirect) {
+      plan_->Backward(cached_input_.data(), weight, grad_output.data(),
+                      grad_input.data(), grad_weight, grad_bias, ctx->pool());
+      std::vector<Tensor> grads;
+      grads.push_back(std::move(grad_input));
+      return grads;
+    }
+  }
+
   // Shard over samples. grad_input rows are disjoint per sample; weight and
   // bias gradients go into per-chunk scratch buffers reduced in fixed
   // chunk-index order below, so the result never depends on the pool size.

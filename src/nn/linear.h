@@ -3,12 +3,17 @@
 #include <memory>
 #include <string>
 
+#include "kernels/linear_plan.h"
 #include "nn/layer.h"
 
 namespace mmlib::nn {
 
 /// Fully connected layer: y = x W^T + b with input [N, in] and output
 /// [N, out]. Weights are Kaiming-uniform initialized from `rng`.
+///
+/// Deterministic executions of non-trivial shapes run through a
+/// kernels::LinearPlan (packed cache-blocked GEMM); tiny shapes and all
+/// non-deterministic executions keep the direct dot-product loop.
 class Linear : public Layer {
  public:
   Linear(std::string name, int64_t in_features, int64_t out_features,
@@ -29,6 +34,9 @@ class Linear : public Layer {
   int64_t out_features_;
   Tensor cached_input_;
   bool has_forward_ = false;
+  /// Plan for the last Forward batch size; refreshed from the PlanCache
+  /// when the batch changes. Null until the first deterministic Forward.
+  std::shared_ptr<const kernels::LinearPlan> plan_;
 };
 
 }  // namespace mmlib::nn

@@ -1,5 +1,7 @@
 #include "nn/model.h"
 
+#include <algorithm>
+
 #include "check/check.h"
 #include "util/thread_pool.h"
 
@@ -153,15 +155,72 @@ Result<MerkleTree> Model::BuildMerkleTree(util::ThreadPool* pool) const {
   if (pool == nullptr) {
     pool = util::ThreadPool::Global();
   }
+
+  // Per-node hashing parallelizes badly: one huge layer (fc weights, a wide
+  // conv) dominates its chunk and the build runs at the speed of the
+  // largest layer. Instead, hash individual parameter tensors as work
+  // items, with chunk boundaries placed by parameter byte size so every
+  // chunk carries a near-equal share of the bytes. The boundaries are a
+  // pure function of the model's shapes (never the thread count), and leaf
+  // digests are assembled from the same per-tensor content hashes
+  // ParamHash() uses, so the tree root is identical to the serial build.
+  struct Item {
+    size_t node;
+    size_t param;
+  };
+  std::vector<Item> items;
+  std::vector<uint64_t> prefix_bytes;  // prefix_bytes[i] = bytes before item i
+  uint64_t total_bytes = 0;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const std::vector<Param>& params = nodes_[n].layer->params();
+    for (size_t p = 0; p < params.size(); ++p) {
+      items.push_back(Item{n, p});
+      prefix_bytes.push_back(total_bytes);
+      total_bytes +=
+          static_cast<uint64_t>(params[p].value.numel()) * sizeof(float);
+    }
+  }
+
+  // Chunk c covers the items whose prefix byte offset falls in the c-th
+  // equal slice of the total byte range.
+  constexpr uint64_t kMaxHashChunks = 64;
+  const uint64_t num_chunks =
+      std::max<uint64_t>(1, std::min<uint64_t>(kMaxHashChunks, items.size()));
+  std::vector<size_t> chunk_begin(num_chunks + 1, items.size());
+  chunk_begin[0] = 0;
+  for (size_t i = 0, c = 0; i < items.size(); ++i) {
+    const uint64_t slice =
+        total_bytes == 0
+            ? i * num_chunks / items.size()
+            : std::min<uint64_t>(num_chunks - 1,
+                                 prefix_bytes[i] * num_chunks / total_bytes);
+    while (c < slice) {
+      chunk_begin[++c] = i;
+    }
+  }
+
+  std::vector<std::vector<Digest>> digests(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    digests[n].resize(nodes_[n].layer->params().size());
+  }
+  util::ParallelFor(
+      pool, static_cast<int64_t>(num_chunks), /*grain=*/1,
+      [&](int64_t begin, int64_t end, size_t /*chunk_index*/) {
+        for (int64_t c = begin; c < end; ++c) {
+          for (size_t i = chunk_begin[static_cast<size_t>(c)];
+               i < chunk_begin[static_cast<size_t>(c) + 1]; ++i) {
+            const Item& item = items[i];
+            digests[item.node][item.param] =
+                nodes_[item.node].layer->params()[item.param].value
+                    .ContentHash();
+          }
+        }
+      });
+
   std::vector<Digest> leaves(nodes_.size());
-  const int64_t total = static_cast<int64_t>(nodes_.size());
-  util::ParallelFor(pool, total, /*grain=*/1,
-                    [&](int64_t begin, int64_t end, size_t /*chunk_index*/) {
-                      for (int64_t i = begin; i < end; ++i) {
-                        leaves[static_cast<size_t>(i)] =
-                            nodes_[static_cast<size_t>(i)].layer->ParamHash();
-                      }
-                    });
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    leaves[n] = nodes_[n].layer->ParamHashWith(digests[n]);
+  }
   return MerkleTree::Build(std::move(leaves));
 }
 

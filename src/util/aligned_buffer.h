@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace mmlib::util {
+
+/// 64-byte-aligned float storage for kernel scratch (im2col tiles, packed
+/// GEMM operands). Alignment matches the widest vector unit the kernels are
+/// ever auto-vectorized for (AVX-512) and the common cache-line size, so a
+/// packed panel never straddles lines and vector loads are never split.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t floats) : size_(floats) {
+    if (floats > 0) {
+      data_ = static_cast<float*>(::operator new(
+          floats * sizeof(float), std::align_val_t(kAlignment)));
+    }
+  }
+  ~AlignedBuffer() { Reset(); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Reset() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(kAlignment));
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  float* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace mmlib::util

@@ -1,0 +1,82 @@
+#include "util/scratch_pool.h"
+
+#include <utility>
+
+namespace mmlib::util {
+
+namespace {
+
+/// Round requests up so slightly different tile sizes share pool entries.
+constexpr size_t kSizeQuantum = 1024;
+
+size_t QuantizeSize(size_t floats) {
+  return (floats + kSizeQuantum - 1) / kSizeQuantum * kSizeQuantum;
+}
+
+}  // namespace
+
+ScratchPool::Lease::Lease(ScratchPool* pool, AlignedBuffer buffer)
+    : pool_(pool), buffer_(std::move(buffer)) {}
+
+ScratchPool::Lease::~Lease() {
+  if (pool_ != nullptr && !buffer_.empty()) {
+    pool_->Release(std::move(buffer_));
+  }
+}
+
+ScratchPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      buffer_(std::move(other.buffer_)) {}
+
+ScratchPool::Lease& ScratchPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && !buffer_.empty()) {
+      pool_->Release(std::move(buffer_));
+    }
+    pool_ = std::exchange(other.pool_, nullptr);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+ScratchPool::Lease ScratchPool::Acquire(size_t min_floats) {
+  const size_t want = QuantizeSize(min_floats == 0 ? 1 : min_floats);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Best fit: a small request must not consume a large buffer another
+    // phase of the same plan is about to ask for — first fit would force a
+    // fresh allocation of the large size on every call.
+    size_t best = free_.size();
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size() >= want &&
+          (best == free_.size() || free_[i].size() < free_[best].size())) {
+        best = i;
+      }
+    }
+    if (best != free_.size()) {
+      AlignedBuffer buffer = std::move(free_[best]);
+      free_.erase(free_.begin() + static_cast<ptrdiff_t>(best));
+      ++reused_;
+      return Lease(this, std::move(buffer));
+    }
+    ++allocated_;
+  }
+  return Lease(this, AlignedBuffer(want));
+}
+
+size_t ScratchPool::allocated_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_;
+}
+
+size_t ScratchPool::reused_acquires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reused_;
+}
+
+void ScratchPool::Release(AlignedBuffer buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(buffer));
+}
+
+}  // namespace mmlib::util

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace mmlib::util {
+
+/// Thread-safe free-list of aligned scratch buffers.
+///
+/// Kernel plans own one pool each: every execution of the plan (and every
+/// chunk of its ParallelFor) leases scratch from the pool instead of
+/// allocating, so repeated layers and repeated training steps reuse the
+/// same buffers and the hot path stays malloc-free after warm-up. Leases
+/// are RAII: the buffer returns to the pool when the lease goes out of
+/// scope. Buffer contents are NOT cleared between leases — callers must
+/// fully initialize what they read.
+class ScratchPool {
+ public:
+  /// RAII handle on a pooled buffer; returns it on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ScratchPool* pool, AlignedBuffer buffer);
+    ~Lease();
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+
+    float* data() { return buffer_.data(); }
+    size_t size() const { return buffer_.size(); }
+
+   private:
+    ScratchPool* pool_ = nullptr;
+    AlignedBuffer buffer_;
+  };
+
+  ScratchPool() = default;
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// Returns a lease on a buffer of at least `min_floats` floats, reusing a
+  /// pooled one when a large-enough buffer is free.
+  Lease Acquire(size_t min_floats);
+
+  /// Buffers ever allocated by this pool (monotonic).
+  size_t allocated_buffers() const;
+
+  /// Acquire calls served from the free list instead of allocating.
+  size_t reused_acquires() const;
+
+ private:
+  void Release(AlignedBuffer buffer);
+
+  mutable std::mutex mutex_;
+  std::vector<AlignedBuffer> free_;
+  size_t allocated_ = 0;
+  size_t reused_ = 0;
+};
+
+}  // namespace mmlib::util
