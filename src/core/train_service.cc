@@ -1,5 +1,6 @@
 #include "core/train_service.h"
 
+#include "data/prefetcher.h"
 #include "nn/loss.h"
 #include "util/clock.h"
 #include "util/crash_point.h"
@@ -181,7 +182,10 @@ Status ImageTrainService::WriteCheckpoint(nn::Model* model, const Rng& rng,
   checkpoint.optimizer_state = optimizer_->SerializeState();
   checkpoint.rng = rng.SaveState();
   checkpoint.last_loss = last_loss_;
-  return checkpoints_->Write(checkpoint).status();
+  // The checkpoint struct IS the copy-on-write snapshot: params/state were
+  // serialized into fresh Bytes above, so the async writer owns them
+  // outright while training mutates the live model.
+  return checkpoints_->Write(std::move(checkpoint)).status();
 }
 
 Result<nn::PhaseTimes> ImageTrainService::RunTraining(
@@ -259,13 +263,20 @@ Result<nn::PhaseTimes> ImageTrainService::RunTraining(
 
   auto run_epochs = [&]() -> Status {
     data::DataLoader loader(dataset_, config_.loader);
+    // Background batch preparation: while the step below runs forward/
+    // backward on batch b, the prefetcher's worker fills batch b+1.
+    // Contents depend only on (seed, epoch, index) and hand-off is in
+    // index order, so worker timing cannot perturb results.
+    data::BatchPrefetcher prefetch(&loader);
+    // Step-scoped temporaries reused across the whole run: gradient storage
+    // in `loss`, exp cache from the context's scratch pool.
+    nn::LossResult loss;
     if (checkpointing && resume_from == nullptr) {
       // Step-0 checkpoint: even a crash before the first periodic
       // checkpoint loses no more than the in-flight steps.
       MMLIB_RETURN_IF_ERROR(WriteCheckpoint(model, *ctx.rng(), 0, 0, 0));
     }
     for (int64_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
-      loader.StartEpoch(static_cast<uint64_t>(epoch));
       size_t batches = loader.BatchesPerEpoch();
       if (config_.max_batches_per_epoch >= 0) {
         batches = std::min(
@@ -273,20 +284,21 @@ Result<nn::PhaseTimes> ImageTrainService::RunTraining(
       }
       const size_t first_batch =
           epoch == start_epoch ? static_cast<size_t>(start_batch) : 0;
+      prefetch.StartEpoch(static_cast<uint64_t>(epoch), first_batch, batches);
       for (size_t b = first_batch; b < batches; ++b) {
         // At the top of the step: an armed crash at hit N kills the run
         // with exactly N-1 completed optimizer steps.
         MMLIB_CRASH_POINT("train.step");
         Stopwatch load_timer;
-        MMLIB_ASSIGN_OR_RETURN(data::Batch batch, loader.GetBatch(b));
+        MMLIB_ASSIGN_OR_RETURN(data::Batch batch, prefetch.Next());
         ctx.times()->data_load_seconds += load_timer.ElapsedSeconds();
 
         optimizer_->ZeroGrad();
         Stopwatch forward_timer;
         MMLIB_ASSIGN_OR_RETURN(Tensor logits, model->Forward(batch.images,
                                                              &ctx));
-        MMLIB_ASSIGN_OR_RETURN(nn::LossResult loss,
-                               nn::SoftmaxCrossEntropy(logits, batch.labels));
+        MMLIB_RETURN_IF_ERROR(nn::SoftmaxCrossEntropyInto(
+            logits, batch.labels, ctx.scratch_pool(), &loss));
         ctx.times()->forward_seconds += forward_timer.ElapsedSeconds();
         last_loss_ = loss.loss;
 
@@ -295,7 +307,13 @@ Result<nn::PhaseTimes> ImageTrainService::RunTraining(
             model->Backward(loss.grad_logits, &ctx).status());
         optimizer_->Step();
         ctx.times()->backward_seconds += backward_timer.ElapsedSeconds();
+        prefetch.Recycle(std::move(batch));
         ++step;
+        if (checkpointing && step_compute_seconds_ > 0.0) {
+          // Virtual compute cost of this step; settled against any
+          // overlapping async save at the manager's next settle point.
+          checkpoints_->ChargeCompute(step_compute_seconds_);
+        }
         if (checkpoint_interval > 0 && step % checkpoint_interval == 0) {
           // Checkpoints land at exactly the K-multiples, whether or not
           // the run was resumed mid-stream — so the number and order of
@@ -317,7 +335,17 @@ Result<nn::PhaseTimes> ImageTrainService::RunTraining(
     }
     return Status::OK();
   };
-  MMLIB_RETURN_IF_ERROR(finish_audit(run_epochs()));
+  Status run_status = run_epochs();
+  if (checkpointing) {
+    // The last async save must be durable (and its deferred crash/error
+    // surfaced) before the caller touches storage again — RunTraining's
+    // return is the synchronous point the rest of the pipeline relies on.
+    Status drain_status = checkpoints_->Drain();
+    if (run_status.ok()) {
+      run_status = drain_status;
+    }
+  }
+  MMLIB_RETURN_IF_ERROR(finish_audit(run_status));
   return *ctx.times();
 }
 

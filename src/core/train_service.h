@@ -144,6 +144,14 @@ class ImageTrainService : public TrainService {
     checkpoint_run_id_ = std::move(run_id);
   }
 
+  /// Virtual-clock cost charged per optimizer step through the checkpoint
+  /// manager (simnet flows only; 0 disables). Makes training compute
+  /// visible on the simulated clock so checkpoint stalls, async overlap,
+  /// and retrained steps have measurable cost. Requires set_checkpoints.
+  void set_step_compute_seconds(double seconds) {
+    step_compute_seconds_ = seconds;
+  }
+
   /// Step the most recent Resume() continued from (0 when it fell back to a
   /// full Train); `completed steps before the crash - resumed_from_step()`
   /// is the work the crash destroyed.
@@ -176,6 +184,7 @@ class ImageTrainService : public TrainService {
   util::ThreadPool* pool_ = nullptr;
   CheckpointManager* checkpoints_ = nullptr;
   std::string checkpoint_run_id_;
+  double step_compute_seconds_ = 0.0;
   int64_t resumed_from_step_ = 0;
 };
 

@@ -31,6 +31,12 @@ void DataLoader::StartEpoch(uint64_t epoch) {
 }
 
 Result<Batch> DataLoader::GetBatch(size_t batch_index) const {
+  Batch batch;
+  MMLIB_RETURN_IF_ERROR(FillBatch(batch_index, &batch));
+  return batch;
+}
+
+Status DataLoader::FillBatch(size_t batch_index, Batch* out) const {
   const size_t begin = batch_index * static_cast<size_t>(options_.batch_size);
   if (begin >= order_.size()) {
     return Status::OutOfRange("batch index out of range");
@@ -45,16 +51,18 @@ Result<Batch> DataLoader::GetBatch(size_t batch_index) const {
   Rng aug_rng(options_.seed ^ (epoch_ * 1315423911ULL) ^
               (batch_index * 2654435761ULL));
 
-  Batch batch;
-  batch.images = Tensor(Shape{n, 3, s, s});
-  batch.labels.resize(n);
+  const Shape shape{n, 3, s, s};
+  if (out->images.shape() != shape) {
+    out->images = Tensor(shape);
+  }
+  out->labels.resize(static_cast<size_t>(n));
   for (int64_t k = 0; k < n; ++k) {
     const Image image = dataset_->GetImage(order_[begin + k]);
-    batch.labels[k] = image.label % options_.num_classes;
+    out->labels[k] = image.label % options_.num_classes;
     const bool flip = options_.augment && aug_rng.NextFloat() < 0.5f;
-    preprocessor_.Apply(image, flip, batch.images.data() + k * 3 * s * s);
+    preprocessor_.Apply(image, flip, out->images.data() + k * 3 * s * s);
   }
-  return batch;
+  return Status::OK();
 }
 
 }  // namespace mmlib::data

@@ -51,6 +51,12 @@ class DataLoader {
   /// Loads batch `batch_index` of the current epoch.
   Result<Batch> GetBatch(size_t batch_index) const;
 
+  /// Fills `out` with batch `batch_index` of the current epoch, reusing its
+  /// existing tensor/label storage when the shapes match — the allocation-
+  /// free path the prefetcher cycles recycled batches through. Contents are
+  /// identical to GetBatch(batch_index).
+  Status FillBatch(size_t batch_index, Batch* out) const;
+
  private:
   const Dataset* dataset_;
   DataLoaderOptions options_;

@@ -1,0 +1,91 @@
+#include "data/prefetcher.h"
+
+#include <utility>
+
+namespace mmlib::data {
+
+void BatchPrefetcher::StartEpoch(uint64_t epoch, size_t first_batch,
+                                 size_t batch_count) {
+  worker_.Drain();
+  loader_->StartEpoch(epoch);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Slot& slot : slots_) {
+      if (slot.ready) {
+        // Stale fill from the previous epoch; keep the storage, drop the
+        // contents.
+        spare_.push_back(std::move(slot.batch));
+        slot.ready = false;
+      }
+      slot.status = Status::OK();
+    }
+    next_batch_ = first_batch;
+    end_batch_ = batch_count;
+    next_fill_ = first_batch;
+  }
+  // Prime both buffers; every later fill is scheduled as its slot frees up.
+  for (int i = 0; i < 2 && next_fill_ < end_batch_; ++i) {
+    ScheduleFill(next_fill_ % 2, next_fill_);
+    ++next_fill_;
+  }
+}
+
+void BatchPrefetcher::ScheduleFill(size_t slot_index, size_t batch_index) {
+  worker_.Submit([this, slot_index, batch_index] {
+    Slot& slot = slots_[slot_index];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slot.batch.images.numel() == 0 && !spare_.empty()) {
+        // Adopt recycled storage so the fill reuses its allocation.
+        slot.batch = std::move(spare_.back());
+        spare_.pop_back();
+      }
+    }
+    // FillBatch is const on the loader and the consumer never touches a
+    // non-ready slot, so the fill itself needs no lock.
+    const Status status = loader_->FillBatch(batch_index, &slot.batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot.status = status;
+      slot.ready = true;
+      ++background_fills_;
+    }
+    ready_.notify_all();
+  });
+}
+
+Result<Batch> BatchPrefetcher::Next() {
+  if (next_batch_ >= end_batch_) {
+    return Status::OutOfRange("prefetcher epoch exhausted");
+  }
+  const size_t slot_index = next_batch_ % 2;
+  Slot& slot = slots_[slot_index];
+  Batch batch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&slot] { return slot.ready; });
+    if (!slot.status.ok()) {
+      return slot.status;
+    }
+    batch = std::move(slot.batch);
+    slot.ready = false;
+  }
+  ++next_batch_;
+  if (next_fill_ < end_batch_) {
+    ScheduleFill(next_fill_ % 2, next_fill_);
+    ++next_fill_;
+  }
+  return batch;
+}
+
+void BatchPrefetcher::Recycle(Batch batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spare_.push_back(std::move(batch));
+}
+
+uint64_t BatchPrefetcher::background_fills() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return background_fills_;
+}
+
+}  // namespace mmlib::data

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "util/result.h"
+#include "util/worker_thread.h"
+
+namespace mmlib::data {
+
+/// Double-buffered background batch loader.
+///
+/// Wraps a DataLoader so batch preparation (resize, augmentation,
+/// normalization) overlaps the consumer's forward/backward step: while the
+/// training loop works on batch i, the worker fills batch i+1 into the
+/// other buffer. Determinism is structural, not scheduled — batch contents
+/// depend only on (seed, epoch, index) because DataLoader::FillBatch is
+/// pure given those, and Next() hands batches out strictly in index order,
+/// so worker timing can never change what the consumer sees.
+///
+/// Storage discipline: two slots plus any batches the consumer Recycle()s
+/// circulate forever; after warm-up the steady state is allocation-free
+/// (FillBatch reuses matching storage in place).
+///
+/// The prefetcher owns its worker; destruction (including unwinding through
+/// a simulated crash) finishes the in-flight fill and joins.
+class BatchPrefetcher {
+ public:
+  /// `loader` must outlive the prefetcher.
+  explicit BatchPrefetcher(DataLoader* loader) : loader_(loader) {}
+
+  /// Starts epoch `epoch` on the loader and begins prefetching batches
+  /// [first_batch, batch_count). Waits for any fills of the previous epoch
+  /// first — the loader's shuffle order is about to change under them.
+  void StartEpoch(uint64_t epoch, size_t first_batch, size_t batch_count);
+
+  /// Returns the next batch of the epoch, in index order; blocks until its
+  /// background fill completes. Contents are bit-identical to calling
+  /// loader->GetBatch on the same index.
+  Result<Batch> Next();
+
+  /// Returns a consumed batch's storage to the pool of buffers upcoming
+  /// fills reuse.
+  void Recycle(Batch batch);
+
+  /// Batches filled on the worker thread so far (monotonic).
+  uint64_t background_fills() const;
+
+ private:
+  struct Slot {
+    Batch batch;
+    Status status = Status::OK();
+    bool ready = false;
+  };
+
+  /// Schedules a background fill of batch `batch_index` into slot
+  /// `slot_index`. The slot must not be ready (consumer owns handed-out
+  /// batches, the worker owns unfilled slots).
+  void ScheduleFill(size_t slot_index, size_t batch_index);
+
+  DataLoader* loader_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  Slot slots_[2];
+  std::vector<Batch> spare_;
+  size_t next_batch_ = 0;
+  size_t end_batch_ = 0;
+  size_t next_fill_ = 0;
+  uint64_t background_fills_ = 0;
+  // Declared last: destroyed first, so the worker finishes while the slots
+  // and mutex it touches are still alive.
+  util::WorkerThread worker_;
+};
+
+}  // namespace mmlib::data

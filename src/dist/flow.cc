@@ -297,6 +297,7 @@ Result<FlowResult> EvaluationFlow::Run() {
   if (config_.checkpoint_every_steps > 0) {
     core::CheckpointOptions checkpoint_options;
     checkpoint_options.every_steps = config_.checkpoint_every_steps;
+    checkpoint_options.async_write = config_.async_checkpoints;
     checkpoints = std::make_unique<core::CheckpointManager>(
         backends_, checkpoint_options);
   }
@@ -368,6 +369,8 @@ Result<FlowResult> EvaluationFlow::Run() {
       nodes[n].train = node_train;
       nodes[n].service = std::make_unique<core::ImageTrainService>(
           &u3_dataset, node_train);
+      nodes[n].service->set_step_compute_seconds(
+          config_.step_compute_seconds);
     }
     for (int iter = 1; iter <= config_.u3_iterations; ++iter) {
       for (int n = 0; n < config_.num_nodes; ++n) {
@@ -412,6 +415,13 @@ Result<FlowResult> EvaluationFlow::Run() {
         }
         if (crashed) {
           util::CrashPoint::ResetAfterCrash();
+          if (checkpoints != nullptr) {
+            // The kill raced any background checkpoint save; let it finish
+            // (a kill lands between background I/O operations, and the
+            // serial worker makes "just after the save" the deterministic
+            // interleaving) and drop deferred outcomes — this node is dead.
+            checkpoints->FinishInFlight();
+          }
           FlowResult::NodeCounters& counters = result.node_counters[n];
           ++counters.crashes;
           if (backends_.network != nullptr) {
@@ -434,6 +444,8 @@ Result<FlowResult> EvaluationFlow::Run() {
           node.service = std::make_unique<core::ImageTrainService>(
               &u3_dataset, node.train);
           node.service->set_checkpoints(checkpoints.get(), run_id);
+          node.service->set_step_compute_seconds(
+              config_.step_compute_seconds);
           MMLIB_RETURN_IF_ERROR(node.service->Resume(&node.model).status());
           counters.retrained_steps += static_cast<uint64_t>(
               (event->at_step - 1) - node.service->resumed_from_step());

@@ -1,5 +1,7 @@
 #include "kernels/plan_cache.h"
 
+#include <algorithm>
+
 namespace mmlib::kernels {
 
 PlanCache& PlanCache::Instance() {
@@ -15,11 +17,13 @@ std::shared_ptr<const ConvPlan> PlanCache::GetConvPlan(const ConvGeom& geom) {
   auto it = conv_plans_.find(key);
   if (it != conv_plans_.end()) {
     ++stats_.conv_hits;
-    return it->second;
+    it->second.last_use = ++use_tick_;
+    return it->second.plan;
   }
   ++stats_.conv_misses;
   auto plan = std::make_shared<const ConvPlan>(geom);
-  conv_plans_.emplace(key, plan);
+  conv_plans_.emplace(key, Entry<ConvPlan>{plan, ++use_tick_});
+  EvictLocked();
   return plan;
 }
 
@@ -30,13 +34,60 @@ std::shared_ptr<const LinearPlan> PlanCache::GetLinearPlan(
   auto it = linear_plans_.find(key);
   if (it != linear_plans_.end()) {
     ++stats_.linear_hits;
-    return it->second;
+    it->second.last_use = ++use_tick_;
+    return it->second.plan;
   }
   ++stats_.linear_misses;
   auto plan = std::make_shared<const LinearPlan>(batch, in_features,
                                                  out_features);
-  linear_plans_.emplace(key, plan);
+  linear_plans_.emplace(key, Entry<LinearPlan>{plan, ++use_tick_});
+  EvictLocked();
   return plan;
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  EvictLocked();
+}
+
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void PlanCache::EvictLocked() {
+  // LRU by use tick. Ticks are assigned in lookup order under mu_, so the
+  // eviction victim is a pure function of the Get call sequence — identical
+  // across runs, pool sizes, and platforms.
+  while (conv_plans_.size() + linear_plans_.size() > capacity_) {
+    auto conv_victim = conv_plans_.end();
+    for (auto it = conv_plans_.begin(); it != conv_plans_.end(); ++it) {
+      if (conv_victim == conv_plans_.end() ||
+          it->second.last_use < conv_victim->second.last_use) {
+        conv_victim = it;
+      }
+    }
+    auto linear_victim = linear_plans_.end();
+    for (auto it = linear_plans_.begin(); it != linear_plans_.end(); ++it) {
+      if (linear_victim == linear_plans_.end() ||
+          it->second.last_use < linear_victim->second.last_use) {
+        linear_victim = it;
+      }
+    }
+    const uint64_t conv_tick = conv_victim != conv_plans_.end()
+                                   ? conv_victim->second.last_use
+                                   : UINT64_MAX;
+    const uint64_t linear_tick = linear_victim != linear_plans_.end()
+                                     ? linear_victim->second.last_use
+                                     : UINT64_MAX;
+    if (conv_tick <= linear_tick) {
+      conv_plans_.erase(conv_victim);
+    } else {
+      linear_plans_.erase(linear_victim);
+    }
+    ++stats_.evictions;
+  }
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -50,6 +101,8 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   conv_plans_.clear();
   linear_plans_.clear();
+  capacity_ = kDefaultCapacity;
+  use_tick_ = 0;
   stats_ = Stats{};
 }
 

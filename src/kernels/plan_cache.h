@@ -15,13 +15,26 @@ namespace mmlib::kernels {
 /// once per (shape, batch) combination and then hold the shared_ptr, so
 /// repeated training steps — and distinct layers with the same geometry —
 /// reuse both the plan and its scratch pool. Internally synchronized.
+///
+/// Capacity-bounded: a shape-churning workload (per-tenant geometries,
+/// probing sweeps) would otherwise retain every plan — and its scratch
+/// pool — forever. Eviction is least-recently-used by a monotonic use tick
+/// assigned in lookup order, so which plan is evicted depends only on the
+/// sequence of Get calls, never on wall time or hashing. Evicting a plan a
+/// layer still holds is safe: the shared_ptr keeps it alive; the cache just
+/// forgets it.
 class PlanCache {
  public:
+  /// Default plan capacity. A full model is ~tens of distinct geometries;
+  /// 128 keeps several model configurations warm while bounding churn.
+  static constexpr size_t kDefaultCapacity = 128;
+
   struct Stats {
     uint64_t conv_hits = 0;
     uint64_t conv_misses = 0;
     uint64_t linear_hits = 0;
     uint64_t linear_misses = 0;
+    uint64_t evictions = 0;
     size_t size = 0;
   };
 
@@ -32,12 +45,27 @@ class PlanCache {
                                                   int64_t in_features,
                                                   int64_t out_features);
 
+  /// Caps the number of cached plans (conv + linear combined). Lowering the
+  /// capacity evicts immediately, least-recently-used first.
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
   Stats stats() const;
-  /// Drops all cached plans and zeroes the counters (tests only).
+  /// Drops all cached plans and zeroes the counters, restoring the default
+  /// capacity (tests only).
   void Clear();
 
  private:
   PlanCache() = default;
+
+  template <typename Plan>
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    uint64_t last_use = 0;
+  };
+
+  /// Caller holds mu_. Evicts LRU entries until size fits capacity_.
+  void EvictLocked();
 
   // Full geometry: (batch, in_c, out_c, kernel, stride, padding, groups,
   // height, width). out_h/out_w are derived, so they are not in the key.
@@ -48,8 +76,10 @@ class PlanCache {
   mutable std::mutex mu_;
   // std::map, not unordered_map, so iteration order can never leak into
   // anything hashed (the no-unordered-order-leak lint's concern).
-  std::map<ConvKey, std::shared_ptr<const ConvPlan>> conv_plans_;
-  std::map<LinearKey, std::shared_ptr<const LinearPlan>> linear_plans_;
+  std::map<ConvKey, Entry<ConvPlan>> conv_plans_;
+  std::map<LinearKey, Entry<LinearPlan>> linear_plans_;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t use_tick_ = 0;
   Stats stats_;
 };
 

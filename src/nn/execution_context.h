@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "util/random.h"
+#include "util/scratch_pool.h"
 #include "util/thread_pool.h"
 
 namespace mmlib::nn {
@@ -102,6 +104,17 @@ class ExecutionContext {
   const PhaseTimes& times() const { return times_; }
   void ResetTimes() { times_ = PhaseTimes(); }
 
+  /// Per-context scratch pool for step-scoped float temporaries outside the
+  /// kernel plans (loss scratch, reduction staging). Lazily created and
+  /// shared across copies of the context, so repeated training steps reuse
+  /// the same buffers — the train loop stays malloc-free after warm-up.
+  util::ScratchPool* scratch_pool() {
+    if (scratch_ == nullptr) {
+      scratch_ = std::make_shared<util::ScratchPool>();
+    }
+    return scratch_.get();
+  }
+
  private:
   ExecutionContext(bool deterministic, uint64_t seed, uint64_t scheduler_seed)
       : deterministic_(deterministic),
@@ -117,6 +130,7 @@ class ExecutionContext {
   uint64_t parallel_epoch_ = 0;
   util::ThreadPool* pool_ = nullptr;
   PhaseTimes times_;
+  std::shared_ptr<util::ScratchPool> scratch_;
 };
 
 }  // namespace mmlib::nn

@@ -8,6 +8,15 @@ namespace mmlib::nn {
 
 Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
                                        const std::vector<int64_t>& labels) {
+  LossResult result;
+  MMLIB_RETURN_IF_ERROR(
+      SoftmaxCrossEntropyInto(logits, labels, /*scratch=*/nullptr, &result));
+  return result;
+}
+
+Status SoftmaxCrossEntropyInto(const Tensor& logits,
+                               const std::vector<int64_t>& labels,
+                               util::ScratchPool* scratch, LossResult* out) {
   MMLIB_RETURN_IF_ERROR(
       check::ValidateRank(logits.shape(), 2, "SoftmaxCrossEntropy logits"));
   // A single NaN/Inf logit silently poisons the loss and every parameter on
@@ -20,35 +29,50 @@ Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
     return Status::InvalidArgument("label count does not match batch size");
   }
 
-  LossResult result;
-  result.grad_logits = Tensor(logits.shape());
+  if (out->grad_logits.shape() != logits.shape()) {
+    out->grad_logits = Tensor(logits.shape());
+  }
+  // Per-row exp cache in double precision (exactly the values the naive
+  // version computes twice), leased from the pool so repeated steps never
+  // reallocate it.
+  util::ScratchPool::Lease lease;
+  std::vector<double> local_exps;
+  double* exps = nullptr;
+  if (scratch != nullptr) {
+    lease = scratch->Acquire(static_cast<size_t>(classes) * 2);
+    exps = lease.as_doubles();
+  } else {
+    local_exps.resize(static_cast<size_t>(classes));
+    exps = local_exps.data();
+  }
+
   double total_loss = 0.0;
   for (int64_t n = 0; n < batch; ++n) {
     const int64_t label = labels[n];
     MMLIB_RETURN_IF_ERROR(
         check::ValidateIndex(label, classes, "SoftmaxCrossEntropy label"));
     const float* row = logits.data() + n * classes;
-    float* grad = result.grad_logits.data() + n * classes;
+    float* grad = out->grad_logits.data() + n * classes;
     float max_logit = row[0];
     for (int64_t c = 1; c < classes; ++c) {
       max_logit = std::max(max_logit, row[c]);
     }
     double sum_exp = 0.0;
     for (int64_t c = 0; c < classes; ++c) {
-      sum_exp += std::exp(static_cast<double>(row[c] - max_logit));
+      exps[c] = std::exp(static_cast<double>(row[c] - max_logit));
+      sum_exp += exps[c];
     }
     const double log_sum = std::log(sum_exp);
     total_loss += log_sum - (row[label] - max_logit);
     const float inv_batch = 1.0f / static_cast<float>(batch);
     for (int64_t c = 0; c < classes; ++c) {
-      const double p = std::exp(static_cast<double>(row[c] - max_logit)) /
-                       sum_exp;
+      const double p = exps[c] / sum_exp;
       grad[c] = (static_cast<float>(p) - (c == label ? 1.0f : 0.0f)) *
                 inv_batch;
     }
   }
-  result.loss = static_cast<float>(total_loss / batch);
-  return result;
+  out->loss = static_cast<float>(total_loss / batch);
+  return Status::OK();
 }
 
 Result<float> Accuracy(const Tensor& logits,

@@ -5,6 +5,7 @@
 
 #include "tensor/tensor.h"
 #include "util/result.h"
+#include "util/scratch_pool.h"
 
 namespace mmlib::nn {
 
@@ -19,6 +20,15 @@ struct LossResult {
 /// subtraction, accumulation in fixed order (deterministic).
 Result<LossResult> SoftmaxCrossEntropy(const Tensor& logits,
                                        const std::vector<int64_t>& labels);
+
+/// Allocation-free variant for hot loops: reuses `out`'s gradient storage
+/// when the shape matches, and leases the per-row exponential cache from
+/// `scratch` (falls back to a local allocation when null). Results are
+/// bit-identical to SoftmaxCrossEntropy — the cache holds the exact double
+/// exp values the two-pass version recomputes.
+Status SoftmaxCrossEntropyInto(const Tensor& logits,
+                               const std::vector<int64_t>& labels,
+                               util::ScratchPool* scratch, LossResult* out);
 
 /// Fraction of rows whose argmax equals the label.
 Result<float> Accuracy(const Tensor& logits,

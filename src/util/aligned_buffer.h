@@ -43,6 +43,13 @@ class AlignedBuffer {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Reinterprets the buffer as double storage: size()/2 doubles. Legal
+  /// because the bytes come raw from operator new (64-byte aligned, no
+  /// float objects ever constructed in them); callers must stick to one
+  /// element type for the lifetime of a lease, never mixing float and
+  /// double views of the same bytes.
+  double* as_doubles() { return reinterpret_cast<double*>(data_); }
+
  private:
   void Reset() {
     if (data_ != nullptr) {

@@ -56,6 +56,7 @@ ScratchPool::Lease ScratchPool::Acquire(size_t min_floats) {
     if (best != free_.size()) {
       AlignedBuffer buffer = std::move(free_[best]);
       free_.erase(free_.begin() + static_cast<ptrdiff_t>(best));
+      retained_bytes_ -= buffer.size() * sizeof(float);
       ++reused_;
       return Lease(this, std::move(buffer));
     }
@@ -74,9 +75,39 @@ size_t ScratchPool::reused_acquires() const {
   return reused_;
 }
 
+size_t ScratchPool::trimmed_buffers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trimmed_;
+}
+
+size_t ScratchPool::retained_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_bytes_;
+}
+
 void ScratchPool::Release(AlignedBuffer buffer) {
   std::lock_guard<std::mutex> lock(mutex_);
+  retained_bytes_ += buffer.size() * sizeof(float);
   free_.push_back(std::move(buffer));
+  TrimLocked();
+}
+
+void ScratchPool::TrimLocked() {
+  // Largest-first: for scratch, the common steady state is one working set
+  // of sizes cycling through the pool; an oversized straggler from a
+  // one-off shape is the buffer least likely to be reused and the most
+  // expensive to keep.
+  while (retained_bytes_ > max_retained_bytes_ && !free_.empty()) {
+    size_t largest = 0;
+    for (size_t i = 1; i < free_.size(); ++i) {
+      if (free_[i].size() > free_[largest].size()) {
+        largest = i;
+      }
+    }
+    retained_bytes_ -= free_[largest].size() * sizeof(float);
+    free_.erase(free_.begin() + static_cast<ptrdiff_t>(largest));
+    ++trimmed_;
+  }
 }
 
 }  // namespace mmlib::util

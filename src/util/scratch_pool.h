@@ -33,13 +33,24 @@ class ScratchPool {
 
     float* data() { return buffer_.data(); }
     size_t size() const { return buffer_.size(); }
+    /// Double view of the buffer (size()/2 doubles); see
+    /// AlignedBuffer::as_doubles for the aliasing contract.
+    double* as_doubles() { return buffer_.as_doubles(); }
 
    private:
     ScratchPool* pool_ = nullptr;
     AlignedBuffer buffer_;
   };
 
+  /// Default cap on bytes parked in the free list (64 MiB). Generous for
+  /// kernel-plan scratch (a few tiles per plan) while bounding a
+  /// shape-churning workload that would otherwise retain every size class
+  /// it ever touched.
+  static constexpr size_t kDefaultMaxRetainedBytes = 64u << 20;
+
   ScratchPool() = default;
+  explicit ScratchPool(size_t max_retained_bytes)
+      : max_retained_bytes_(max_retained_bytes) {}
   ScratchPool(const ScratchPool&) = delete;
   ScratchPool& operator=(const ScratchPool&) = delete;
 
@@ -53,13 +64,26 @@ class ScratchPool {
   /// Acquire calls served from the free list instead of allocating.
   size_t reused_acquires() const;
 
+  /// Buffers dropped by the retention cap instead of being parked
+  /// (monotonic).
+  size_t trimmed_buffers() const;
+
+  /// Bytes currently parked in the free list (leased buffers excluded).
+  size_t retained_bytes() const;
+
  private:
   void Release(AlignedBuffer buffer);
+  /// Drops largest-first until retained bytes fit the cap. Caller holds
+  /// mutex_.
+  void TrimLocked();
 
   mutable std::mutex mutex_;
   std::vector<AlignedBuffer> free_;
+  size_t max_retained_bytes_ = kDefaultMaxRetainedBytes;
+  size_t retained_bytes_ = 0;
   size_t allocated_ = 0;
   size_t reused_ = 0;
+  size_t trimmed_ = 0;
 };
 
 }  // namespace mmlib::util

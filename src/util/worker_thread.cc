@@ -1,0 +1,65 @@
+#include "util/worker_thread.h"
+
+#include <utility>
+
+namespace mmlib::util {
+
+WorkerThread::~WorkerThread() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void WorkerThread::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!started_) {
+      thread_ = std::thread([this] { RunLoop(); });
+      started_ = true;
+    }
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void WorkerThread::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+uint64_t WorkerThread::completed() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void WorkerThread::RunLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: finish. Queued tasks always run
+        // before shutdown so a destructor never abandons submitted work.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      busy_ = false;
+      ++completed_;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace mmlib::util

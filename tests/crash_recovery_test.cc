@@ -529,8 +529,9 @@ class TrainCheckpointTest : public ::testing::Test {
     filestore::InMemoryFileStore files;
     core::StorageBackends backends{&docs, &files, nullptr, nullptr};
     core::CheckpointManager manager;
-    explicit CheckpointBacking(int64_t every_steps)
-        : manager(backends, core::CheckpointOptions{every_steps, true}) {}
+    explicit CheckpointBacking(int64_t every_steps, bool async_write = false)
+        : manager(backends,
+                  core::CheckpointOptions{every_steps, true, async_write}) {}
   };
 
   /// Uninterrupted reference run; returns the final model.
@@ -697,6 +698,216 @@ TEST_F(TrainCheckpointTest, CheckpointWriteCrashRollsBackThenResumes) {
 }
 
 // ---------------------------------------------------------------------------
+// Non-blocking (async) checkpoint writes
+// ---------------------------------------------------------------------------
+
+/// MMLIB_ASYNC_CHECKPOINTS overrides CheckpointOptions::async_write at
+/// manager construction; tests that *require* the async path skip when the
+/// environment forces synchronous mode.
+bool AsyncForcedOff() {
+  const char* env = std::getenv("MMLIB_ASYNC_CHECKPOINTS");
+  return env != nullptr && *env == '0';
+}
+
+TEST_F(TrainCheckpointTest, AsyncWriteMatchesSyncRunBitwise) {
+  CheckpointBacking sync_backing(/*every_steps=*/2, /*async_write=*/false);
+  CheckpointBacking async_backing(/*every_steps=*/2, /*async_write=*/true);
+  nn::Model sync_model = RunReference(&sync_backing);
+  const Bytes sync_state = reference_service_->SerializedOptimizerState();
+  nn::Model async_model = RunReference(&async_backing);
+
+  EXPECT_EQ(sync_model.SerializeParams(), async_model.SerializeParams());
+  EXPECT_EQ(sync_state, reference_service_->SerializedOptimizerState());
+  EXPECT_EQ(sync_backing.manager.checkpoints_written(),
+            async_backing.manager.checkpoints_written());
+  // Identical store contents: the background worker replays exactly the
+  // synchronous operation sequence.
+  EXPECT_EQ(sync_backing.files.FileCount(), async_backing.files.FileCount());
+  EXPECT_EQ(sync_backing.docs.DocumentCount(),
+            async_backing.docs.DocumentCount());
+  EXPECT_EQ(sync_backing.files.TotalStoredBytes(),
+            async_backing.files.TotalStoredBytes());
+}
+
+TEST_F(TrainCheckpointTest, AsyncCrashMidSaveResumesBitIdentically) {
+  if (AsyncForcedOff()) {
+    GTEST_SKIP() << "MMLIB_ASYNC_CHECKPOINTS=0 disables the async path";
+  }
+  CheckpointBacking reference_backing(/*every_steps=*/2);
+  nn::Model reference = RunReference(&reference_backing);
+
+  // Kill inside the background save of the step-2 checkpoint (hit 1 is the
+  // step-0 save). The worker catches the kill; it surfaces on the training
+  // thread at the next Write, modeling training dying while its checkpoint
+  // is still in flight.
+  CheckpointBacking crash_backing(/*every_steps=*/2, /*async_write=*/true);
+  nn::Model model = FreshModel();
+  {
+    core::ImageTrainService service(dataset_.get(), config_);
+    service.set_checkpoints(&crash_backing.manager, "run");
+    util::CrashPoint::Arm("checkpoint.write", /*fire_on_hit=*/2);
+    bool crashed = false;
+    try {
+      EXPECT_TRUE(service.Train(&model, true, 0).ok());
+    } catch (const util::CrashException& e) {
+      crashed = true;
+      EXPECT_EQ(e.site(), "checkpoint.write");
+    }
+    ASSERT_TRUE(crashed);
+    util::CrashPoint::ResetAfterCrash();
+  }
+  // The interrupted save never committed: only step 0 is durable.
+  EXPECT_EQ(crash_backing.manager.checkpoints_written(), 1u);
+
+  nn::Model restarted = FreshModel();
+  resumed_service_ =
+      std::make_unique<core::ImageTrainService>(dataset_.get(), config_);
+  resumed_service_->set_checkpoints(&crash_backing.manager, "run");
+  ASSERT_TRUE(resumed_service_->Resume(&restarted).ok());
+  EXPECT_EQ(resumed_service_->resumed_from_step(), 0);
+  EXPECT_EQ(reference.SerializeParams(), restarted.SerializeParams());
+  EXPECT_EQ(reference_service_->SerializedOptimizerState(),
+            resumed_service_->SerializedOptimizerState());
+  // Crash + resume converges on the reference checkpoint count (0, 2, 4).
+  EXPECT_EQ(crash_backing.manager.checkpoints_written(), 3u);
+}
+
+TEST_F(TrainCheckpointTest, AsyncCrashBeforeHandoffResumesBitIdentically) {
+  if (AsyncForcedOff()) {
+    GTEST_SKIP() << "MMLIB_ASYNC_CHECKPOINTS=0 disables the async path";
+  }
+  CheckpointBacking reference_backing(/*every_steps=*/2);
+  nn::Model reference = RunReference(&reference_backing);
+
+  // Kill on the training thread at the step-2 Write, before the snapshot
+  // reaches the worker: the checkpoint is lost entirely.
+  CheckpointBacking crash_backing(/*every_steps=*/2, /*async_write=*/true);
+  nn::Model model = FreshModel();
+  {
+    core::ImageTrainService service(dataset_.get(), config_);
+    service.set_checkpoints(&crash_backing.manager, "run");
+    util::CrashPoint::Arm("checkpoint.enqueue", /*fire_on_hit=*/2);
+    bool crashed = false;
+    try {
+      EXPECT_TRUE(service.Train(&model, true, 0).ok());
+    } catch (const util::CrashException& e) {
+      crashed = true;
+      EXPECT_EQ(e.site(), "checkpoint.enqueue");
+    }
+    ASSERT_TRUE(crashed);
+    util::CrashPoint::ResetAfterCrash();
+  }
+
+  nn::Model restarted = FreshModel();
+  resumed_service_ =
+      std::make_unique<core::ImageTrainService>(dataset_.get(), config_);
+  resumed_service_->set_checkpoints(&crash_backing.manager, "run");
+  ASSERT_TRUE(resumed_service_->Resume(&restarted).ok());
+  EXPECT_EQ(resumed_service_->resumed_from_step(), 0);
+  EXPECT_EQ(reference.SerializeParams(), restarted.SerializeParams());
+}
+
+TEST_F(TrainCheckpointTest, AsyncResumeIsBitIdenticalAcrossPoolSizes) {
+  if (AsyncForcedOff()) {
+    GTEST_SKIP() << "MMLIB_ASYNC_CHECKPOINTS=0 disables the async path";
+  }
+  // Synchronous single-threaded reference vs async crash+resume at pool
+  // sizes 2 and 8: the bit-identity contract holds across both the
+  // checkpoint-write mode and the compute pool size.
+  util::ThreadPool pool1(1);
+  CheckpointBacking reference_backing(/*every_steps=*/2,
+                                      /*async_write=*/false);
+  nn::Model reference = RunReference(&reference_backing, &pool1);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("pool=" + std::to_string(threads));
+    util::ThreadPool pool(threads);
+    CheckpointBacking crash_backing(/*every_steps=*/2, /*async_write=*/true);
+    nn::Model resumed =
+        RunCrashAndResume(&crash_backing, /*at_step=*/3, &pool);
+    EXPECT_EQ(resumed_service_->resumed_from_step(), 2);
+    EXPECT_EQ(reference.SerializeParams(), resumed.SerializeParams());
+    EXPECT_EQ(reference_service_->SerializedOptimizerState(),
+              resumed_service_->SerializedOptimizerState());
+  }
+}
+
+TEST(CheckpointManagerTest, LoadLatestRestoresHighestCommittedStep) {
+  docstore::InMemoryDocumentStore docs;
+  filestore::InMemoryFileStore files;
+  core::StorageBackends backends{&docs, &files, nullptr, nullptr};
+  // Pruning off, so all three checkpoints stay visible to LoadLatest.
+  core::CheckpointManager manager(
+      backends, core::CheckpointOptions{1, /*prune_previous=*/false});
+
+  auto make = [](int64_t step) {
+    core::TrainCheckpoint checkpoint;
+    checkpoint.run_id = "run";
+    checkpoint.step = step;
+    checkpoint.epoch = step / 2;
+    checkpoint.model_params = Bytes(16, static_cast<uint8_t>(step));
+    checkpoint.optimizer_state = Bytes(8, static_cast<uint8_t>(step + 1));
+    return checkpoint;
+  };
+  // Committed out of order: the latest *step* must win, not the latest
+  // insert.
+  for (int64_t step : {0, 4, 2}) {
+    ASSERT_TRUE(manager.Write(make(step)).ok());
+  }
+
+  core::TrainCheckpoint loaded;
+  auto found = manager.LoadLatest("run", &loaded);
+  ASSERT_TRUE(found.ok()) << found.status();
+  ASSERT_TRUE(found.value());
+  EXPECT_EQ(loaded.step, 4);
+  EXPECT_EQ(loaded.model_params, make(4).model_params);
+  EXPECT_EQ(loaded.optimizer_state, make(4).optimizer_state);
+
+  core::TrainCheckpoint missing;
+  auto none = manager.LoadLatest("other-run", &missing);
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_FALSE(none.value());
+}
+
+TEST(CheckpointOverlapTest, AsyncSavesAbsorbComputeIntoSaveWindows) {
+  if (std::getenv("MMLIB_ASYNC_CHECKPOINTS") != nullptr) {
+    GTEST_SKIP() << "env override forces both managers into one mode";
+  }
+  // Identical Write/ChargeCompute sequences against a simulated storage
+  // link: the sync manager pays save + compute, the async manager pays
+  // max(save, compute) per window, and the difference is exactly what it
+  // reports as overlapped.
+  auto run = [](bool async_write, double* clock_out) -> double {
+    docstore::InMemoryDocumentStore docs_raw;
+    filestore::InMemoryFileStore files_raw;
+    simnet::Network network{simnet::Link{300e6, 0.2e-3}};
+    docstore::RemoteDocumentStore docs{&docs_raw, &network};
+    filestore::RemoteFileStore files{&files_raw, &network};
+    core::StorageBackends backends{&docs, &files, &network};
+    core::CheckpointManager manager(
+        backends, core::CheckpointOptions{1, true, async_write});
+    core::TrainCheckpoint checkpoint;
+    checkpoint.run_id = "run";
+    checkpoint.model_params = Bytes(3 << 20, 7);  // ~10 ms on the link
+    for (int64_t step = 0; step < 4; ++step) {
+      checkpoint.step = step;
+      EXPECT_TRUE(manager.Write(checkpoint).ok());
+      manager.ChargeCompute(0.005);  // less than one save: fully absorbed
+    }
+    EXPECT_TRUE(manager.Drain().ok());
+    *clock_out = network.TotalTransferSeconds();
+    return manager.overlapped_seconds();
+  };
+
+  double sync_clock = 0.0, async_clock = 0.0;
+  const double sync_overlap = run(false, &sync_clock);
+  const double async_overlap = run(true, &async_clock);
+  EXPECT_EQ(sync_overlap, 0.0);
+  EXPECT_GT(async_overlap, 0.0);
+  EXPECT_LT(async_clock, sync_clock);
+  EXPECT_NEAR(sync_clock - async_clock, async_overlap, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
 // Node crash/restart in the evaluation flow
 // ---------------------------------------------------------------------------
 
@@ -786,6 +997,49 @@ TEST(FlowCrashTest, CrashScheduleLandsBitIdenticalWithCountedRecovery) {
     ASSERT_TRUE(b.ok()) << b.status();
     EXPECT_EQ(a->model.ParamsHash(), b->model.ParamsHash())
         << clean.records[i].label;
+  }
+}
+
+TEST(FlowCrashTest, RetrainedStepsFollowCheckpointInterval) {
+  // One node, one 8-step update per phase, killed at the top of step 8 of
+  // the first update (7 steps done). The node resumes from the highest
+  // checkpoint step <= 7, so the checkpoint interval K pins exactly how
+  // much work the crash destroys: 7 - K * floor(7 / K).
+  dist::FlowConfig config;
+  config.approach = dist::ApproachKind::kBaseline;
+  config.model = TinyConfig();
+  config.num_nodes = 1;
+  config.u3_iterations = 1;
+  config.dataset_divisor = 4096;
+  config.training_mode = dist::TrainingMode::kReal;
+  config.recover_models = false;
+  config.train = TinyTrainConfig();
+  config.train.epochs = 2;
+  config.train.max_batches_per_epoch = 4;  // 8 optimizer steps per update
+  config.train.sgd.momentum = 0.9f;
+  config.train.sgd.learning_rate = 2e-4f;
+  config.async_checkpoints = true;
+  config.crash_schedule.push_back(
+      dist::NodeCrashEvent{/*phase=*/1, /*iteration=*/1, /*node=*/0,
+                           /*at_step=*/8});
+
+  const struct {
+    int64_t every_steps;
+    uint64_t retrained;
+  } expectations[] = {{1, 0}, {2, 1}, {4, 3}, {8, 7}};
+  for (const auto& expected : expectations) {
+    SCOPED_TRACE("K=" + std::to_string(expected.every_steps));
+    dist::FlowConfig run_config = config;
+    run_config.checkpoint_every_steps = expected.every_steps;
+    docstore::InMemoryDocumentStore docs;
+    filestore::InMemoryFileStore files;
+    simnet::Network network;
+    core::StorageBackends backends{&docs, &files, &network, nullptr};
+    dist::EvaluationFlow flow(run_config, backends);
+    auto result = flow.Run();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->TotalCrashes(), 1u);
+    EXPECT_EQ(result->TotalRetrainedSteps(), expected.retrained);
   }
 }
 

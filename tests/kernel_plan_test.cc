@@ -524,6 +524,62 @@ TEST(PlanCacheTest, LayersReuseThePlanAcrossSteps) {
   EXPECT_EQ(after_more.conv_hits, after_first.conv_hits);
 }
 
+TEST(PlanCacheTest, CapacityBoundEvictsLeastRecentlyUsed) {
+  PlanCache& cache = PlanCache::Instance();
+  cache.Clear();
+  cache.set_capacity(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+
+  // Three linear geometries fill the cache; plans are keyed by shape only,
+  // so re-requesting a key is a hit that refreshes its recency.
+  (void)cache.GetLinearPlan(64, 128, 32);   // A
+  (void)cache.GetLinearPlan(64, 128, 48);   // B
+  (void)cache.GetLinearPlan(64, 128, 64);   // C
+  EXPECT_EQ(cache.stats().size, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch A so B becomes the least recently used, then overflow: B — and
+  // deterministically B, use order being the only input — is evicted.
+  (void)cache.GetLinearPlan(64, 128, 32);   // hit on A
+  std::shared_ptr<const kernels::LinearPlan> d =
+      cache.GetLinearPlan(64, 128, 80);     // D evicts B
+  EXPECT_EQ(cache.stats().size, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  const uint64_t misses_before = cache.stats().linear_misses;
+  (void)cache.GetLinearPlan(64, 128, 32);   // A: still cached
+  (void)cache.GetLinearPlan(64, 128, 80);   // D: still cached
+  EXPECT_EQ(cache.stats().linear_misses, misses_before);
+  (void)cache.GetLinearPlan(64, 128, 48);   // B: must be re-planned
+  EXPECT_EQ(cache.stats().linear_misses, misses_before + 1);
+
+  cache.Clear();
+  EXPECT_EQ(cache.capacity(), PlanCache::kDefaultCapacity);
+}
+
+TEST(PlanCacheTest, EvictionSpansConvAndLinearPlans) {
+  PlanCache& cache = PlanCache::Instance();
+  cache.Clear();
+  cache.set_capacity(2);
+
+  // An evicted plan stays alive for holders: eviction only forgets it.
+  std::shared_ptr<const ConvPlan> held =
+      cache.GetConvPlan(ConvGeom{1, 8, 16, 3, 1, 1, 1, 14, 14, 14, 14});
+  (void)cache.GetLinearPlan(32, 64, 64);
+  (void)cache.GetLinearPlan(32, 64, 96);  // overflow: the conv plan is LRU
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(held.get(), nullptr);
+  EXPECT_NE(held->algo(), ConvAlgo::kDirect);
+
+  // Lowering the capacity evicts immediately.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.stats().size, 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+
+  cache.Clear();
+}
+
 // ---------------------------------------------------------------------------
 // ScratchPool reuse.
 
@@ -548,6 +604,65 @@ TEST(ScratchPoolTest, LeasesAreReused) {
     EXPECT_NE(a.data(), b.data());
   }
   EXPECT_EQ(scratch.allocated_buffers(), 2u);
+}
+
+TEST(ScratchPoolTest, RetentionCapTrimsLargestFirst) {
+  // Cap of three 1024-float quanta: the pool may park 12 KiB.
+  util::ScratchPool scratch(/*max_retained_bytes=*/3 * 1024 * sizeof(float));
+  {
+    util::ScratchPool::Lease small = scratch.Acquire(1024);
+    util::ScratchPool::Lease medium = scratch.Acquire(2048);
+    util::ScratchPool::Lease big = scratch.Acquire(8192);
+    EXPECT_EQ(scratch.allocated_buffers(), 3u);
+  }
+  // The 8192-float buffer blows the cap on release and is dropped; the two
+  // buffers that fit together stay parked.
+  EXPECT_EQ(scratch.trimmed_buffers(), 1u);
+  EXPECT_EQ(scratch.retained_bytes(), (1024 + 2048) * sizeof(float));
+
+  // Largest-first: an oversized straggler is evicted over the smaller
+  // resident working set, even though the residents arrived earlier.
+  { util::ScratchPool::Lease straggler = scratch.Acquire(4096); }
+  EXPECT_EQ(scratch.trimmed_buffers(), 2u);
+  EXPECT_EQ(scratch.retained_bytes(), (1024 + 2048) * sizeof(float));
+  const size_t allocated = scratch.allocated_buffers();
+  { util::ScratchPool::Lease reuse = scratch.Acquire(1024); }
+  EXPECT_EQ(scratch.allocated_buffers(), allocated);  // served from the pool
+  EXPECT_GE(scratch.reused_acquires(), 1u);
+}
+
+TEST(ScratchPoolTest, LeaseMovesAreSafeAndReleaseOnce) {
+  util::ScratchPool scratch;
+  util::ScratchPool::Lease a = scratch.Acquire(100);
+  float* const payload = a.data();
+  ASSERT_NE(payload, nullptr);
+  payload[0] = 3.5f;
+
+  // Self-move-assignment must leave the lease intact (the reference hides
+  // the self-move from compiler diagnostics, not from the operator).
+  util::ScratchPool::Lease& self = a;
+  a = std::move(self);
+  EXPECT_EQ(a.data(), payload);
+  EXPECT_EQ(a.data()[0], 3.5f);
+
+  // Chained moves transfer ownership without touching the pool.
+  util::ScratchPool::Lease b = std::move(a);
+  util::ScratchPool::Lease c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), payload);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(scratch.retained_bytes(), 0u);
+
+  // Move-assigning over an active lease returns the overwritten buffer to
+  // the pool exactly once.
+  util::ScratchPool::Lease d = scratch.Acquire(5000);
+  EXPECT_EQ(scratch.allocated_buffers(), 2u);
+  d = std::move(c);
+  EXPECT_EQ(d.data(), payload);
+  EXPECT_GT(scratch.retained_bytes(), 0u);
+  const size_t parked = scratch.retained_bytes();
+  util::ScratchPool::Lease e = std::move(d);
+  EXPECT_EQ(scratch.retained_bytes(), parked);  // the move released nothing
 }
 
 TEST(ScratchPoolTest, PlansRunningTwiceReuseScratch) {

@@ -437,7 +437,12 @@ def _find_toplevel_colon(toks: List[Token]) -> int:
 # crash matrix must be able to kill inside its dynamic extent.
 _PERSIST_SINKS = frozenset((
     "AtomicWriteFile", "WriteAllocated", "InsertWithId", "AppendOp",
-    "MarkCommitted", "Replay"))
+    "MarkCommitted", "Replay",
+    # Async handoff to the background checkpoint worker: the persistence
+    # happens later on another thread, so the *enqueue* is the last point
+    # the submitting thread can be killed before the save — it needs crash
+    # coverage just like a direct write.
+    "SubmitCheckpointSave"))
 
 
 @dataclass

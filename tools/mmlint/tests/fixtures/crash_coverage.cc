@@ -28,4 +28,13 @@ void AllowedUncovered(const std::string& path, const std::string& bytes) {
   AtomicWriteFile(path, bytes);  // lint:allow(crash-point-coverage)
 }
 
+void CoveredAsyncHandoff(const std::string& path, const std::string& bytes) {
+  MMLIB_CRASH_POINT("fixture.async.enqueue");
+  SubmitCheckpointSave(path, bytes);  // covered: guarded handoff
+}
+
+void UncoveredAsyncHandoff(const std::string& path, const std::string& bytes) {
+  SubmitCheckpointSave(path, bytes);  // finding: unguarded async handoff
+}
+
 }  // namespace mmlib::persist

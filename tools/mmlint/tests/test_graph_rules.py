@@ -43,7 +43,8 @@ class FunctionIndexTest(unittest.TestCase):
         sites = {name for fn in index.functions
                  for name, _ in fn.crash_points}
         self.assertEqual(sites, {"fixture.covered.before_write",
-                                 "fixture.helper"})
+                                 "fixture.helper",
+                                 "fixture.async.enqueue"})
 
     def test_macro_definition_is_not_a_call_site(self):
         ctx = fixture_context("crash_coverage.cc")
@@ -147,17 +148,21 @@ class CrashCoverageTest(unittest.TestCase):
         self.assertEqual(as_triples(findings),
                          golden("crash_coverage.expected.json"))
         by_fn = {s.function: s for s in sites}
-        self.assertEqual(len(sites), 4)
+        self.assertEqual(len(sites), 6)
         self.assertTrue(by_fn["CoveredWrite"].covered)
         self.assertTrue(by_fn["HelperWrite"].covered)
         self.assertFalse(by_fn["UncoveredWrite"].covered)
         self.assertFalse(by_fn["AllowedUncovered"].covered)
+        self.assertTrue(by_fn["CoveredAsyncHandoff"].covered)
+        self.assertFalse(by_fn["UncoveredAsyncHandoff"].covered)
         self.assertEqual(by_fn["CoveredWrite"].crash_sites,
                          ["fixture.covered.before_write"])
+        self.assertEqual(by_fn["CoveredAsyncHandoff"].crash_sites,
+                         ["fixture.async.enqueue"])
 
         summary = callgraph.coverage_summary(sites)
-        self.assertEqual(summary["persistence_call_sites"], 4)
-        self.assertEqual(summary["covered"], 2)
+        self.assertEqual(summary["persistence_call_sites"], 6)
+        self.assertEqual(summary["covered"], 3)
         self.assertEqual(summary["coverage_percent"], 50.0)
 
     def test_coverage_through_helper_call_chain(self):
