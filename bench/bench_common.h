@@ -4,10 +4,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "dist/flow.h"
 #include "docstore/document_store.h"
 #include "filestore/file_store.h"
+#include "json/json.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 
@@ -41,6 +43,18 @@ inline dist::FlowResult RunFlow(dist::FlowConfig config) {
     std::abort();
   }
   return std::move(result).value();
+}
+
+/// Stamps the host environment into a BENCH_*.json metadata block. The
+/// committed reference numbers come from a single-core CI container, where
+/// pool sweeps cannot show real parallel speedups — recording the core
+/// count with every result makes that visible instead of mysterious.
+/// `pool_size` is the thread-pool size the benchmark actually ran with
+/// (0 = serial, no pool).
+inline void SetHostMetadata(json::Value* doc, size_t pool_size) {
+  doc->Set("hardware_concurrency",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
+  doc->Set("thread_pool_size", static_cast<int64_t>(pool_size));
 }
 
 /// Cost model of the paper's storage services (MongoDB on a third machine +

@@ -1,0 +1,246 @@
+/// Ring all-reduce microbenchmark: runs the data-parallel evaluation flow
+/// while sweeping the worker count K, and measures what gradient
+/// synchronization costs on the virtual clock — the all-reduce overhead of
+/// scaling out (K workers split each step's compute but pay 2(K-1) message
+/// rounds per step), what a degraded cohort costs (a straggler window past
+/// the bounded wait plus one permanent worker loss), and what a crash
+/// mid-all-reduce costs to recover from (detection, restart, rejoin sync,
+/// retraining). Verifies the tentpole invariants along the way: every
+/// power-of-two K lands bit-identical to the single-worker run, the crashed
+/// run lands bit-identical to its clean counterpart, and the degraded run
+/// reproduces exactly when re-run. Writes BENCH_allreduce.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/recover.h"
+#include "hash/sha256.h"
+#include "json/json.h"
+
+using namespace mmlib;
+
+namespace {
+
+constexpr int kWorkerSweep[] = {1, 2, 4, 8};
+
+/// Same virtual step cost as micro_recovery: big enough that compute,
+/// collective traffic, and recovery all register on the same clock.
+constexpr double kStepComputeSeconds = 0.25;
+
+dist::FlowConfig AllReduceFlowConfig(int workers) {
+  dist::FlowConfig config;
+  config.approach = dist::ApproachKind::kBaseline;
+  config.model = models::DefaultConfig(models::Architecture::kMobileNetV2);
+  config.model.channel_divisor = 8;
+  config.model.image_size = 28;
+  config.model.num_classes = 10;
+  config.num_nodes = 1;
+  config.u3_iterations = 2;
+  config.dataset_divisor = 4096;
+  config.training_mode = dist::TrainingMode::kReal;
+  config.recover_models = false;
+  config.train.epochs = 1;
+  config.train.max_batches_per_epoch = 3;  // 3 optimizer steps per update
+  config.train.seed = 77;
+  config.train.sgd.momentum = 0.9f;
+  config.train.sgd.learning_rate = 2e-4f;
+  config.train.loader.batch_size = 4;
+  config.train.loader.image_size = 28;
+  config.train.loader.num_classes = 10;
+  config.train.loader.seed = config.train.seed;
+  config.checkpoint_every_steps = 2;
+  config.step_compute_seconds = kStepComputeSeconds;
+  config.data_parallel_workers = workers;
+  return config;
+}
+
+struct RunOutcome {
+  dist::FlowResult result;
+  double virtual_seconds = 0.0;
+  uint64_t messages = 0;
+  std::vector<std::string> param_hashes;  // ParamsHash of every saved model
+};
+
+RunOutcome RunOnce(dist::FlowConfig config,
+                   const simnet::FaultPlan* collective_plan = nullptr) {
+  bench::RemoteBacking backing;
+  if (collective_plan != nullptr) {
+    backing.network.set_collective_fault_plan(*collective_plan);
+  }
+  dist::EvaluationFlow flow(std::move(config), backing.backends);
+  auto result = flow.Run();
+  if (!result.ok()) {
+    std::cerr << "flow failed: " << result.status() << "\n";
+    std::abort();
+  }
+  RunOutcome outcome;
+  outcome.result = std::move(result).value();
+  outcome.virtual_seconds = backing.network.TotalTransferSeconds();
+  for (const collective::RingWorkerCounters& w :
+       outcome.result.collective.workers) {
+    outcome.messages += w.messages;
+  }
+  // Hash the final parameter bytes of every saved model: "bit-identical"
+  // below means these, not just record metadata.
+  core::StorageBackends local{&backing.docs_raw, &backing.files_raw, nullptr};
+  core::ModelRecoverer recoverer(local);
+  for (const dist::UseCaseRecord& record : outcome.result.records) {
+    auto recovered =
+        recoverer.Recover(record.model_id, core::RecoverOptions{});
+    if (!recovered.ok()) {
+      std::cerr << "recover failed: " << recovered.status() << "\n";
+      std::abort();
+    }
+    outcome.param_hashes.push_back(recovered->model.ParamsHash().ToHex());
+  }
+  return outcome;
+}
+
+bool SameModelBytes(const RunOutcome& a, const RunOutcome& b) {
+  return a.param_hashes == b.param_hashes;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "micro_allreduce", "Ring all-reduce scaling, degradation, and recovery",
+      "Data-parallel flow (4 updates x 3 steps, 250 ms virtual compute per\n"
+      "step split across K ring workers) over the simulated storage link.\n"
+      "Sweeps K = 1/2/4/8 (must land bit-identical to K = 1), then prices a\n"
+      "degraded cohort (straggler past the bounded wait + one permanent\n"
+      "worker loss, must reproduce exactly on re-run) and a crash\n"
+      "mid-all-reduce (must land bit-identical to the clean K = 4 run).");
+
+  // --- Scaling sweep -------------------------------------------------------
+  std::vector<RunOutcome> sweep;
+  for (int workers : kWorkerSweep) {
+    sweep.push_back(RunOnce(AllReduceFlowConfig(workers)));
+  }
+  const RunOutcome& reference = sweep.front();
+  const RunOutcome* clean4 = &sweep[2];  // K = 4, reused below
+
+  // --- Degraded cohort: straggler + permanent loss, run twice --------------
+  dist::FlowConfig degraded_config = AllReduceFlowConfig(4);
+  {
+    collective::StragglerWindow straggler;
+    straggler.worker = 2;
+    straggler.slow_factor = 64.0;  // far past the bounded wait: excluded
+    straggler.update = 1;
+    straggler.from_step = 1;
+    straggler.to_step = 2;
+    degraded_config.ring.stragglers.push_back(straggler);
+    collective::WorkerLossEvent loss;
+    loss.worker = 3;
+    loss.update = 3;
+    loss.at_step = 1;
+    degraded_config.ring.losses.push_back(loss);
+  }
+  simnet::FaultPlan collective_plan;
+  collective_plan.drop_probability = 0.02;
+  collective_plan.seed = 0xc011ec71;
+  const RunOutcome degraded = RunOnce(degraded_config, &collective_plan);
+  const RunOutcome degraded_again = RunOnce(degraded_config, &collective_plan);
+  const bool degraded_deterministic =
+      SameModelBytes(degraded, degraded_again) &&
+      degraded.virtual_seconds == degraded_again.virtual_seconds;
+
+  // --- Crash mid-all-reduce: kill worker 1 inside the reduce ---------------
+  dist::FlowConfig crash_config = AllReduceFlowConfig(4);
+  dist::NodeCrashEvent crash;
+  crash.phase = 2;
+  crash.iteration = 1;
+  crash.node = 0;
+  crash.at_step = 2;
+  crash.site = "collective.reduce";
+  crash.worker = 1;
+  crash_config.crash_schedule.push_back(crash);
+  const RunOutcome crashed = RunOnce(crash_config);
+
+  // --- Report --------------------------------------------------------------
+  TablePrinter table({"K", "steps", "messages", "virtual", "vs K=1",
+                      "bit-identical"});
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const RunOutcome& m = sweep[i];
+    table.AddRow({std::to_string(kWorkerSweep[i]),
+                  std::to_string(m.result.collective.steps),
+                  std::to_string(m.messages), bench::Secs(m.virtual_seconds),
+                  bench::Secs(m.virtual_seconds - reference.virtual_seconds),
+                  SameModelBytes(m, reference) ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "degraded K=4: %s (+%.4f s, %llu degraded steps) | crash K=4: %s "
+      "(+%.4f s)\n",
+      degraded_deterministic ? "deterministic" : "NOT DETERMINISTIC",
+      degraded.virtual_seconds - clean4->virtual_seconds,
+      static_cast<unsigned long long>(degraded.result.collective.degraded_steps),
+      SameModelBytes(crashed, *clean4) ? "bit-identical" : "NOT IDENTICAL",
+      crashed.virtual_seconds - clean4->virtual_seconds);
+
+  bool scaling_identical = true;
+  json::Value rows = json::Value::MakeArray();
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const RunOutcome& m = sweep[i];
+    const bool identical = SameModelBytes(m, reference);
+    scaling_identical = scaling_identical && identical;
+    json::Value row = json::Value::MakeObject();
+    row.Set("workers", static_cast<int64_t>(kWorkerSweep[i]));
+    row.Set("collective_steps",
+            static_cast<int64_t>(m.result.collective.steps));
+    row.Set("messages", static_cast<int64_t>(m.messages));
+    row.Set("virtual_seconds", m.virtual_seconds);
+    row.Set("scaling_delta_seconds",
+            m.virtual_seconds - reference.virtual_seconds);
+    row.Set("bit_identical", identical);
+    rows.Append(std::move(row));
+  }
+
+  json::Value degraded_doc = json::Value::MakeObject();
+  degraded_doc.Set("virtual_seconds", degraded.virtual_seconds);
+  degraded_doc.Set("degraded_cost_seconds",
+                   degraded.virtual_seconds - clean4->virtual_seconds);
+  degraded_doc.Set(
+      "degraded_steps",
+      static_cast<int64_t>(degraded.result.collective.degraded_steps));
+  degraded_doc.Set("collective_retries",
+                   static_cast<int64_t>(degraded.result.collective.retries));
+  degraded_doc.Set("deterministic", degraded_deterministic);
+
+  json::Value crash_doc = json::Value::MakeObject();
+  crash_doc.Set("site", std::string(crash.site));
+  crash_doc.Set("virtual_seconds", crashed.virtual_seconds);
+  crash_doc.Set("recovery_cost_seconds",
+                crashed.virtual_seconds - clean4->virtual_seconds);
+  crash_doc.Set(
+      "rejoin_syncs",
+      static_cast<int64_t>(
+          crashed.result.collective.workers[crash.worker].rejoin_syncs));
+  crash_doc.Set("bit_identical", SameModelBytes(crashed, *clean4));
+
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("bench", "micro_allreduce");
+  bench::SetHostMetadata(&doc, /*pool_size=*/0);
+  doc.Set("step_compute_seconds", kStepComputeSeconds);
+  doc.Set("steps_per_update", static_cast<int64_t>(3));
+  doc.Set("all_bit_identical",
+          scaling_identical && SameModelBytes(crashed, *clean4));
+  doc.Set("results", std::move(rows));
+  doc.Set("degraded_cohort", std::move(degraded_doc));
+  doc.Set("crash_recovery", std::move(crash_doc));
+  const std::string json_text = doc.DumpPretty();
+  std::FILE* out = std::fopen("BENCH_allreduce.json", "w");
+  if (out != nullptr) {
+    std::fwrite(json_text.data(), 1, json_text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_allreduce.json\n");
+  }
+
+  const bool ok = scaling_identical && SameModelBytes(crashed, *clean4) &&
+                  degraded_deterministic;
+  std::printf("scaling/crash bit-identical and degraded deterministic: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -305,6 +305,8 @@ int main(int argc, char** argv) {
   if (!g_smoke) {
     json::Value doc = json::Value::MakeObject();
     doc.Set("bench", "micro_parallel");
+    // Largest pool in the sweep; per-row thread counts live in `sections`.
+    bench::SetHostMetadata(&doc, hardware_threads);
     doc.Set("hardware_threads", static_cast<int64_t>(hardware_threads));
     doc.Set("all_bit_identical", all_identical);
     doc.Set("sections", std::move(section_array));

@@ -212,6 +212,7 @@ int main() {
   }
   json::Value doc = json::Value::MakeObject();
   doc.Set("bench", "micro_recovery");
+  bench::SetHostMetadata(&doc, /*pool_size=*/0);
   doc.Set("scheduled_crashes",
           static_cast<int64_t>(CrashSchedule().size()));
   doc.Set("steps_per_update", static_cast<int64_t>(8));

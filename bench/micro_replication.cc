@@ -223,6 +223,7 @@ int main() {
   }
   json::Value doc = json::Value::MakeObject();
   doc.Set("bench", "micro_replication");
+  bench::SetHostMetadata(&doc, /*pool_size=*/0);
   doc.Set("logical_content_identical", logical_identical);
   doc.Set("results", std::move(rows));
   const std::string json_text = doc.DumpPretty();

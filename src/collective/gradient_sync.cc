@@ -1,0 +1,19 @@
+#include "collective/gradient_sync.h"
+
+namespace mmlib::collective {
+
+Status GradientSynchronizer::Sync(nn::Model* model, int64_t step) {
+  if (session_ == nullptr) {
+    return Status::FailedPrecondition("gradient sync without a ring session");
+  }
+  model->FlattenTrainableGrads(&flat_);
+  // Every worker holds the same replica gradient; the reduction reads each
+  // cohort member's input through its own pointer, so sharded per-worker
+  // buffers would drop in here without touching the session.
+  const std::vector<const std::vector<float>*> inputs(
+      session_->worker_count(), &flat_);
+  MMLIB_RETURN_IF_ERROR(session_->AllReduce(step, inputs, &flat_));
+  return model->LoadTrainableGrads(flat_);
+}
+
+}  // namespace mmlib::collective

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collective/ring.h"
+#include "nn/model.h"
+#include "util/status.h"
+
+namespace mmlib::collective {
+
+/// Bridges a training step to the ring: flattens the model's trainable
+/// gradients, runs the session's AllReduce over them, and writes the
+/// reduced mean back into the model before the optimizer steps.
+///
+/// Data-parallel workers in this simulation are bit-identical replicas —
+/// each computes the full-batch gradient while the virtual clock charges it
+/// only its 1/K batch shard — so every ring worker contributes the same
+/// gradient buffer. The synchronizer therefore passes K pointers to one
+/// flattened buffer; the session's balanced-tree mean reproduces that
+/// gradient bit for bit when the full cohort commits, and deterministically
+/// rescales it when the cohort is degraded.
+class GradientSynchronizer {
+ public:
+  explicit GradientSynchronizer(RingSession* session) : session_(session) {}
+
+  /// One synchronization barrier: all-reduces the model's trainable
+  /// gradients across the session's cohort for `step` (1-based within the
+  /// session's current update). Leaves the model untouched on error.
+  /// CrashException from an armed collective crash site unwinds through
+  /// here like a process kill would.
+  Status Sync(nn::Model* model, int64_t step);
+
+  RingSession* session() const { return session_; }
+
+ private:
+  RingSession* session_;
+  std::vector<float> flat_;  // reused across steps
+};
+
+}  // namespace mmlib::collective

@@ -305,6 +305,12 @@ Result<nn::PhaseTimes> ImageTrainService::RunTraining(
         Stopwatch backward_timer;
         MMLIB_RETURN_IF_ERROR(
             model->Backward(loss.grad_logits, &ctx).status());
+        if (step_sync_hook_) {
+          // Gradients are final, the optimizer has not applied them: the
+          // data-parallel barrier reduces here so every worker steps on the
+          // same mean gradient.
+          MMLIB_RETURN_IF_ERROR(step_sync_hook_(model, step + 1));
+        }
         optimizer_->Step();
         ctx.times()->backward_seconds += backward_timer.ElapsedSeconds();
         prefetch.Recycle(std::move(batch));

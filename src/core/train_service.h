@@ -152,6 +152,17 @@ class ImageTrainService : public TrainService {
     step_compute_seconds_ = seconds;
   }
 
+  /// Synchronization barrier of a data-parallel step: called between
+  /// Backward and the optimizer step with the 1-based index of the step
+  /// about to be applied. The hook may rewrite the model's gradients (ring
+  /// all-reduce); a non-OK status aborts the run, and a CrashException
+  /// thrown inside the hook unwinds like any armed crash point. Pass an
+  /// empty function to detach.
+  using StepSyncHook = std::function<Status(nn::Model*, int64_t step)>;
+  void set_step_sync_hook(StepSyncHook hook) {
+    step_sync_hook_ = std::move(hook);
+  }
+
   /// Step the most recent Resume() continued from (0 when it fell back to a
   /// full Train); `completed steps before the crash - resumed_from_step()`
   /// is the work the crash destroyed.
@@ -185,6 +196,7 @@ class ImageTrainService : public TrainService {
   CheckpointManager* checkpoints_ = nullptr;
   std::string checkpoint_run_id_;
   double step_compute_seconds_ = 0.0;
+  StepSyncHook step_sync_hook_;
   int64_t resumed_from_step_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "collective/gradient_sync.h"
 #include "core/adaptive.h"
 #include "core/baseline.h"
 #include "core/model_code.h"
@@ -241,6 +242,31 @@ Result<FlowResult> EvaluationFlow::Run() {
           event.iteration > config_.u3_iterations || event.at_step < 1) {
         return Status::InvalidArgument("crash event out of range");
       }
+      if (event.site != "train.step") {
+        if (event.site != "collective.send" &&
+            event.site != "collective.reduce" &&
+            event.site != "collective.commit") {
+          return Status::InvalidArgument("unknown crash site " + event.site);
+        }
+        if (config_.data_parallel_workers < 1) {
+          return Status::InvalidArgument(
+              "collective crash sites require data_parallel_workers >= 1");
+        }
+        if (event.worker < 0 ||
+            event.worker >= config_.data_parallel_workers) {
+          return Status::InvalidArgument("crash event worker out of range");
+        }
+      }
+    }
+  }
+  if (config_.data_parallel_workers > 0) {
+    if (config_.training_mode != TrainingMode::kReal) {
+      return Status::InvalidArgument(
+          "data_parallel_workers requires TrainingMode::kReal");
+    }
+    if (backends_.network == nullptr) {
+      return Status::InvalidArgument(
+          "data_parallel_workers requires a simnet network");
     }
   }
 
@@ -292,6 +318,25 @@ Result<FlowResult> EvaluationFlow::Run() {
     scrubber = std::make_unique<repl::Scrubber>(
         replicated_files, replicated_docs, backends_.network);
   }
+  // Data-parallel ring: one session spans the whole run, so worker
+  // membership (losses are permanent) and robustness counters accumulate
+  // across updates. Updates are numbered in execution order; a crash
+  // recovery re-enters the interrupted update under the same number, so
+  // membership keyed on (update, step) replays identically.
+  std::unique_ptr<collective::RingSession> ring_session;
+  std::unique_ptr<collective::GradientSynchronizer> gradient_sync;
+  if (config_.data_parallel_workers > 0) {
+    collective::RingOptions ring_options = config_.ring;
+    if (ring_options.step_compute_seconds == 0.0) {
+      ring_options.step_compute_seconds = config_.step_compute_seconds;
+    }
+    ring_session = std::make_unique<collective::RingSession>(
+        static_cast<size_t>(config_.data_parallel_workers), ring_options,
+        backends_.network);
+    gradient_sync =
+        std::make_unique<collective::GradientSynchronizer>(ring_session.get());
+  }
+  int64_t next_update = 0;
   int completed_u3_iterations = 0;
   std::unique_ptr<core::CheckpointManager> checkpoints;
   if (config_.checkpoint_every_steps > 0) {
@@ -358,6 +403,21 @@ Result<FlowResult> EvaluationFlow::Run() {
     nodes[n].base_id = u1_save.model_id;
   }
 
+  // Shared setup of a freshly built node service (phase start and
+  // post-crash rebuild). In data-parallel mode the ring session charges
+  // each step's compute share itself (slowest cohort member), so the
+  // service-side per-step charge is zeroed to avoid double billing.
+  auto configure_node_service = [&](core::ImageTrainService* node_service) {
+    node_service->set_step_compute_seconds(
+        gradient_sync != nullptr ? 0.0 : config_.step_compute_seconds);
+    if (gradient_sync != nullptr) {
+      node_service->set_step_sync_hook(
+          [sync = gradient_sync.get()](nn::Model* model, int64_t step) {
+            return sync->Sync(model, step);
+          });
+    }
+  };
+
   auto run_phase = [&](int phase) -> Status {
     for (int n = 0; n < config_.num_nodes; ++n) {
       // Fresh train service per node and phase: the deployed model is new,
@@ -369,8 +429,7 @@ Result<FlowResult> EvaluationFlow::Run() {
       nodes[n].train = node_train;
       nodes[n].service = std::make_unique<core::ImageTrainService>(
           &u3_dataset, node_train);
-      nodes[n].service->set_step_compute_seconds(
-          config_.step_compute_seconds);
+      configure_node_service(nodes[n].service.get());
     }
     for (int iter = 1; iter <= config_.u3_iterations; ++iter) {
       for (int n = 0; n < config_.num_nodes; ++n) {
@@ -393,13 +452,28 @@ Result<FlowResult> EvaluationFlow::Run() {
         core::ProvenanceData provenance;
         const uint64_t update_seed =
             0xdead0000ULL + phase * 1000003ULL + iter * 7919ULL + n;
+        // Update numbering is the serial execution order, so it is
+        // identical across runs and worker counts; a crash recovery below
+        // re-enters this same index.
+        const int64_t update_index = ++next_update;
+        if (ring_session != nullptr) {
+          ring_session->BeginUpdate(update_index);
+        }
+        const bool collective_crash =
+            event != nullptr && event->site != "train.step";
         bool crashed = false;
         if (event == nullptr) {
           MMLIB_RETURN_IF_ERROR(UpdateModel(&node.model, node.service.get(),
                                             update_seed, &provenance));
         } else {
-          util::CrashPoint::Arm("train.step",
-                                static_cast<uint64_t>(event->at_step));
+          if (collective_crash) {
+            ring_session->ArmWorkerCrash(event->site, update_index,
+                                         event->at_step,
+                                         static_cast<size_t>(event->worker));
+          } else {
+            util::CrashPoint::Arm(event->site,
+                                  static_cast<uint64_t>(event->at_step));
+          }
           try {
             MMLIB_RETURN_IF_ERROR(UpdateModel(&node.model,
                                               node.service.get(),
@@ -425,8 +499,18 @@ Result<FlowResult> EvaluationFlow::Run() {
           FlowResult::NodeCounters& counters = result.node_counters[n];
           ++counters.crashes;
           if (backends_.network != nullptr) {
-            MMLIB_RETURN_IF_ERROR(backends_.network->CrashNode(n));
-            MMLIB_RETURN_IF_ERROR(backends_.network->RestartNode(n));
+            if (collective_crash) {
+              // A mid-all-reduce kill takes down one ring worker, not the
+              // node's storage identity: charge the worker's crash/restart
+              // lifecycle on the collective side of the network.
+              MMLIB_RETURN_IF_ERROR(backends_.network->CrashWorker(
+                  static_cast<size_t>(event->worker)));
+              MMLIB_RETURN_IF_ERROR(backends_.network->RestartWorker(
+                  static_cast<size_t>(event->worker)));
+            } else {
+              MMLIB_RETURN_IF_ERROR(backends_.network->CrashNode(n));
+              MMLIB_RETURN_IF_ERROR(backends_.network->RestartNode(n));
+            }
           }
           ++counters.restarts;
           // The restarted node lost all in-memory state: recover the last
@@ -444,8 +528,19 @@ Result<FlowResult> EvaluationFlow::Run() {
           node.service = std::make_unique<core::ImageTrainService>(
               &u3_dataset, node.train);
           node.service->set_checkpoints(checkpoints.get(), run_id);
-          node.service->set_step_compute_seconds(
-              config_.step_compute_seconds);
+          configure_node_service(node.service.get());
+          if (ring_session != nullptr) {
+            // Re-enter the interrupted update: membership keyed on
+            // (update, step) replays identically, and the restarted worker
+            // pulls a parameter snapshot before rejoining the ring at the
+            // step barrier.
+            ring_session->BeginUpdate(update_index);
+            if (collective_crash) {
+              MMLIB_RETURN_IF_ERROR(ring_session->RejoinWorker(
+                  static_cast<size_t>(event->worker),
+                  static_cast<uint64_t>(node.model.ParamByteSize())));
+            }
+          }
           MMLIB_RETURN_IF_ERROR(node.service->Resume(&node.model).status());
           counters.retrained_steps += static_cast<uint64_t>(
               (event->at_step - 1) - node.service->resumed_from_step());
@@ -564,6 +659,9 @@ Result<FlowResult> EvaluationFlow::Run() {
   }
   if (backends_.network != nullptr) {
     result.op_faults = backends_.network->PerOpFaultCounters();
+  }
+  if (ring_session != nullptr) {
+    result.collective = ring_session->report();
   }
 
   return result;

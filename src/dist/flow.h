@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "collective/ring.h"
 #include "compress/codec.h"
 #include "core/recover.h"
 #include "core/save_service.h"
@@ -59,6 +60,19 @@ struct NodeCrashEvent {
   int iteration = 1;
   int node = 0;
   int64_t at_step = 1;
+  /// Crash site. "train.step" (the default) kills the node's training loop
+  /// at the top of step `at_step`. The collective sites "collective.send",
+  /// "collective.reduce", and "collective.commit" instead kill ring worker
+  /// `worker` at its first participation in that site during the step's
+  /// all-reduce — mid-collective. The flow then restarts the worker,
+  /// re-syncs it into the ring (RingSession::RejoinWorker), and Resume()s
+  /// the update from its latest checkpoint; the flow result is
+  /// bit-identical to the crash-free run. Collective sites require
+  /// FlowConfig::data_parallel_workers >= 1.
+  std::string site = "train.step";
+  /// Ring worker killed by a collective-site event; ignored for
+  /// "train.step".
+  int worker = 0;
 };
 
 /// Configuration of one evaluation flow (paper Sections 4.1 and 4.6).
@@ -122,6 +136,22 @@ struct FlowConfig {
   /// update has no steps to crash in) and checkpoint_every_steps >= 1.
   std::vector<NodeCrashEvent> crash_schedule;
 
+  /// Data-parallel training (src/collective): 0 disables. When >= 1, every
+  /// node-local (U3) update runs as a synchronous data-parallel job over
+  /// this many ring workers: each worker is charged 1/K of the batch on the
+  /// virtual clock and the gradients are synchronized with a deterministic
+  /// ring all-reduce before every optimizer step. For power-of-two worker
+  /// counts the flow's saved models are bit-identical to the single-worker
+  /// run (balanced-tree mean, see collective::RingSession); degraded
+  /// cohorts are deterministic per seed. Requires TrainingMode::kReal and a
+  /// simnet network on the backends.
+  int data_parallel_workers = 0;
+  /// Ring tuning and fault schedule (stragglers, permanent losses, worker
+  /// partitions) of the data-parallel job. step_compute_seconds == 0
+  /// inherits the flow's step_compute_seconds; the collective channel's
+  /// fault plan lives on the Network (set_collective_fault_plan).
+  collective::RingOptions ring;
+
   /// Run one anti-entropy pass (repl::Scrubber::ScrubOnce) after every this
   /// many U3 iterations, and once more before U4 recovery (0 disables).
   /// Only effective when the flow's backends are replicated stores; replica
@@ -177,6 +207,12 @@ struct FlowResult {
   /// Reads/writes abandoned on the fail-fast retry deadline (replicated
   /// backends only).
   uint64_t deadline_exhausted = 0;
+
+  /// Ring all-reduce accounting when data_parallel_workers >= 1 (all-zero
+  /// otherwise): committed/degraded/stalled steps, collective retries, and
+  /// per-worker message/exclusion/rejoin counters, summed over every
+  /// data-parallel update of the run.
+  collective::SessionReport collective;
 
   uint64_t TotalCrashes() const;
   uint64_t TotalRestarts() const;

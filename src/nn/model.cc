@@ -119,6 +119,44 @@ int64_t Model::TotalParamCount() const {
   return count;
 }
 
+void Model::FlattenTrainableGrads(std::vector<float>* out) const {
+  out->resize(static_cast<size_t>(TrainableParamCount()));
+  size_t offset = 0;
+  for (const Node& node : nodes_) {
+    for (const Param& param : node.layer->params()) {
+      if (!param.trainable || param.is_buffer) {
+        continue;
+      }
+      const size_t count = static_cast<size_t>(param.grad.numel());
+      std::copy(param.grad.data(), param.grad.data() + count,
+                out->data() + offset);
+      offset += count;
+    }
+  }
+}
+
+Status Model::LoadTrainableGrads(const std::vector<float>& flat) {
+  if (flat.size() != static_cast<size_t>(TrainableParamCount())) {
+    return Status::InvalidArgument(
+        "gradient vector has " + std::to_string(flat.size()) +
+        " elements; the model's trainable set has " +
+        std::to_string(TrainableParamCount()));
+  }
+  size_t offset = 0;
+  for (Node& node : nodes_) {
+    for (Param& param : node.layer->params()) {
+      if (!param.trainable || param.is_buffer) {
+        continue;
+      }
+      const size_t count = static_cast<size_t>(param.grad.numel());
+      std::copy(flat.data() + offset, flat.data() + offset + count,
+                param.grad.data());
+      offset += count;
+    }
+  }
+  return Status::OK();
+}
+
 size_t Model::ParamByteSize() const {
   return static_cast<size_t>(TotalParamCount()) * sizeof(float);
 }

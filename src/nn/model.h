@@ -108,6 +108,16 @@ class Model {
   /// match.
   Status LoadParams(const Bytes& data);
 
+  /// Writes the gradients of every trainable parameter into `out`
+  /// (resized), concatenated in layer/parameter order — the fixed
+  /// traversal the data-parallel all-reduce reduces over. Buffers and
+  /// frozen parameters are skipped; they are never synchronized.
+  void FlattenTrainableGrads(std::vector<float>* out) const;
+  /// Writes `flat` (produced by FlattenTrainableGrads, possibly reduced)
+  /// back into the trainable parameters' gradients. InvalidArgument when
+  /// the element count does not match the current trainable set.
+  Status LoadTrainableGrads(const std::vector<float>& flat);
+
   /// Serializes only the given layers (by node index), with names — the
   /// PUA's "parameter update" payload.
   Bytes SerializeLayerSubset(const std::vector<size_t>& layer_indices) const;

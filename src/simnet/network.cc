@@ -31,7 +31,7 @@ void Network::CountFault(FaultCounters* replica_faults,
 
 TransferAttempt Network::AttemptWithPlan(const FaultPlan& plan, Rng* rng,
                                          uint64_t bytes,
-                                         ReplicaState* replica) {
+                                         FaultCounters* node_faults) {
   TransferAttempt attempt;
   if (!plan.active()) {
     attempt.seconds = Transfer(bytes);
@@ -41,16 +41,15 @@ TransferAttempt Network::AttemptWithPlan(const FaultPlan& plan, Rng* rng,
   // One uniform draw per message keeps the fault stream's consumption a pure
   // function of the message sequence, whatever the outcome.
   const double u = rng->NextDouble();
-  FaultCounters* replica_faults = replica ? &replica->faults : nullptr;
   if (u < plan.drop_probability) {
-    CountFault(replica_faults, &FaultCounters::drops);
+    CountFault(node_faults, &FaultCounters::drops);
     attempt.seconds = link_.latency_seconds;
     clock_.AdvanceSeconds(attempt.seconds);
     attempt.status = Status::Unavailable("message dropped in flight");
     return attempt;
   }
   if (u < plan.drop_probability + plan.timeout_probability) {
-    CountFault(replica_faults, &FaultCounters::timeouts);
+    CountFault(node_faults, &FaultCounters::timeouts);
     attempt.seconds = plan.timeout_seconds;
     clock_.AdvanceSeconds(attempt.seconds);
     attempt.status = Status::DeadlineExceeded("message timed out");
@@ -61,7 +60,7 @@ TransferAttempt Network::AttemptWithPlan(const FaultPlan& plan, Rng* rng,
   total_bytes_ += bytes;
   if (u < plan.drop_probability + plan.timeout_probability +
               plan.corrupt_probability) {
-    CountFault(replica_faults, &FaultCounters::corruptions);
+    CountFault(node_faults, &FaultCounters::corruptions);
     attempt.corrupted = true;
   }
   return attempt;
@@ -91,6 +90,12 @@ void Network::ResetFaultCounters() {
     replica.rejects = 0;
     replica.crashes = 0;
     replica.restarts = 0;
+  }
+  for (WorkerState& worker : workers_) {
+    worker.faults = FaultCounters{};
+    worker.rejects = 0;
+    worker.crashes = 0;
+    worker.restarts = 0;
   }
 }
 
@@ -321,9 +326,9 @@ TransferAttempt Network::TryTransferToReplica(size_t replica, uint64_t bytes) {
   }
   ReplicaState& state = replicas_[replica];
   if (state.has_plan) {
-    return AttemptWithPlan(state.plan, &state.rng, bytes, &state);
+    return AttemptWithPlan(state.plan, &state.rng, bytes, &state.faults);
   }
-  return AttemptWithPlan(fault_plan_, &fault_rng_, bytes, &state);
+  return AttemptWithPlan(fault_plan_, &fault_rng_, bytes, &state.faults);
 }
 
 TransferAttempt Network::TryTransferBetweenReplicas(size_t from, size_t to,
@@ -346,6 +351,146 @@ TransferAttempt Network::TryTransferBetweenReplicas(size_t from, size_t to,
   TransferAttempt attempt;
   attempt.seconds = Transfer(bytes);
   return attempt;
+}
+
+void Network::ConfigureWorkers(size_t count) {
+  workers_.clear();
+  workers_.resize(count);
+}
+
+void Network::set_collective_fault_plan(const FaultPlan& plan) {
+  collective_fault_plan_ = plan;
+  collective_fault_rng_ = Rng(plan.seed);
+}
+
+Status Network::CrashWorker(size_t worker) {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                   " is not configured");
+  }
+  if (!workers_[worker].up) {
+    return Status::FailedPrecondition("worker " + std::to_string(worker) +
+                                      " is already down");
+  }
+  workers_[worker].up = false;
+  ++workers_[worker].crashes;
+  ++crash_count_;
+  clock_.AdvanceSeconds(node_costs_.crash_detect_seconds);
+  return Status::OK();
+}
+
+Status Network::RestartWorker(size_t worker) {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                   " is not configured");
+  }
+  if (workers_[worker].up) {
+    return Status::FailedPrecondition("worker " + std::to_string(worker) +
+                                      " is already up");
+  }
+  workers_[worker].up = true;
+  ++workers_[worker].restarts;
+  ++restart_count_;
+  clock_.AdvanceSeconds(node_costs_.restart_seconds);
+  return Status::OK();
+}
+
+Status Network::PartitionWorkers(
+    const std::vector<std::vector<size_t>>& groups) {
+  std::vector<int> assignment(workers_.size(), 0);
+  std::vector<bool> seen(workers_.size(), false);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t worker : groups[g]) {
+      if (worker >= workers_.size()) {
+        return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                       " is not configured");
+      }
+      if (seen[worker]) {
+        return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                       " listed in more than one group");
+      }
+      seen[worker] = true;
+      assignment[worker] = static_cast<int>(g) + 1;
+    }
+  }
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].group = assignment[w];
+  }
+  ++partition_count_;
+  return Status::OK();
+}
+
+void Network::HealWorkers() {
+  for (WorkerState& worker : workers_) {
+    worker.group = 0;
+  }
+  ++heal_count_;
+}
+
+TransferAttempt Network::TryTransferBetweenWorkers(size_t from, size_t to,
+                                                   uint64_t bytes) {
+  if (!WorkerPairReachable(from, to)) {
+    // Same accounting as a down participant node: one latency charge, no
+    // fault draw, so crash/partition windows never shift later collective
+    // fault decisions on the surviving workers.
+    TransferAttempt attempt;
+    ++message_count_;
+    ++worker_reject_count_;
+    if (to < workers_.size()) {
+      ++workers_[to].rejects;
+    }
+    attempt.seconds = link_.latency_seconds;
+    clock_.AdvanceSeconds(attempt.seconds);
+    attempt.status = Status::Unavailable(
+        "workers " + std::to_string(from) + " and " + std::to_string(to) +
+        " cannot reach each other");
+    return attempt;
+  }
+  TransferAttempt attempt =
+      AttemptWithPlan(collective_fault_plan_, &collective_fault_rng_, bytes,
+                      &workers_[to].faults);
+  if (attempt.corrupted) {
+    // Link-level retransmission: the damaged frame is detected and resent,
+    // so the payload the receiver reduces is always intact — arithmetic is
+    // never perturbed by the fault plan. The resend costs one more full
+    // transfer (no fault draw: retransmissions ride the reliable path).
+    attempt.corrupted = false;
+    attempt.seconds += Transfer(bytes);
+    ++worker_retransmit_count_;
+  }
+  return attempt;
+}
+
+Result<FaultCounters> Network::WorkerFaultCounters(size_t worker) const {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                   " is not configured");
+  }
+  return workers_[worker].faults;
+}
+
+Result<uint64_t> Network::WorkerRejectCount(size_t worker) const {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                   " is not configured");
+  }
+  return workers_[worker].rejects;
+}
+
+Result<uint64_t> Network::WorkerCrashCount(size_t worker) const {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                   " is not configured");
+  }
+  return workers_[worker].crashes;
+}
+
+Result<uint64_t> Network::WorkerRestartCount(size_t worker) const {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("worker " + std::to_string(worker) +
+                                   " is not configured");
+  }
+  return workers_[worker].restarts;
 }
 
 Result<FaultCounters> Network::ReplicaFaultCounters(size_t replica) const {
@@ -395,6 +540,8 @@ void Network::Reset() {
   }
   replicas_ = std::move(fresh);
   replica_events_.clear();
+  collective_fault_rng_ = Rng(collective_fault_plan_.seed);
+  workers_.assign(workers_.size(), WorkerState{});
   total_bytes_ = 0;
   message_count_ = 0;
   faults_ = FaultCounters{};
@@ -403,6 +550,8 @@ void Network::Reset() {
   restart_count_ = 0;
   down_node_reject_count_ = 0;
   replica_reject_count_ = 0;
+  worker_reject_count_ = 0;
+  worker_retransmit_count_ = 0;
   partition_count_ = 0;
   heal_count_ = 0;
 }

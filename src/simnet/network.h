@@ -284,6 +284,82 @@ class Network {
   TransferAttempt TryTransferBetweenReplicas(size_t from, size_t to,
                                              uint64_t bytes);
 
+  /// --- Worker nodes (data-parallel training, mmlib::collective). ---
+  /// A third node space, independent of participant and replica nodes: the
+  /// ring-all-reduce workers of a data-parallel flow. Workers share the
+  /// membership primitives of replicas (crash/restart, partition groups)
+  /// but their gradient-exchange traffic draws fault decisions from a
+  /// dedicated collective stream, so collective faults never shift the
+  /// storage fault sequence (and vice versa) — the flow's fault-RNG draws
+  /// stay bit-identical across worker counts.
+  /// Declares `count` workers, all up, all in group 0. Replaces previous
+  /// worker state.
+  void ConfigureWorkers(size_t count);
+  size_t WorkerCount() const { return workers_.size(); }
+
+  /// Installs the failure model of the collective channel and reseeds its
+  /// fault stream. Pass an inactive plan to disable collective faults.
+  void set_collective_fault_plan(const FaultPlan& plan);
+  const FaultPlan& collective_fault_plan() const {
+    return collective_fault_plan_;
+  }
+
+  bool IsWorkerUp(size_t worker) const {
+    return worker < workers_.size() && workers_[worker].up;
+  }
+
+  /// True when the worker is up and on the flow coordinator's side of any
+  /// worker partition (group 0) — i.e. it can take part in a collective
+  /// step right now.
+  bool IsWorkerReachable(size_t worker) const {
+    return worker < workers_.size() && workers_[worker].up &&
+           workers_[worker].group == 0;
+  }
+
+  /// True when two distinct workers can talk to each other: both up and in
+  /// the same partition group (ring neighbours need this).
+  bool WorkerPairReachable(size_t a, size_t b) const {
+    return a < workers_.size() && b < workers_.size() && a != b &&
+           workers_[a].up && workers_[b].up &&
+           workers_[a].group == workers_[b].group;
+  }
+
+  /// Kills / restarts a worker; charges the node costs like
+  /// CrashNode/RestartNode. Errors mirror the participant-node variants.
+  Status CrashWorker(size_t worker);
+  Status RestartWorker(size_t worker);
+
+  /// Splits the workers into partition groups, same contract as
+  /// Partition(): `groups[i]` lists the workers cut into group i+1,
+  /// unlisted workers stay in group 0 (the majority side the flow
+  /// coordinator observes). Replica partitions are untouched.
+  Status PartitionWorkers(const std::vector<std::vector<size_t>>& groups);
+
+  /// Heals all worker partitions: every worker rejoins group 0.
+  void HealWorkers();
+
+  /// Attempts one worker-to-worker message of `bytes` (gradient-exchange
+  /// traffic). Fails Unavailable after one latency charge when the pair
+  /// cannot reach each other — no fault draw, so crash/partition windows
+  /// never shift later collective fault decisions. Reachable pairs draw
+  /// from the collective fault stream; the collective channel is modeled
+  /// with link-level retransmission, so a delivered payload is never
+  /// corrupted — a corruption draw is charged one extra retransmission
+  /// instead.
+  TransferAttempt TryTransferBetweenWorkers(size_t from, size_t to,
+                                            uint64_t bytes);
+
+  /// Per-worker tallies since the last ResetFaultCounters/Reset.
+  Result<FaultCounters> WorkerFaultCounters(size_t worker) const;
+  /// Messages rejected because the worker pair was unreachable.
+  Result<uint64_t> WorkerRejectCount(size_t worker) const;
+  Result<uint64_t> WorkerCrashCount(size_t worker) const;
+  Result<uint64_t> WorkerRestartCount(size_t worker) const;
+  /// Messages rejected across all workers.
+  uint64_t WorkerRejectCount() const { return worker_reject_count_; }
+  /// Collective-channel retransmissions charged for corruption draws.
+  uint64_t WorkerRetransmitCount() const { return worker_retransmit_count_; }
+
   /// Per-replica tallies since the last ResetFaultCounters/Reset.
   Result<FaultCounters> ReplicaFaultCounters(size_t replica) const;
   /// Messages rejected because the replica was down or partitioned.
@@ -334,6 +410,18 @@ class Network {
     uint64_t restarts = 0;
   };
 
+  /// Workers reuse the replica state shape minus the per-node fault plan:
+  /// all workers share the one collective stream (a plan per worker would
+  /// let worker count change the draw sequence).
+  struct WorkerState {
+    bool up = true;
+    int group = 0;
+    FaultCounters faults;
+    uint64_t rejects = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+  };
+
   struct ReplicaEvent {
     enum class Kind { kCrash, kRestart, kPartition, kHeal };
     double at_seconds = 0.0;
@@ -343,9 +431,9 @@ class Network {
   };
 
   /// One fault-plan decision over `bytes`; draws from `rng`, tallies into
-  /// the global, per-op, and (when given) per-replica counters.
+  /// the global, per-op, and (when given) per-node counters.
   TransferAttempt AttemptWithPlan(const FaultPlan& plan, Rng* rng,
-                                  uint64_t bytes, ReplicaState* replica);
+                                  uint64_t bytes, FaultCounters* node_faults);
   void CountFault(FaultCounters* replica_faults,
                   uint64_t FaultCounters::* kind);
 
@@ -353,9 +441,12 @@ class Network {
   VirtualClock clock_;
   FaultPlan fault_plan_;
   Rng fault_rng_;
+  FaultPlan collective_fault_plan_;
+  Rng collective_fault_rng_{FaultPlan{}.seed};
   NodeCosts node_costs_;
   std::vector<bool> node_up_;
   std::vector<ReplicaState> replicas_;
+  std::vector<WorkerState> workers_;
   std::vector<ReplicaEvent> replica_events_;  // sorted by at_seconds, stable
   const char* current_op_ = nullptr;
   std::map<std::string, FaultCounters> per_op_faults_;
@@ -366,6 +457,8 @@ class Network {
   uint64_t restart_count_ = 0;
   uint64_t down_node_reject_count_ = 0;
   uint64_t replica_reject_count_ = 0;
+  uint64_t worker_reject_count_ = 0;
+  uint64_t worker_retransmit_count_ = 0;
   uint64_t partition_count_ = 0;
   uint64_t heal_count_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "util/worker_thread.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace mmlib::util {
@@ -12,6 +14,24 @@ WorkerThread::~WorkerThread() {
   wake_.notify_all();
   if (thread_.joinable()) {
     thread_.join();
+  }
+  if (pending_ != nullptr) {
+    // A background task failed and no Drain() ever collected the error.
+    // Dropping it here would turn a real failure (a checkpoint that never
+    // became durable, say) into silence — fail loudly instead.
+    try {
+      std::rethrow_exception(pending_);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr,
+                   "WorkerThread destroyed with unobserved task exception: "
+                   "%s\n",
+                   error.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "WorkerThread destroyed with unobserved non-standard "
+                   "task exception\n");
+    }
+    std::abort();
   }
 }
 
@@ -30,6 +50,11 @@ void WorkerThread::Submit(std::function<void()> task) {
 void WorkerThread::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  if (pending_ != nullptr) {
+    std::exception_ptr error = std::exchange(pending_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 uint64_t WorkerThread::completed() const {
@@ -52,11 +77,22 @@ void WorkerThread::RunLoop() {
       queue_.pop_front();
       busy_ = true;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // Letting this escape would std::terminate the process with no
+      // context; capture it for the next Drain instead. Later tasks still
+      // run — FIFO side work must not silently stall behind one failure.
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       busy_ = false;
       ++completed_;
+      if (error != nullptr && pending_ == nullptr) {
+        pending_ = error;
+      }
     }
     idle_.notify_all();
   }

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -15,8 +16,12 @@ namespace mmlib::util {
 /// checkpoint saves) with the main thread: serial execution means the side
 /// work keeps exactly the order the main thread submitted it in, so any
 /// order-sensitive state the tasks touch (the simnet fault RNG, the virtual
-/// clock) sees the same sequence as a synchronous run. Tasks must not throw
-/// — catch inside the task and stash the error for the submitter.
+/// clock) sees the same sequence as a synchronous run. Tasks should catch
+/// inside the task and stash errors for the submitter; as a safety net, an
+/// exception that does escape a task is captured (first one wins, later
+/// tasks still run) and rethrown from the next Drain(). An exception still
+/// pending when the WorkerThread is destroyed is logged to stderr and
+/// aborts the process — a background failure is never silently dropped.
 ///
 /// The thread is lazily started on first Submit and joined on destruction
 /// after finishing all queued tasks.
@@ -32,7 +37,9 @@ class WorkerThread {
   void Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished. Establishes a
-  /// happens-before edge from all task effects to the caller.
+  /// happens-before edge from all task effects to the caller. Rethrows the
+  /// first exception that escaped a task since the last Drain (the pending
+  /// slot is cleared first, so the WorkerThread remains usable).
   void Drain();
 
   /// Tasks that have finished executing (monotonic).
@@ -50,6 +57,7 @@ class WorkerThread {
   bool stopping_ = false;
   bool busy_ = false;
   uint64_t completed_ = 0;
+  std::exception_ptr pending_;  // first exception that escaped a task
 };
 
 }  // namespace mmlib::util

@@ -23,6 +23,7 @@
 #include "env/environment.h"
 #include "filestore/file_store.h"
 #include "models/zoo.h"
+#include "repl/replicated_store.h"
 #include "simnet/retry.h"
 #include "tensor/tensor.h"
 #include "util/crash_point.h"
@@ -1074,6 +1075,201 @@ TEST(FlowCrashTest, CrashScheduleIsValidated) {
     bad.crash_schedule[0].node = 7;
     dist::EvaluationFlow flow(bad, backends);
     EXPECT_EQ(flow.Run().status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+/// Shared body for the crash-schedule edge cases: runs the two-node flow
+/// once clean and once with `event` scheduled, then requires the crashed
+/// run to land bit-identically (same records, same recovered parameter
+/// hashes) with exactly one crash/restart and `expected_retrained` steps
+/// redone on the crashed node.
+void ExpectCrashLandsBitIdentical(const dist::NodeCrashEvent& event,
+                                  uint64_t expected_retrained) {
+  dist::FlowConfig config;
+  config.approach = dist::ApproachKind::kBaseline;
+  config.model = TinyConfig();
+  config.num_nodes = 2;
+  config.u3_iterations = 2;
+  config.dataset_divisor = 4096;
+  config.training_mode = dist::TrainingMode::kReal;
+  config.recover_models = false;
+  config.train = TinyTrainConfig();
+  config.train.epochs = 1;
+  config.train.max_batches_per_epoch = 3;  // 3 optimizer steps per update
+  config.train.sgd.momentum = 0.9f;
+  config.train.sgd.learning_rate = 2e-4f;
+  config.checkpoint_every_steps = 2;
+
+  auto run = [&](bool with_crash, docstore::InMemoryDocumentStore* docs,
+                 filestore::InMemoryFileStore* files,
+                 simnet::Network* network) -> dist::FlowResult {
+    dist::FlowConfig run_config = config;
+    if (with_crash) {
+      run_config.crash_schedule.push_back(event);
+    }
+    core::StorageBackends backends{docs, files, network, nullptr};
+    dist::EvaluationFlow flow(run_config, backends);
+    auto result = flow.Run();
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  };
+
+  docstore::InMemoryDocumentStore clean_docs, crash_docs;
+  filestore::InMemoryFileStore clean_files, crash_files;
+  simnet::Network crash_network;
+  const dist::FlowResult clean = run(false, &clean_docs, &clean_files, nullptr);
+  const dist::FlowResult crashed =
+      run(true, &crash_docs, &crash_files, &crash_network);
+
+  ASSERT_EQ(crashed.node_counters.size(), 2u);
+  EXPECT_EQ(crashed.TotalCrashes(), 1u);
+  EXPECT_EQ(crashed.TotalRestarts(), 1u);
+  EXPECT_EQ(crashed.TotalRetrainedSteps(), expected_retrained);
+  EXPECT_EQ(clean.TotalCrashes(), 0u);
+
+  ASSERT_EQ(crashed.records.size(), clean.records.size());
+  EXPECT_EQ(crash_files.FileCount(), clean_files.FileCount());
+  EXPECT_EQ(crash_docs.DocumentCount(), clean_docs.DocumentCount());
+  core::StorageBackends clean_backends{&clean_docs, &clean_files, nullptr};
+  core::StorageBackends crash_backends{&crash_docs, &crash_files, nullptr};
+  core::ModelRecoverer clean_recoverer(clean_backends);
+  core::ModelRecoverer crash_recoverer(crash_backends);
+  for (size_t i = 0; i < clean.records.size(); ++i) {
+    auto a = clean_recoverer.Recover(clean.records[i].model_id,
+                                     core::RecoverOptions{});
+    auto b = crash_recoverer.Recover(crashed.records[i].model_id,
+                                     core::RecoverOptions{});
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->model.ParamsHash(), b->model.ParamsHash())
+        << clean.records[i].label;
+  }
+}
+
+TEST(FlowCrashTest, CrashAtStepOneRedoesTheWholeFirstStep) {
+  // at_step = 1: the node dies at the top of the very first optimizer step
+  // of the update, with zero steps completed. Recovery resumes from the
+  // step-0 checkpoint written at training start, so nothing is retrained —
+  // the degenerate "crashed before doing any work" edge must still land
+  // bit-identically instead of, say, double-applying the first batch.
+  ExpectCrashLandsBitIdentical(
+      dist::NodeCrashEvent{/*phase=*/2, /*iteration=*/1, /*node=*/0,
+                           /*at_step=*/1},
+      /*expected_retrained=*/0);
+}
+
+TEST(FlowCrashTest, CrashInFinalIterationStillLandsBitIdentical) {
+  // The last U3 iteration of the last phase, at the top of the final
+  // optimizer step: the interrupted update is the one whose result the flow
+  // is about to archive, so any recovery slip here would corrupt the final
+  // saved model rather than an intermediate. 2 steps done, checkpoint
+  // interval 2 => resume from step 2, nothing retrained.
+  ExpectCrashLandsBitIdentical(
+      dist::NodeCrashEvent{/*phase=*/2, /*iteration=*/2, /*node=*/1,
+                           /*at_step=*/3},
+      /*expected_retrained=*/0);
+}
+
+TEST(FlowCrashTest, CrashWhileReplicaPartitionIsActiveLandsBitIdentical) {
+  // A node crash while the storage tier is itself degraded: replica 1 of a
+  // 3-replica W=R=2 cluster is partitioned away for the whole run, so both
+  // the checkpoints the node writes before dying and the recovery reads
+  // after its restart go through a 2-of-3 quorum. The surviving majority
+  // must carry the crash recovery to the same bits as a fully healthy,
+  // crash-free cluster.
+  auto run = [](bool with_crash, bool with_partition,
+                std::vector<dist::UseCaseRecord>* records,
+                std::vector<std::string>* hashes,
+                dist::FlowResult* result_out) {
+    simnet::Network network{simnet::Link{300e6, 0.2e-3}};
+    network.ConfigureReplicas(3);
+    std::vector<std::unique_ptr<filestore::InMemoryFileStore>> file_backends;
+    std::vector<std::unique_ptr<docstore::InMemoryDocumentStore>> doc_backends;
+    std::vector<std::unique_ptr<filestore::RemoteFileStore>> file_transports;
+    std::vector<std::unique_ptr<docstore::RemoteDocumentStore>> doc_transports;
+    std::vector<filestore::RemoteFileStore*> file_ptrs;
+    std::vector<docstore::RemoteDocumentStore*> doc_ptrs;
+    for (size_t r = 0; r < 3; ++r) {
+      file_backends.push_back(std::make_unique<filestore::InMemoryFileStore>());
+      doc_backends.push_back(
+          std::make_unique<docstore::InMemoryDocumentStore>());
+      file_transports.push_back(std::make_unique<filestore::RemoteFileStore>(
+          file_backends.back().get(), &network));
+      file_transports.back()->BindReplica(r);
+      doc_transports.push_back(std::make_unique<docstore::RemoteDocumentStore>(
+          doc_backends.back().get(), &network));
+      doc_transports.back()->BindReplica(r);
+      file_ptrs.push_back(file_transports.back().get());
+      doc_ptrs.push_back(doc_transports.back().get());
+    }
+    auto files =
+        repl::ReplicatedFileStore::Create(file_ptrs, &network, {}).value();
+    auto docs =
+        repl::ReplicatedDocumentStore::Create(doc_ptrs, &network, {}).value();
+    if (with_partition) {
+      ASSERT_TRUE(network.Partition({{1}}).ok());
+    }
+
+    dist::FlowConfig config;
+    config.approach = dist::ApproachKind::kBaseline;
+    config.model = TinyConfig();
+    config.num_nodes = 2;
+    config.u3_iterations = 2;
+    config.dataset_divisor = 4096;
+    config.training_mode = dist::TrainingMode::kReal;
+    config.recover_models = false;
+    config.train = TinyTrainConfig();
+    config.train.epochs = 1;
+    config.train.max_batches_per_epoch = 3;
+    config.train.sgd.momentum = 0.9f;
+    config.train.sgd.learning_rate = 2e-4f;
+    config.checkpoint_every_steps = 2;
+    if (with_crash) {
+      config.crash_schedule.push_back(
+          dist::NodeCrashEvent{/*phase=*/2, /*iteration=*/1, /*node=*/0,
+                               /*at_step=*/2});
+    }
+
+    core::StorageBackends backends{docs.get(), files.get(), &network, nullptr};
+    dist::EvaluationFlow flow(config, backends);
+    auto result = flow.Run();
+    ASSERT_TRUE(result.ok()) << result.status();
+    *records = result->records;
+    *result_out = *result;
+
+    // Recover every saved model through the (still degraded, for the
+    // partitioned run) quorum and hash its parameters.
+    core::ModelRecoverer recoverer(backends);
+    for (const dist::UseCaseRecord& record : result->records) {
+      auto recovered = recoverer.Recover(record.model_id,
+                                         core::RecoverOptions{});
+      ASSERT_TRUE(recovered.ok()) << recovered.status();
+      hashes->push_back(recovered->model.ParamsHash().ToHex());
+    }
+  };
+
+  std::vector<dist::UseCaseRecord> clean_records, crashed_records;
+  std::vector<std::string> clean_hashes, crashed_hashes;
+  dist::FlowResult clean, crashed;
+  run(/*with_crash=*/false, /*with_partition=*/false, &clean_records,
+      &clean_hashes, &clean);
+  run(/*with_crash=*/true, /*with_partition=*/true, &crashed_records,
+      &crashed_hashes, &crashed);
+
+  // The crash fired and the partition really degraded the cluster: every
+  // write during the run skipped the unreachable replica 1.
+  EXPECT_EQ(crashed.TotalCrashes(), 1u);
+  EXPECT_EQ(crashed.TotalRestarts(), 1u);
+  EXPECT_EQ(clean.TotalCrashes(), 0u);
+  ASSERT_EQ(crashed.replica_counters.size(), 3u);
+  EXPECT_GT(crashed.replica_counters[1].write_skips, 0u);
+  EXPECT_EQ(crashed.replica_counters[0].write_skips, 0u);
+  EXPECT_EQ(crashed.replica_counters[2].write_skips, 0u);
+
+  ASSERT_EQ(crashed_records.size(), clean_records.size());
+  ASSERT_EQ(crashed_hashes.size(), clean_hashes.size());
+  for (size_t i = 0; i < clean_hashes.size(); ++i) {
+    EXPECT_EQ(crashed_hashes[i], clean_hashes[i]) << clean_records[i].label;
   }
 }
 

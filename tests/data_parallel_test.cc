@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/recover.h"
+#include "dist/flow.h"
+#include "docstore/document_store.h"
+#include "filestore/file_store.h"
+#include "models/zoo.h"
+#include "simnet/network.h"
+
+namespace mmlib {
+namespace {
+
+/// Overridable so CI can sweep several fault schedules over the same
+/// assertions (MMLIB_FAULT_SEED=4 ctest -R data_parallel ...).
+uint64_t FaultSeed() {
+  const char* env = std::getenv("MMLIB_FAULT_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0x5eedfa17;
+}
+
+models::ModelConfig TinyConfig() {
+  models::ModelConfig config =
+      models::DefaultConfig(models::Architecture::kMobileNetV2);
+  config.channel_divisor = 8;
+  config.image_size = 28;
+  config.num_classes = 10;
+  return config;
+}
+
+dist::FlowConfig BaseConfig() {
+  dist::FlowConfig config;
+  config.approach = dist::ApproachKind::kBaseline;
+  config.model = TinyConfig();
+  config.num_nodes = 1;
+  config.u3_iterations = 2;
+  config.dataset_divisor = 4096;
+  config.training_mode = dist::TrainingMode::kReal;
+  config.recover_models = false;
+  config.train.epochs = 1;
+  config.train.max_batches_per_epoch = 3;  // 3 optimizer steps per update
+  config.train.seed = 77 ^ FaultSeed();
+  config.train.sgd.learning_rate = 2e-4f;
+  config.train.sgd.momentum = 0.9f;
+  config.train.loader.batch_size = 4;
+  config.train.loader.image_size = 28;
+  config.train.loader.num_classes = 10;
+  config.train.loader.seed = config.train.seed;
+  config.checkpoint_every_steps = 2;
+  config.step_compute_seconds = 0.25;
+  return config;
+}
+
+struct RunOutcome {
+  dist::FlowResult result;
+  std::vector<Digest> final_hashes;  // ParamsHash of every saved model
+  uint64_t storage_faults = 0;
+  uint64_t storage_drops = 0;
+  double clock_seconds = 0.0;
+};
+
+/// Runs one flow on fresh in-memory stores behind a simulated network and
+/// recovers every saved model's parameter hash for bit-level comparison.
+RunOutcome RunFlow(dist::FlowConfig config,
+                   const simnet::FaultPlan* storage_plan = nullptr,
+                   const simnet::FaultPlan* collective_plan = nullptr) {
+  docstore::InMemoryDocumentStore docs;
+  filestore::InMemoryFileStore files;
+  simnet::Network network;
+  if (storage_plan != nullptr) {
+    network.set_fault_plan(*storage_plan);
+  }
+  if (collective_plan != nullptr) {
+    network.set_collective_fault_plan(*collective_plan);
+  }
+  core::StorageBackends backends{&docs, &files, &network, nullptr};
+  dist::EvaluationFlow flow(std::move(config), backends);
+  auto result = flow.Run();
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunOutcome outcome;
+  outcome.result = std::move(result).value();
+  outcome.storage_faults = network.FaultCount();
+  outcome.storage_drops = network.DropCount();
+  outcome.clock_seconds = network.TotalTransferSeconds();
+  core::StorageBackends local{&docs, &files, nullptr, nullptr};
+  core::ModelRecoverer recoverer(local);
+  for (const dist::UseCaseRecord& record : outcome.result.records) {
+    auto recovered = recoverer.Recover(record.model_id, core::RecoverOptions{});
+    EXPECT_TRUE(recovered.ok()) << recovered.status();
+    outcome.final_hashes.push_back(recovered->model.ParamsHash());
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count invariance
+// ---------------------------------------------------------------------------
+
+TEST(DataParallelFlowTest, PowerOfTwoWorkerCountsAreBitIdentical) {
+  // The tentpole acceptance: the same seeded flow with 1, 2, and 4 ring
+  // workers lands on bit-identical saved models, and the storage fault
+  // stream (collective traffic draws from its own stream) sees identical
+  // draws. Only the virtual clock changes — K workers split the batch.
+  simnet::FaultPlan storage_plan;
+  storage_plan.drop_probability = 0.05;
+  storage_plan.seed = FaultSeed();
+
+  dist::FlowConfig base = BaseConfig();
+  base.data_parallel_workers = 1;
+  const RunOutcome reference = RunFlow(base, &storage_plan);
+  ASSERT_FALSE(reference.final_hashes.empty());
+  EXPECT_EQ(reference.result.collective.steps, 12u);  // 4 updates * 3 steps
+
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("K=" + std::to_string(workers));
+    dist::FlowConfig config = BaseConfig();
+    config.data_parallel_workers = workers;
+    const RunOutcome outcome = RunFlow(config, &storage_plan);
+    ASSERT_EQ(outcome.final_hashes.size(), reference.final_hashes.size());
+    for (size_t i = 0; i < reference.final_hashes.size(); ++i) {
+      EXPECT_EQ(outcome.final_hashes[i], reference.final_hashes[i])
+          << outcome.result.records[i].label;
+    }
+    // Identical storage fault draws: the collective stream is independent.
+    EXPECT_EQ(outcome.storage_faults, reference.storage_faults);
+    EXPECT_EQ(outcome.storage_drops, reference.storage_drops);
+    EXPECT_EQ(outcome.result.collective.steps,
+              reference.result.collective.steps);
+    EXPECT_EQ(outcome.result.collective.degraded_steps, 0u);
+  }
+}
+
+TEST(DataParallelFlowTest, ModeRequiresRealTrainingAndANetwork) {
+  dist::FlowConfig config = BaseConfig();
+  config.data_parallel_workers = 2;
+  config.training_mode = dist::TrainingMode::kSimulated;
+  config.recover_models = false;
+  docstore::InMemoryDocumentStore docs;
+  filestore::InMemoryFileStore files;
+  simnet::Network network;
+  {
+    core::StorageBackends backends{&docs, &files, &network, nullptr};
+    dist::EvaluationFlow flow(config, backends);
+    EXPECT_EQ(flow.Run().status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    config.training_mode = dist::TrainingMode::kReal;
+    core::StorageBackends backends{&docs, &files, nullptr, nullptr};
+    dist::EvaluationFlow flow(config, backends);
+    EXPECT_EQ(flow.Run().status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash mid-all-reduce
+// ---------------------------------------------------------------------------
+
+TEST(DataParallelFlowTest, CrashMidAllReduceLandsBitIdentical) {
+  // Kill worker 1 at each collective crash site during step 2 of a U3
+  // update: the worker restarts, re-syncs into the ring, and the update
+  // resumes from its checkpoint — every saved model bit-identical to the
+  // crash-free data-parallel run.
+  dist::FlowConfig base = BaseConfig();
+  base.data_parallel_workers = 2;
+  const RunOutcome clean = RunFlow(base);
+  ASSERT_EQ(clean.result.TotalCrashes(), 0u);
+
+  for (const char* site :
+       {"collective.send", "collective.reduce", "collective.commit"}) {
+    SCOPED_TRACE(site);
+    dist::FlowConfig config = BaseConfig();
+    config.data_parallel_workers = 2;
+    dist::NodeCrashEvent event;
+    event.phase = 2;
+    event.iteration = 1;
+    event.node = 0;
+    event.at_step = 2;
+    event.site = site;
+    event.worker = 1;
+    config.crash_schedule.push_back(event);
+    const RunOutcome crashed = RunFlow(config);
+
+    ASSERT_EQ(crashed.final_hashes.size(), clean.final_hashes.size());
+    for (size_t i = 0; i < clean.final_hashes.size(); ++i) {
+      EXPECT_EQ(crashed.final_hashes[i], clean.final_hashes[i])
+          << crashed.result.records[i].label;
+    }
+    EXPECT_EQ(crashed.result.TotalCrashes(), 1u);
+    EXPECT_EQ(crashed.result.TotalRestarts(), 1u);
+    // The killed worker pulled one parameter snapshot to rejoin.
+    EXPECT_EQ(crashed.result.collective.workers[1].rejoin_syncs, 1u);
+    EXPECT_EQ(crashed.result.collective.workers[0].rejoin_syncs, 0u);
+    // Recovery costs clock time: detection, restart, re-sync, retraining.
+    EXPECT_GT(crashed.clock_seconds, clean.clock_seconds);
+  }
+}
+
+TEST(DataParallelFlowTest, CollectiveCrashSitesAreValidated) {
+  dist::FlowConfig config = BaseConfig();
+  config.data_parallel_workers = 0;
+  dist::NodeCrashEvent event;
+  event.site = "collective.send";
+  config.crash_schedule.push_back(event);
+  docstore::InMemoryDocumentStore docs;
+  filestore::InMemoryFileStore files;
+  simnet::Network network;
+  core::StorageBackends backends{&docs, &files, &network, nullptr};
+  {
+    dist::EvaluationFlow flow(config, backends);
+    EXPECT_EQ(flow.Run().status().code(), StatusCode::kInvalidArgument);
+  }
+  config.data_parallel_workers = 2;
+  config.crash_schedule[0].worker = 5;
+  {
+    dist::EvaluationFlow flow(config, backends);
+    EXPECT_EQ(flow.Run().status().code(), StatusCode::kInvalidArgument);
+  }
+  config.crash_schedule[0].site = "collective.bogus";
+  config.crash_schedule[0].worker = 0;
+  {
+    dist::EvaluationFlow flow(config, backends);
+    EXPECT_EQ(flow.Run().status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded cohorts: deterministic per seed
+// ---------------------------------------------------------------------------
+
+TEST(DataParallelFlowTest, DegradedCohortRunsAreDeterministicPerSeed) {
+  // One straggler window and one permanent worker loss: the flow result
+  // legitimately differs from the clean run (3-survivor means are not
+  // exponent shifts), but an identical re-run reproduces every byte and
+  // every counter.
+  auto degraded_config = [&]() {
+    dist::FlowConfig config = BaseConfig();
+    config.data_parallel_workers = 4;
+    collective::StragglerWindow straggler;
+    straggler.worker = 2;
+    straggler.slow_factor = 64.0;  // far past the bounded wait: excluded
+    straggler.update = 1;
+    straggler.from_step = 1;
+    straggler.to_step = 2;
+    config.ring.stragglers.push_back(straggler);
+    collective::WorkerLossEvent loss;
+    loss.worker = 3;
+    loss.update = 3;
+    loss.at_step = 1;
+    config.ring.losses.push_back(loss);
+    return config;
+  }();
+
+  simnet::FaultPlan collective_plan;
+  collective_plan.drop_probability = 0.02;
+  collective_plan.seed = FaultSeed() ^ 0xc011ec71;
+
+  const RunOutcome first =
+      RunFlow(degraded_config, nullptr, &collective_plan);
+  const RunOutcome second =
+      RunFlow(degraded_config, nullptr, &collective_plan);
+
+  ASSERT_EQ(first.final_hashes.size(), second.final_hashes.size());
+  for (size_t i = 0; i < first.final_hashes.size(); ++i) {
+    EXPECT_EQ(first.final_hashes[i], second.final_hashes[i])
+        << first.result.records[i].label;
+  }
+  EXPECT_EQ(first.clock_seconds, second.clock_seconds);
+  EXPECT_GT(first.result.collective.degraded_steps, 0u);
+  EXPECT_EQ(first.result.collective.degraded_steps,
+            second.result.collective.degraded_steps);
+  EXPECT_EQ(first.result.collective.retries,
+            second.result.collective.retries);
+  ASSERT_EQ(first.result.collective.workers.size(), 4u);
+  for (size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(first.result.collective.workers[w] ==
+                  second.result.collective.workers[w],
+              true)
+        << "worker " << w;
+  }
+  // The lost worker sat out every step of updates 3 and 4 (loss events are
+  // keyed by update, and the loss hits from update 3 on).
+  EXPECT_GT(first.result.collective.workers[3].excluded_steps,
+            first.result.collective.workers[2].excluded_steps - 2);
+}
+
+TEST(DataParallelFlowTest, DegradedRunDiffersFromCleanRun) {
+  // Sanity check on the other side of the determinism claim: a 3-of-4
+  // cohort's rescaled mean is a genuinely different trajectory, not a
+  // silent no-op.
+  dist::FlowConfig clean_config = BaseConfig();
+  clean_config.data_parallel_workers = 4;
+  const RunOutcome clean = RunFlow(clean_config);
+
+  dist::FlowConfig lossy = BaseConfig();
+  lossy.data_parallel_workers = 4;
+  collective::WorkerLossEvent loss;
+  loss.worker = 0;
+  loss.update = 1;
+  loss.at_step = 1;
+  lossy.ring.losses.push_back(loss);
+  const RunOutcome degraded = RunFlow(lossy);
+
+  ASSERT_EQ(degraded.final_hashes.size(), clean.final_hashes.size());
+  bool any_difference = false;
+  for (size_t i = 0; i < clean.final_hashes.size(); ++i) {
+    if (!(degraded.final_hashes[i] == clean.final_hashes[i])) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+  EXPECT_EQ(degraded.result.collective.degraded_steps,
+            degraded.result.collective.steps);
+}
+
+}  // namespace
+}  // namespace mmlib

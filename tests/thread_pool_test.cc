@@ -223,6 +223,48 @@ TEST(WorkerThreadTest, NeverStartedWorkerDestructsCleanly) {
   EXPECT_EQ(worker.completed(), 0u);
 }
 
+TEST(WorkerThreadTest, DrainRethrowsEscapedTaskExceptionAndStaysUsable) {
+  // Regression: an exception escaping a task used to unwind out of the
+  // worker's thread entry and std::terminate the whole process. It must be
+  // captured and surfaced to the submitter at the next Drain instead.
+  WorkerThread worker;
+  std::atomic<int> ran{0};
+  worker.Submit([] { throw std::runtime_error("boom"); });
+  worker.Submit([&ran] { ++ran; });  // later tasks still run
+  EXPECT_THROW(worker.Drain(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(worker.completed(), 2u);
+  // Rethrowing cleared the pending slot: the worker stays usable and a
+  // clean Drain follows.
+  worker.Submit([&ran] { ++ran; });
+  worker.Drain();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(WorkerThreadTest, FirstEscapedExceptionWins) {
+  WorkerThread worker;
+  worker.Submit([] { throw std::runtime_error("first"); });
+  worker.Submit([] { throw std::runtime_error("second"); });
+  try {
+    worker.Drain();
+    FAIL() << "Drain did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+}
+
+TEST(WorkerThreadDeathTest, UnobservedExceptionAbortsLoudlyAtDestruction) {
+  // An error still pending at destruction means no Drain ever looked at
+  // it; dropping it would hide a failed background save. The destructor
+  // must log the message and abort.
+  EXPECT_DEATH(
+      {
+        WorkerThread worker;
+        worker.Submit([] { throw std::runtime_error("dropped error"); });
+      },
+      "unobserved task exception.*dropped error");
+}
+
 TEST(ScratchPoolTest, ConcurrentAcquireReleaseKeepsInvariants) {
   // Hammer one pool from every pool thread with mixed sizes under a small
   // cap; TSan validates the locking, the assertions the accounting.

@@ -442,7 +442,12 @@ _PERSIST_SINKS = frozenset((
     # happens later on another thread, so the *enqueue* is the last point
     # the submitting thread can be killed before the save — it needs crash
     # coverage just like a direct write.
-    "SubmitCheckpointSave"))
+    "SubmitCheckpointSave",
+    # Collective sinks: these mutate shared ring state (bytes on the wire,
+    # a peer's partial reduction, the committed gradient buffer), so the
+    # crash matrix must be able to kill a worker inside each one — the
+    # collective.send / collective.reduce / collective.commit sites.
+    "SendChunk", "ReduceChunk", "CommitStep"))
 
 
 @dataclass

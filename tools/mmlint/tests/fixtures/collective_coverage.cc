@@ -1,0 +1,36 @@
+// fixture-path: src/collective/fixture_ring.cc
+//
+// Collective sinks (SendChunk / ReduceChunk / CommitStep) mirror the real
+// src/collective/ring.cc shape: the sink's own definition carries the crash
+// point, so every call site is covered through the call edge. A commit call
+// routed around the guarded definition must be flagged.
+
+namespace mmlib::collective {
+
+void SendChunk(int from, int to) {
+  MMLIB_CRASH_POINT("collective.send");
+  Transfer(from, to);
+}
+
+void ReduceChunk(int receiver) {
+  MMLIB_CRASH_POINT("collective.reduce");
+  Accumulate(receiver);
+}
+
+void RingLoop(int members) {
+  for (int rank = 0; rank < members; ++rank) {
+    SendChunk(rank, rank + 1);  // covered: crash point in the sink itself
+    ReduceChunk(rank + 1);      // covered
+  }
+}
+
+void CoveredCommit(int members) {
+  MMLIB_CRASH_POINT("collective.commit");
+  CommitStep(members);  // covered: guarded at the call site
+}
+
+void UncoveredCommit(int members) {
+  CommitStep(members);  // finding: no crash point reachable
+}
+
+}  // namespace mmlib::collective

@@ -165,6 +165,26 @@ class CrashCoverageTest(unittest.TestCase):
         self.assertEqual(summary["covered"], 3)
         self.assertEqual(summary["coverage_percent"], 50.0)
 
+    def test_collective_sinks_are_coverage_sites(self):
+        ctx = fixture_context("collective_coverage.cc")
+        index = callgraph.build_index([ctx])
+        findings = []
+        sites = callgraph.check_crash_point_coverage(index, findings)
+        engine.apply_suppressions([ctx], findings)
+
+        self.assertEqual(as_triples(findings),
+                         golden("collective_coverage.expected.json"))
+        by_site = {(s.function, s.sink): s for s in sites}
+        self.assertEqual(len(sites), 4)
+        self.assertTrue(by_site[("RingLoop", "SendChunk")].covered)
+        self.assertTrue(by_site[("RingLoop", "ReduceChunk")].covered)
+        self.assertTrue(by_site[("CoveredCommit", "CommitStep")].covered)
+        self.assertFalse(by_site[("UncoveredCommit", "CommitStep")].covered)
+        # Coverage flows through the sink's own guarded definition, naming
+        # the collective crash sites the flow's crash matrix schedules.
+        self.assertEqual(by_site[("RingLoop", "SendChunk")].crash_sites,
+                         ["collective.reduce", "collective.send"])
+
     def test_coverage_through_helper_call_chain(self):
         ctx = make_context(
             "src/filestore/fs_write.cc",
