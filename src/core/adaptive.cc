@@ -36,7 +36,7 @@ Result<size_t> AdaptiveSaveService::EstimateUpdateBytes(
   return bytes;
 }
 
-Result<SaveResult> AdaptiveSaveService::SaveModel(const SaveRequest& request) {
+Result<SaveResult> AdaptiveSaveService::DoSaveModel(const SaveRequest& request) {
   if (request.model == nullptr) {
     return Status::InvalidArgument("SaveRequest requires a model");
   }

@@ -36,7 +36,7 @@ class AdaptiveSaveService : public SaveService {
 
   std::string_view approach() const override { return "adaptive"; }
 
-  Result<SaveResult> SaveModel(const SaveRequest& request) override;
+  Result<SaveResult> DoSaveModel(const SaveRequest& request) override;
 
   /// The approach selected by the most recent SaveModel call.
   std::string_view last_choice() const { return last_choice_; }

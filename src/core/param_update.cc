@@ -4,7 +4,7 @@
 
 namespace mmlib::core {
 
-Result<SaveResult> ParamUpdateSaveService::SaveModel(
+Result<SaveResult> ParamUpdateSaveService::DoSaveModel(
     const SaveRequest& request) {
   CostMeter meter(backends_);
   SaveTransaction txn(backends_);

@@ -4,7 +4,7 @@
 
 namespace mmlib::core {
 
-Result<SaveResult> ProvenanceSaveService::SaveModel(
+Result<SaveResult> ProvenanceSaveService::DoSaveModel(
     const SaveRequest& request) {
   CostMeter meter(backends_);
   SaveTransaction txn(backends_);

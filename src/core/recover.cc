@@ -259,6 +259,28 @@ Result<nn::Model> ModelRecoverer::RecoverInternal(const std::string& id,
 
 Result<RecoveredModel> ModelRecoverer::Recover(const std::string& id,
                                                const RecoverOptions& options) {
+  const double start_seconds =
+      backends_.network != nullptr ? backends_.network->TotalTransferSeconds()
+                                   : 0.0;
+  Result<RecoveredModel> outcome = DoRecover(id, options);
+  if (serve_hook_) {
+    ServeOpReport report;
+    report.op = "model.recover";
+    report.outcome = outcome.ok() ? StatusCode::kOk : outcome.status().code();
+    if (backends_.network != nullptr) {
+      report.virtual_seconds =
+          backends_.network->TotalTransferSeconds() - start_seconds;
+    }
+    if (outcome.ok()) {
+      report.bytes = outcome.value().model.ParamByteSize();
+    }
+    serve_hook_(report);
+  }
+  return outcome;
+}
+
+Result<RecoveredModel> ModelRecoverer::DoRecover(const std::string& id,
+                                                 const RecoverOptions& options) {
   RecoveredModel result;
   result.model_id = id;
 

@@ -5,6 +5,7 @@
 
 #include "compress/codec.h"
 #include "core/save_txn.h"
+#include "core/serve_hook.h"
 #include "core/train_service.h"
 #include "core/types.h"
 #include "hash/merkle_tree.h"
@@ -49,9 +50,16 @@ class SaveService {
 
   /// Saves a model and returns its generated id together with the measured
   /// time-to-save and storage consumption (excluding the base model).
-  virtual Result<SaveResult> SaveModel(const SaveRequest& request) = 0;
+  /// Non-virtual wrapper: runs the approach's DoSaveModel and reports the
+  /// outcome through the serve hook when one is installed.
+  Result<SaveResult> SaveModel(const SaveRequest& request);
 
   const StorageBackends& backends() const { return backends_; }
+
+  /// Installs the serving layer's observer (see core/serve_hook.h); every
+  /// SaveModel completion is reported as op "model.save". Pass an empty
+  /// function to detach.
+  void set_serve_hook(ServeHook hook) { serve_hook_ = std::move(hook); }
 
   /// Codec for parameter payloads. Snapshots and updates are written as
   /// chunked frames (see compress/chunked.h) encoded in parallel on the
@@ -62,6 +70,9 @@ class SaveService {
   CodecKind params_codec() const { return params_codec_; }
 
  protected:
+  /// Approach-specific save implementation (BA / PUA / MPA / adaptive).
+  virtual Result<SaveResult> DoSaveModel(const SaveRequest& request) = 0;
+
   /// Encodes a parameter payload into a chunked frame with `params_codec()`.
   Result<Bytes> EncodeParams(const Bytes& params) const;
 
@@ -83,6 +94,7 @@ class SaveService {
 
   StorageBackends backends_;
   CodecKind params_codec_ = CodecKind::kIdentity;
+  ServeHook serve_hook_;
 };
 
 }  // namespace mmlib::core

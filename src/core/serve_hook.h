@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace mmlib::core {
+
+/// One completed backend operation, reported to the serving layer.
+struct ServeOpReport {
+  /// Operation label: "model.save", "model.recover".
+  std::string_view op;
+  /// Final outcome code of the operation (after internal retries).
+  StatusCode outcome = StatusCode::kOk;
+  /// Virtual-clock seconds the operation consumed (0 with no network).
+  double virtual_seconds = 0.0;
+  /// Bytes the operation added to (saves) or read from (recovers) storage.
+  uint64_t bytes = 0;
+};
+
+/// Seam between core and the serving front end (src/serve): the serving
+/// layer installs this hook on SaveService / ModelRecoverer, and core
+/// reports every completed save/recover through it — op label, outcome, and
+/// virtual cost — so the front end can drive its per-backend circuit
+/// breakers and health accounting off real core outcomes. Core never
+/// includes serve; serve wires the two (the same inversion as
+/// TrainService::StepSyncHook and src/collective). An empty hook disables
+/// reporting.
+using ServeHook = std::function<void(const ServeOpReport&)>;
+
+}  // namespace mmlib::core

@@ -255,6 +255,57 @@ Result<Bytes> ReplicatedFileStore::LoadFile(const std::string& id) {
   return last_error;
 }
 
+Result<Bytes> ReplicatedFileStore::HedgeFetch(const std::string& id,
+                                              size_t replica,
+                                              double* cost_seconds) {
+  const double start = network_->TotalTransferSeconds();
+  auto loaded = replicas_[replica]->LoadFile(id);
+  *cost_seconds = network_->TotalTransferSeconds() - start;
+  if (!loaded.ok()) {
+    ++counters_[replica].read_fallbacks;
+    return loaded.status();
+  }
+  const auto expected_it = directory_.find(id);
+  if (expected_it != directory_.end() &&
+      Sha256::Hash(loaded.value()) != expected_it->second) {
+    ++counters_[replica].read_fallbacks;
+    return Status::Unavailable("replica " + std::to_string(replica) +
+                               " served unverifiable bytes");
+  }
+  return loaded;
+}
+
+Result<Bytes> ReplicatedFileStore::LoadFileHedged(
+    const std::string& id, double hedge_threshold_seconds) {
+  network_->ApplyDueReplicaEvents();
+  ++hedged_read_count_;
+  const std::vector<size_t> order = ReadOrder(id);
+
+  double primary_cost = 0.0;
+  Result<Bytes> primary = HedgeFetch(id, order[0], &primary_cost);
+  const bool primary_slow =
+      hedge_threshold_seconds > 0.0 && primary_cost > hedge_threshold_seconds;
+  if (primary.ok() && !primary_slow) {
+    return primary;
+  }
+
+  if (order.size() > 1) {
+    ++hedge_issued_count_;
+    double hedge_cost = 0.0;
+    Result<Bytes> hedge = HedgeFetch(id, order[1], &hedge_cost);
+    if (hedge.ok() && (!primary.ok() || hedge_cost < primary_cost)) {
+      ++hedge_win_count_;
+      return hedge;
+    }
+  }
+  if (primary.ok()) {
+    return primary;
+  }
+  // Neither copy verified cheaply; the quorum read path knows how to heal
+  // (fallback rotation, in-flight re-fetch, read-repair).
+  return LoadFile(id);
+}
+
 Status ReplicatedFileStore::Delete(const std::string& id) {
   network_->ApplyDueReplicaEvents();
   if (ReachableCount() < write_quorum_) {

@@ -75,6 +75,25 @@ class ReplicatedFileStore : public filestore::FileStore {
   Result<std::string> AllocateFileId() override;
   Status WriteAllocated(const std::string& id, const Bytes& content) override;
   Result<Bytes> LoadFile(const std::string& id) override;
+
+  /// Tail-tolerant read for the serving front end: fetches `id` from the
+  /// preferred replica and, when that fetch fails, serves damaged bytes, or
+  /// costs more virtual time than `hedge_threshold_seconds`, issues a hedge
+  /// fetch to the next replica in the read order and serves whichever
+  /// verified copy was cheaper. Both fetches are charged to the virtual
+  /// clock — hedging trades backend work for tail latency, and the
+  /// accounting must show that. Falls back to the full quorum LoadFile path
+  /// (read-repair and all) when neither copy verifies. A threshold <= 0
+  /// hedges only on failure.
+  Result<Bytes> LoadFileHedged(const std::string& id,
+                               double hedge_threshold_seconds);
+
+  /// LoadFileHedged calls, hedge fetches actually issued, and hedges whose
+  /// copy was the one served (primary failed or was slower).
+  uint64_t hedged_read_count() const { return hedged_read_count_; }
+  uint64_t hedge_issued_count() const { return hedge_issued_count_; }
+  uint64_t hedge_win_count() const { return hedge_win_count_; }
+
   Status Delete(const std::string& id) override;
   Result<size_t> FileSize(const std::string& id) override;
   Result<std::vector<std::string>> ListFileIds() override;
@@ -132,12 +151,21 @@ class ReplicatedFileStore : public filestore::FileStore {
   size_t ReachableCount() const;
   Status QuorumWrite(const std::string& id, const Bytes& content);
 
+  /// One hedged-path fetch attempt from `replica`: bytes that verified
+  /// against the directory digest (when known), or an error. Reports the
+  /// virtual-clock cost of the attempt in `*cost_seconds`.
+  Result<Bytes> HedgeFetch(const std::string& id, size_t replica,
+                           double* cost_seconds);
+
   std::vector<filestore::RemoteFileStore*> replicas_;
   simnet::Network* network_;
   size_t write_quorum_;
   size_t read_quorum_;
   IdGenerator id_generator_;
   std::vector<ReplicaCounters> counters_;
+  uint64_t hedged_read_count_ = 0;
+  uint64_t hedge_issued_count_ = 0;
+  uint64_t hedge_win_count_ = 0;
   /// id -> digest of the committed content, recorded by the coordinator at
   /// write time; the read path verifies served bytes against it.
   std::map<std::string, Digest> directory_;

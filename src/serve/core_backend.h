@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/recover.h"
+#include "core/save_service.h"
+#include "core/serve_hook.h"
+#include "docstore/document_store.h"
+#include "env/environment.h"
+#include "json/json.h"
+#include "nn/model.h"
+#include "repl/replicated_store.h"
+#include "serve/backend.h"
+
+namespace mmlib::serve {
+
+/// Everything a CoreBackend borrows from the hosting flow. All pointers are
+/// non-owning; `save_service`, `recoverer`, `docs`, and `network` are
+/// required, `files` is optional (hedged inference reads need it).
+struct CoreBackendContext {
+  core::SaveService* save_service = nullptr;
+  core::ModelRecoverer* recoverer = nullptr;
+  docstore::DocumentStore* docs = nullptr;
+  repl::ReplicatedFileStore* files = nullptr;
+  simnet::Network* network = nullptr;
+  /// Template model + metadata for save requests.
+  nn::Model* model = nullptr;
+  const env::EnvironmentInfo* environment = nullptr;
+  json::Value code;
+  /// Pre-saved model ids (recover / probe targets, picked by request hash).
+  std::vector<std::string> model_ids;
+  /// File ids of parameter payloads (hedged inference reads).
+  std::vector<std::string> file_ids;
+  /// Primary-read cost past which an inference read hedges to a second
+  /// replica; <= 0 hedges only on failure.
+  double hedge_threshold_seconds = 0.050;
+  /// Arithmetic cost of the forward pass after an inference read.
+  double inference_forward_seconds = 0.002;
+  uint64_t seed = 0xc0debac0;
+};
+
+/// The real thing behind the front end: requests execute against the
+/// actual core services over replicated stores on simnet. Saves run the
+/// configured save approach, recovers run ModelRecoverer, probes read model
+/// metadata, inference does a hedged parameter read
+/// (repl::ReplicatedFileStore::LoadFileHedged) plus an arithmetic forward
+/// cost. Each op runs under a simnet::Network::DeadlineScope carrying the
+/// request's deadline, so the store clients' Retriers abandon work whose
+/// client has already hung up. Save/recover outcomes also flow back through
+/// the core::ServeHook seam, which this backend installs on construction —
+/// that is how the serving layer observes core without core including
+/// serve.
+class CoreBackend : public ServeBackend {
+ public:
+  explicit CoreBackend(const CoreBackendContext& context);
+
+  BackendOutcome Execute(const Request& request, size_t batch_size,
+                         double now_seconds) override;
+
+  /// Ops observed through the ServeHook seam (save + recover completions).
+  uint64_t hook_reports() const { return hook_reports_; }
+  uint64_t hook_failures() const { return hook_failures_; }
+  /// Hedged-read traffic of the inference path (mirrors the store's own
+  /// counters, scoped to this backend's lifetime).
+  uint64_t hedged_reads() const;
+  uint64_t hedge_wins() const;
+
+ private:
+  BackendOutcome ExecuteSave(const Request& request);
+  BackendOutcome ExecuteRecover(const Request& request);
+  BackendOutcome ExecuteProbe(const Request& request);
+  BackendOutcome ExecuteInference(const Request& request, size_t batch_size);
+
+  CoreBackendContext context_;
+  uint64_t hook_reports_ = 0;
+  uint64_t hook_failures_ = 0;
+  uint64_t base_hedged_reads_ = 0;
+  uint64_t base_hedge_wins_ = 0;
+};
+
+}  // namespace mmlib::serve

@@ -172,6 +172,46 @@ class Network {
     return per_op_faults_;
   }
 
+  /// --- Request-deadline propagation (serving front end, src/serve). ---
+  /// Scoped absolute virtual-clock deadline of the request whose backend
+  /// work is in flight. While a scope is open, every Retrier on this network
+  /// abandons an operation whose deadline is already hopeless instead of
+  /// walking the full backoff ladder — the client has given up, so the work
+  /// is wasted either way. Scopes nest; the innermost (tightest-owning)
+  /// deadline wins. 0 means "no deadline".
+  class DeadlineScope {
+   public:
+    DeadlineScope(Network* network, double deadline_seconds)
+        : network_(network) {
+      if (network_ != nullptr) {
+        previous_ = network_->request_deadline_seconds_;
+        network_->request_deadline_seconds_ = deadline_seconds;
+      }
+    }
+    ~DeadlineScope() {
+      if (network_ != nullptr) {
+        network_->request_deadline_seconds_ = previous_;
+      }
+    }
+    DeadlineScope(const DeadlineScope&) = delete;
+    DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+   private:
+    Network* network_;
+    double previous_ = 0.0;
+  };
+
+  /// Absolute virtual-clock deadline of the in-flight request; 0 when no
+  /// DeadlineScope is open.
+  double RequestDeadlineSeconds() const { return request_deadline_seconds_; }
+
+  /// True when a request deadline is set and the virtual clock has passed
+  /// it — any further backend work for this request is already wasted.
+  bool RequestDeadlineExpired() const {
+    return request_deadline_seconds_ > 0.0 &&
+           clock_.NowSeconds() >= request_deadline_seconds_;
+  }
+
   /// Zeroes every fault counter — global, per-operation, and per-replica —
   /// without touching the virtual clock, the fault plans, or the
   /// fault-decision streams. Flows call this on entry so their reported
@@ -449,6 +489,7 @@ class Network {
   std::vector<WorkerState> workers_;
   std::vector<ReplicaEvent> replica_events_;  // sorted by at_seconds, stable
   const char* current_op_ = nullptr;
+  double request_deadline_seconds_ = 0.0;
   std::map<std::string, FaultCounters> per_op_faults_;
   uint64_t total_bytes_ = 0;
   uint64_t message_count_ = 0;

@@ -55,7 +55,11 @@ class Retrier {
   /// Runs `op` (returning Status or Result<T>) under the retry policy and
   /// returns its last outcome. A retryable failure past the operation's
   /// virtual-clock budget is replaced by DeadlineExceeded so callers can
-  /// distinguish "gave up fast" from the transport's own errors.
+  /// distinguish "gave up fast" from the transport's own errors. When the
+  /// network carries a request deadline (Network::DeadlineScope, installed
+  /// by the serving front end), a retryable failure past that deadline is
+  /// abandoned the same way — the client has already given up on the
+  /// request, so retrying on its behalf only burns backend capacity.
   template <typename Fn>
   auto Run(Fn&& op) -> decltype(op()) {
     const double start_seconds = NowSeconds();
@@ -68,6 +72,12 @@ class Retrier {
         ++deadline_exhausted_count_;
         return decltype(op())(Status::DeadlineExceeded(
             "retry budget exhausted: " + StatusOf(outcome).message()));
+      }
+      if (RequestDeadlineHopeless()) {
+        ++deadline_exhausted_count_;
+        ++request_deadline_abandoned_count_;
+        return decltype(op())(Status::DeadlineExceeded(
+            "request deadline expired: " + StatusOf(outcome).message()));
       }
       if (attempt >= std::max(policy_.max_attempts, 1)) {
         return outcome;
@@ -84,6 +94,13 @@ class Retrier {
   /// before the policy's attempt cap did.
   uint64_t deadline_exhausted_count() const {
     return deadline_exhausted_count_;
+  }
+
+  /// Subset of deadline_exhausted_count(): operations abandoned because the
+  /// propagated *request* deadline (Network::DeadlineScope) expired, not the
+  /// retrier's own budget.
+  uint64_t request_deadline_abandoned_count() const {
+    return request_deadline_abandoned_count_;
   }
 
   const RetryPolicy& policy() const { return policy_; }
@@ -108,11 +125,18 @@ class Retrier {
            NowSeconds() - start_seconds >= policy_.total_deadline_seconds;
   }
 
+  /// True when the network carries an in-flight request deadline that has
+  /// already passed — further retries can never help the client.
+  bool RequestDeadlineHopeless() const {
+    return network_ != nullptr && network_->RequestDeadlineExpired();
+  }
+
   RetryPolicy policy_;
   Network* network_;
   Rng jitter_rng_;
   uint64_t retry_count_ = 0;
   uint64_t deadline_exhausted_count_ = 0;
+  uint64_t request_deadline_abandoned_count_ = 0;
 };
 
 }  // namespace mmlib::simnet

@@ -447,7 +447,11 @@ _PERSIST_SINKS = frozenset((
     # a peer's partial reduction, the committed gradient buffer), so the
     # crash matrix must be able to kill a worker inside each one — the
     # collective.send / collective.reduce / collective.commit sites.
-    "SendChunk", "ReduceChunk", "CommitStep"))
+    "SendChunk", "ReduceChunk", "CommitStep",
+    # Serving sinks: each mutates front-end state a crash must not corrupt
+    # (admitted-queue contents, an occupied worker slot, delivered-reply
+    # accounting) — the serve.admit / serve.dispatch / serve.reply sites.
+    "AdmitRequest", "DispatchRequest", "DeliverReply"))
 
 
 @dataclass

@@ -10,6 +10,7 @@ moved there).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
@@ -307,3 +308,59 @@ def check_nodiscard(ctx: FileContext, findings: List[Finding]) -> None:
         "nodiscard-result", ctx.relpath, 1,
         "error-carrying class lost its [[nodiscard]] annotation; discarded "
         "Result/Status would go unnoticed"))
+
+
+_QUEUE_DIRS = ("src/serve/", "src/data/")
+# A queue member is "bounded" when a comment on its declaration line or the
+# three lines above names the bound: the words `bounded` or `capacity`
+# (word-boundary match, so "unbounded" never satisfies the rule).
+_BOUND_MARKER = re.compile(r"\b(bounded|capacity)\b", re.IGNORECASE)
+
+
+@rule("no-unbounded-queue",
+      "std::deque/std::queue member without a declared capacity bound in "
+      "serving/data-path code")
+def check_unbounded_queue(ctx: FileContext, findings: List[Finding]) -> None:
+    """Serving and data-path queues must shed, never grow without limit.
+
+    An unbounded request queue converts overload into unbounded queueing
+    delay for every tenant at once — the failure mode admission control
+    exists to prevent. Any std::deque/std::queue *member* (house style:
+    trailing-underscore identifier) declared under src/serve/ or src/data/
+    must carry a capacity justification next to the declaration (the words
+    "bounded" or "capacity" in a comment on the declaration line or the
+    three lines above it), or an explicit same-line
+    lint:allow(no-unbounded-queue) with its reason.
+    """
+    if not any(ctx.in_dir(d) for d in _QUEUE_DIRS):
+        return
+    toks = ctx.lexed.tokens
+    lines = ctx.text.splitlines()
+    for i, t in enumerate(toks):
+        if not (t.kind == IDENT and t.value in ("deque", "queue")):
+            continue
+        if _qualified_by(toks, i) != "std":
+            continue
+        if _tok(toks, i + 1).value != "<":
+            continue
+        # The declared name: last identifier before the terminating ';'
+        # (template arguments contribute identifiers too, so scan them all).
+        name = None
+        j = i + 1
+        for _ in range(64):
+            if j >= len(toks) or toks[j].value in (";", "(", "="):
+                break
+            if toks[j].kind == IDENT:
+                name = toks[j]
+            j += 1
+        if name is None or not name.value.endswith("_"):
+            continue  # locals, parameters, aliases: not this rule's target
+        window = "\n".join(lines[max(0, t.line - 4):t.line])
+        if _BOUND_MARKER.search(window):
+            continue
+        findings.append(Finding(
+            "no-unbounded-queue", ctx.relpath, t.line,
+            f"queue member `{name.value}` has no declared capacity bound; "
+            "serving/data-path queues must be bounded (shed on overflow) — "
+            "state the bound in a comment at the declaration or justify "
+            "with lint:allow(no-unbounded-queue)"))

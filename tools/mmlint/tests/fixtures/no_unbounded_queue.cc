@@ -1,0 +1,35 @@
+// fixture-path: src/serve/fixture_queue.cc
+#include <deque>
+#include <queue>
+#include <vector>
+
+namespace mmlib::serve {
+
+struct PendingRequests {
+  std::deque<int> waiting_;  // finding: no declared bound
+
+  std::vector<std::deque<int>> per_tenant_;  // finding: nested, no bound
+
+  // Bounded by kCapacity, enforced in Admit().
+  std::deque<int> admitted_;
+
+  /// Drained in FIFO order; capacity kMaxBatch.
+  std::queue<int> batch_;
+
+  static constexpr int kCapacity = 64;
+};
+
+struct ReplyBuffer {
+  std::queue<int> replies_;  // lint:allow(no-unbounded-queue) drained before every return
+
+  // An unbounded spill area: the word "unbounded" must not satisfy the
+  // bound-marker check (word-boundary match).
+  std::deque<int> spill_;  // finding
+};
+
+void Local() {
+  std::deque<int> scratch;  // locals are not members: no finding
+  scratch.push_back(1);
+}
+
+}  // namespace mmlib::serve

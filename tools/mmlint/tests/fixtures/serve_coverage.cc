@@ -1,0 +1,38 @@
+// fixture-path: src/serve/fixture_frontend.cc
+//
+// Serving sinks (AdmitRequest / DispatchRequest / DeliverReply) mirror the
+// real src/serve/frontend.cc shape: the sink's own definition carries its
+// crash point (serve.admit / serve.dispatch), so every call site is covered
+// through the call edge. DeliverReply stands in for an externally defined
+// sink: a caller guarding the call itself is covered, an unguarded caller
+// must be flagged.
+
+namespace mmlib::serve {
+
+void AdmitRequest(int request) {
+  MMLIB_CRASH_POINT("serve.admit");
+  Enqueue(request);
+}
+
+void DispatchRequest(int request) {
+  MMLIB_CRASH_POINT("serve.dispatch");
+  Execute(request);
+}
+
+void EventLoop(int arrivals) {
+  for (int r = 0; r < arrivals; ++r) {
+    AdmitRequest(r);     // covered: crash point in the sink itself
+    DispatchRequest(r);  // covered
+  }
+}
+
+void CoveredReply(int request) {
+  MMLIB_CRASH_POINT("serve.reply");
+  DeliverReply(request);  // covered: guarded at the call site
+}
+
+void UncoveredReply(int request) {
+  DeliverReply(request);  // finding: no crash point reachable
+}
+
+}  // namespace mmlib::serve

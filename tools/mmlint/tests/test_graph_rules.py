@@ -185,6 +185,26 @@ class CrashCoverageTest(unittest.TestCase):
         self.assertEqual(by_site[("RingLoop", "SendChunk")].crash_sites,
                          ["collective.reduce", "collective.send"])
 
+    def test_serve_sinks_are_coverage_sites(self):
+        ctx = fixture_context("serve_coverage.cc")
+        index = callgraph.build_index([ctx])
+        findings = []
+        sites = callgraph.check_crash_point_coverage(index, findings)
+        engine.apply_suppressions([ctx], findings)
+
+        self.assertEqual(as_triples(findings),
+                         golden("serve_coverage.expected.json"))
+        by_site = {(s.function, s.sink): s for s in sites}
+        self.assertEqual(len(sites), 4)
+        self.assertTrue(by_site[("EventLoop", "AdmitRequest")].covered)
+        self.assertTrue(by_site[("EventLoop", "DispatchRequest")].covered)
+        self.assertTrue(by_site[("CoveredReply", "DeliverReply")].covered)
+        self.assertFalse(by_site[("UncoveredReply", "DeliverReply")].covered)
+        # The guarded sink definitions name the serving crash sites the
+        # degraded-mode serving tests schedule kills at.
+        self.assertEqual(by_site[("EventLoop", "AdmitRequest")].crash_sites,
+                         ["serve.admit", "serve.dispatch"])
+
     def test_coverage_through_helper_call_chain(self):
         ctx = make_context(
             "src/filestore/fs_write.cc",

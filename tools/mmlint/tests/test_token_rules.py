@@ -49,6 +49,10 @@ class FixtureGoldenTest(unittest.TestCase):
         self.check_fixture(["nodiscard_missing.h", "nodiscard_ok.h"],
                            "nodiscard.expected.json")
 
+    def test_no_unbounded_queue(self):
+        self.check_fixture(["no_unbounded_queue.cc"],
+                           "no_unbounded_queue.expected.json")
+
 
 class ScopingTest(unittest.TestCase):
     """Rules must not fire outside their declared directories."""
